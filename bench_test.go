@@ -1,0 +1,325 @@
+// Benchmarks: one per experiment of the reproduced evaluation (DESIGN.md
+// §4). Each benchmark measures engine processing cost (ns/op over a whole
+// stream; derive events/sec as stream length / time) at representative
+// sweep points; cmd/espbench regenerates the full tables with all points
+// and the derived columns.
+package oostream_test
+
+import (
+	"fmt"
+	"testing"
+
+	"oostream"
+	"oostream/internal/gen"
+	"oostream/internal/kslack"
+	"oostream/internal/netsim"
+)
+
+const (
+	benchItems  = 2_000
+	benchK      = oostream.Time(2_000)
+	benchWindow = "6s"
+)
+
+func benchSeqQuery(tb testing.TB) *oostream.Query {
+	q, err := oostream.Compile(
+		"PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN "+benchWindow,
+		gen.RFIDSchema())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return q
+}
+
+func benchNegQuery(tb testing.TB) *oostream.Query {
+	q, err := oostream.Compile(`
+		PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e)
+		WHERE s.id = e.id AND s.id = c.id
+		WITHIN `+benchWindow, gen.RFIDSchema())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return q
+}
+
+func benchStream(ratio float64, k oostream.Time) []oostream.Event {
+	sorted := gen.RFID(gen.DefaultRFID(benchItems, 1))
+	return gen.Shuffle(sorted, gen.Disorder{Ratio: ratio, MaxDelay: k, Seed: 2})
+}
+
+// run measures one full pass of the stream per iteration and reports
+// throughput.
+func run(b *testing.B, q *oostream.Query, cfg oostream.Config, events []oostream.Event) {
+	b.Helper()
+	b.ReportAllocs()
+	var matches int
+	for i := 0; i < b.N; i++ {
+		en, err := oostream.NewEngine(q, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches = len(en.ProcessAll(events))
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(matches), "matches")
+}
+
+// BenchmarkE1Correctness drives the correctness experiment's workload
+// (negation query, every strategy) at 20% disorder. Precision/recall are
+// asserted in internal/bench tests; here the cost of being correct is the
+// measurement.
+func BenchmarkE1Correctness(b *testing.B) {
+	q := benchNegQuery(b)
+	events := benchStream(0.20, benchK)
+	for _, strat := range oostream.Strategies() {
+		b.Run(string(strat), func(b *testing.B) {
+			run(b, q, oostream.Config{Strategy: strat, K: benchK}, events)
+		})
+	}
+}
+
+// BenchmarkE2ThroughputVsDisorder sweeps the disorder ratio for the three
+// strategies of the CPU-cost figure.
+func BenchmarkE2ThroughputVsDisorder(b *testing.B) {
+	q := benchSeqQuery(b)
+	for _, ratio := range []float64{0, 0.10, 0.40} {
+		events := benchStream(ratio, benchK)
+		for _, strat := range []oostream.Strategy{oostream.StrategyInOrder, oostream.StrategyKSlack, oostream.StrategyNative} {
+			b.Run(fmt.Sprintf("ooo=%.0f%%/%s", ratio*100, strat), func(b *testing.B) {
+				run(b, q, oostream.Config{Strategy: strat, K: benchK}, events)
+			})
+		}
+	}
+}
+
+// BenchmarkE3ThroughputVsK sweeps the slack bound.
+func BenchmarkE3ThroughputVsK(b *testing.B) {
+	q := benchSeqQuery(b)
+	for _, k := range []oostream.Time{100, 2_000, 10_000} {
+		events := benchStream(0.10, k)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative} {
+			b.Run(fmt.Sprintf("K=%d/%s", k, strat), func(b *testing.B) {
+				run(b, q, oostream.Config{Strategy: strat, K: k}, events)
+			})
+		}
+	}
+}
+
+// BenchmarkE4MemoryVsK is E3's sweep with peak state reported as the
+// metric of interest.
+func BenchmarkE4MemoryVsK(b *testing.B) {
+	q := benchSeqQuery(b)
+	for _, k := range []oostream.Time{100, 10_000} {
+		events := benchStream(0.10, k)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative} {
+			b.Run(fmt.Sprintf("K=%d/%s", k, strat), func(b *testing.B) {
+				b.ReportAllocs()
+				peak := 0
+				for i := 0; i < b.N; i++ {
+					en := oostream.MustNewEngine(q, oostream.Config{Strategy: strat, K: k})
+					en.ProcessAll(events)
+					peak = en.Metrics().PeakState
+				}
+				b.ReportMetric(float64(peak), "peak_state")
+			})
+		}
+	}
+}
+
+// BenchmarkE5Window sweeps the window size on the native engine.
+func BenchmarkE5Window(b *testing.B) {
+	events := benchStream(0.10, benchK)
+	for _, w := range []int{1_000, 10_000, 100_000} {
+		q, err := oostream.Compile(fmt.Sprintf(
+			"PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN %d", w),
+			gen.RFIDSchema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			run(b, q, oostream.Config{K: benchK}, events)
+		})
+	}
+}
+
+// BenchmarkE6PurgeAblation compares purge cadences.
+func BenchmarkE6PurgeAblation(b *testing.B) {
+	q := benchSeqQuery(b)
+	events := benchStream(0.10, benchK)
+	for _, pe := range []int{1, 64, -1} {
+		name := fmt.Sprintf("purgeEvery=%d", pe)
+		if pe < 0 {
+			name = "purgeEvery=never"
+		}
+		b.Run(name, func(b *testing.B) {
+			run(b, q, oostream.Config{K: benchK, PurgeEvery: pe}, events)
+		})
+	}
+}
+
+// BenchmarkE7OptAblation compares the optimized scan against probe-always.
+func BenchmarkE7OptAblation(b *testing.B) {
+	q := benchSeqQuery(b)
+	for _, ratio := range []float64{0.01, 0.40} {
+		events := benchStream(ratio, benchK)
+		b.Run(fmt.Sprintf("ooo=%.0f%%/optimized", ratio*100), func(b *testing.B) {
+			run(b, q, oostream.Config{K: benchK}, events)
+		})
+		b.Run(fmt.Sprintf("ooo=%.0f%%/probe-always", ratio*100), func(b *testing.B) {
+			run(b, q, oostream.Config{K: benchK, DisableTriggerOpt: true}, events)
+		})
+	}
+}
+
+// BenchmarkE8Latency measures processing cost at the latency experiment's
+// sweep points; the latency distributions themselves are summarized by
+// cmd/espbench (they are outputs, not costs).
+func BenchmarkE8Latency(b *testing.B) {
+	q := benchSeqQuery(b)
+	events := benchStream(0.10, 10_000)
+	for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative, oostream.StrategySpeculate} {
+		b.Run(string(strat), func(b *testing.B) {
+			b.ReportAllocs()
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				en := oostream.MustNewEngine(q, oostream.Config{Strategy: strat, K: 10_000})
+				en.ProcessAll(events)
+				mean = en.Metrics().LogicalLat.Mean()
+			}
+			b.ReportMetric(mean, "lat_mean_ms")
+		})
+	}
+}
+
+// BenchmarkE9PatternLength sweeps the pattern length on a uniform stream.
+func BenchmarkE9PatternLength(b *testing.B) {
+	allTypes := []string{"T1", "T2", "T3", "T4", "T5", "T6"}
+	sorted := gen.Uniform(5_000, allTypes, 4, 10, 17)
+	events := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.10, MaxDelay: 200, Seed: 18})
+	for _, n := range []int{2, 4, 6} {
+		src := "PATTERN SEQ("
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				src += ", "
+			}
+			src += fmt.Sprintf("T%d v%d", i+1, i+1)
+		}
+		src += ") WHERE v1.id = v2.id WITHIN 400"
+		q, err := oostream.Compile(src, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			run(b, q, oostream.Config{K: 200}, events)
+		})
+	}
+}
+
+// BenchmarkE10Negation measures the shoplifting query per strategy.
+func BenchmarkE10Negation(b *testing.B) {
+	q := benchNegQuery(b)
+	events := benchStream(0.10, benchK)
+	for _, strat := range oostream.Strategies() {
+		b.Run(string(strat), func(b *testing.B) {
+			run(b, q, oostream.Config{Strategy: strat, K: benchK}, events)
+		})
+	}
+}
+
+// BenchmarkE11Speculation measures the aggressive engine across disorder,
+// reporting the retraction rate.
+func BenchmarkE11Speculation(b *testing.B) {
+	q := benchNegQuery(b)
+	for _, ratio := range []float64{0, 0.20, 0.40} {
+		events := benchStream(ratio, benchK)
+		b.Run(fmt.Sprintf("ooo=%.0f%%", ratio*100), func(b *testing.B) {
+			b.ReportAllocs()
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				en := oostream.MustNewEngine(q, oostream.Config{Strategy: oostream.StrategySpeculate, K: benchK})
+				en.ProcessAll(events)
+				m := en.Metrics()
+				if m.Matches > 0 {
+					rate = float64(m.Retractions) / float64(m.Matches)
+				}
+			}
+			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(rate, "retract_rate")
+		})
+	}
+}
+
+// BenchmarkComponents isolates the substrate hot paths so regressions can
+// be localized below the engine level.
+func BenchmarkComponents(b *testing.B) {
+	b.Run("kslack-buffer", func(b *testing.B) {
+		events := benchStream(0.20, benchK)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf := kslack.NewBuffer(benchK)
+			for _, e := range events {
+				buf.Push(e)
+			}
+			buf.Flush()
+		}
+	})
+	b.Run("query-compile", func(b *testing.B) {
+		schema := gen.RFIDSchema()
+		for i := 0; i < b.N; i++ {
+			_, err := oostream.Compile(
+				"PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e) WHERE s.id = e.id AND s.id = c.id WITHIN 6s",
+				schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12NetworkSim measures each strategy over a mechanistically
+// delivered stream (link jitter + failure bursts) with K at the realized
+// max delay.
+func BenchmarkE12NetworkSim(b *testing.B) {
+	q := benchSeqQuery(b)
+	sorted := gen.RFID(gen.DefaultRFID(benchItems, 1))
+	delivered, _, prof, err := netsim.Deliver(sorted, netsim.Config{
+		Sources: 8,
+		Link:    netsim.DefaultLink(),
+		Failure: netsim.FailureConfig{MTBF: 60_000, OutageMean: 2_000},
+		Seed:    24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative, oostream.StrategySpeculate} {
+		b.Run(string(strat), func(b *testing.B) {
+			run(b, q, oostream.Config{Strategy: strat, K: prof.MaxDelay}, delivered)
+		})
+	}
+}
+
+// BenchmarkE13Partitioned measures key-partitioned scale-out (sequential
+// shard routing; the speed-up beyond bookkeeping comes from smaller
+// per-shard state).
+func BenchmarkE13Partitioned(b *testing.B) {
+	q := benchNegQuery(b)
+	events := benchStream(0.10, benchK)
+	b.Run("shards=1", func(b *testing.B) {
+		run(b, q, oostream.Config{K: benchK}, events)
+	})
+	for _, shards := range []int{4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var matches int
+			for i := 0; i < b.N; i++ {
+				en, err := oostream.NewPartitionedEngine(q, oostream.Config{K: benchK}, "id", shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matches = len(en.ProcessAll(events))
+			}
+			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(matches), "matches")
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Command espbench regenerates the evaluation tables of the reproduced
+// paper (see DESIGN.md §4 for the per-experiment index and EXPERIMENTS.md
+// for recorded results).
+//
+// Usage:
+//
+//	espbench                 # every experiment at smoke scale
+//	espbench -scale full     # paper-scale streams (slower)
+//	espbench -exp E2,E8      # a subset
+//	espbench -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"oostream/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "espbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("espbench", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "smoke", "workload scale: smoke or full")
+		expList   = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		list      = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = bench.Smoke
+	case "full":
+		scale = bench.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want smoke or full)", *scaleName)
+	}
+
+	experiments := bench.All()
+	if *expList != "" {
+		experiments = experiments[:0]
+		for _, id := range strings.Split(*expList, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	for _, e := range experiments {
+		tbl := e.Run(scale)
+		var err error
+		if *csv {
+			err = tbl.RenderCSV(stdout)
+		} else {
+			err = tbl.Render(stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E11"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s: %s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E3", "-scale", "smoke"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E3: Throughput vs. slack bound K") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E3", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "# E3,") {
+		t.Errorf("CSV header missing: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "E99"}, &out); err == nil {
+		t.Error("bad experiment accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oostream/internal/trace"
+)
+
+func TestRunWorkloads(t *testing.T) {
+	for _, w := range []string{"rfid", "intrusion", "stock", "uniform"} {
+		t.Run(w, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{"-workload", w, "-n", "20", "-seed", "3"}, &buf); err != nil {
+				t.Fatal(err)
+			}
+			events, err := trace.NewReader(&buf).ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(events) == 0 {
+				t.Fatal("no events generated")
+			}
+		})
+	}
+}
+
+func TestRunDisorderInjection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "uniform", "-n", "500", "-ooo", "0.3", "-k", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooo := 0
+	maxTS := events[0].TS
+	for _, e := range events[1:] {
+		if e.TS < maxTS {
+			ooo++
+		} else {
+			maxTS = e.TS
+		}
+	}
+	if ooo == 0 {
+		t.Fatal("disorder requested but stream is sorted")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "uniform", "-n", "10", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout should be empty when -out is set")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-workload", "bogus"}, "unknown workload"},
+		{[]string{"-ooo", "2"}, "-ooo must be"},
+		{[]string{"-ooo", "0.5"}, "requires -k"},
+	}
+	for _, tt := range tests {
+		var buf bytes.Buffer
+		err := run(tt.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("run(%v) = %v, want %q", tt.args, err, tt.wantErr)
+		}
+	}
+}
+
+func TestRunGzipOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "uniform", "-n", "50", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, closer, err := trace.NewAutoReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer == nil {
+		t.Fatal("output not gzip-compressed")
+	}
+	defer closer.Close()
+	events, err := r.ReadAll()
+	if err != nil || len(events) != 50 {
+		t.Fatalf("events=%d err=%v", len(events), err)
+	}
+}
+
+func TestRunNetworkSim(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "uniform", "-n", "300", "-net", "-mtbf", "2000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.NewReader(&buf).ReadAll()
+	if err != nil || len(events) != 300 {
+		t.Fatalf("events=%d err=%v", len(events), err)
+	}
+	if err := run([]string{"-net", "-ooo", "0.5", "-k", "10"}, &buf); err == nil {
+		t.Fatal("-net with -ooo should be rejected")
+	}
+}

@@ -1,0 +1,116 @@
+// Command esprun evaluates a pattern query over an event trace (JSON
+// Lines, as produced by cmd/espgen) under a chosen out-of-order handling
+// strategy, printing matches and an engine metrics summary.
+//
+// Usage:
+//
+//	esprun -query 'PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN 6s' \
+//	       -strategy native -k 2000 -trace trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"oostream"
+	"oostream/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "esprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("esprun", flag.ContinueOnError)
+	var (
+		queryText = fs.String("query", "", "query text (required unless -query-file)")
+		queryFile = fs.String("query-file", "", "file containing the query text")
+		traceFile = fs.String("trace", "", "trace file (default stdin)")
+		strategy  = fs.String("strategy", "native", "strategy: native, inorder, kslack, speculate")
+		k         = fs.Int64("k", 1000, "disorder bound K (logical ms)")
+		quiet     = fs.Bool("quiet", false, "suppress per-match output")
+		maxPrint  = fs.Int("max-print", 20, "print at most this many matches (0 = all)")
+		explain   = fs.Bool("explain", false, "print the compiled plan and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src := *queryText
+	if src == "" && *queryFile != "" {
+		raw, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		src = string(raw)
+	}
+	if src == "" {
+		return fmt.Errorf("a query is required (-query or -query-file)")
+	}
+
+	q, err := oostream.Compile(src, nil)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		_, err := fmt.Fprint(stdout, q.Explain())
+		return err
+	}
+	en, err := oostream.NewEngine(q, oostream.Config{
+		Strategy: oostream.Strategy(*strategy),
+		K:        oostream.Time(*k),
+	})
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	r, closer, err := trace.NewAutoReader(in)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	printed := 0
+	total := 0
+	emit := func(matches []oostream.Match) {
+		for _, m := range matches {
+			total++
+			if *quiet || (*maxPrint > 0 && printed >= *maxPrint) {
+				continue
+			}
+			fmt.Fprintln(stdout, m)
+			printed++
+		}
+	}
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		emit(en.Process(e))
+	}
+	emit(en.Flush())
+	if !*quiet && *maxPrint > 0 && total > printed {
+		fmt.Fprintf(stdout, "… %d more matches (raise -max-print)\n", total-printed)
+	}
+	fmt.Fprintf(stdout, "strategy=%s matches=%d %s\n", en.Strategy(), total, en.Metrics())
+	return nil
+}

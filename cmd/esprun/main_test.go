@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/trace"
+)
+
+func writeTrace(t *testing.T, events []event.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	if err := w.WriteAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleEvents() []event.Event {
+	return []event.Event{
+		{Type: "B", TS: 20, Seq: 2}, // out of order vs. the A below
+		{Type: "A", TS: 10, Seq: 1},
+		{Type: "A", TS: 100, Seq: 3},
+		{Type: "B", TS: 110, Seq: 4},
+	}
+}
+
+func TestRunFindsMatches(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WITHIN 50",
+		"-trace", path, "-k", "100",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matches=2") {
+		t.Errorf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "strategy=native") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var traceBuf bytes.Buffer
+	w := trace.NewWriter(&traceBuf)
+	if err := w.WriteAll(sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WITHIN 50",
+		"-strategy", "kslack", "-k", "100", "-quiet",
+	}, &traceBuf, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matches=2") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	qPath := filepath.Join(t.TempDir(), "q.esp")
+	if err := os.WriteFile(qPath, []byte("PATTERN SEQ(A a, B b) WITHIN 50"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTrace(t, sampleEvents())
+	var out bytes.Buffer
+	if err := run([]string{"-query-file", qPath, "-trace", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMaxPrint(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WITHIN 50",
+		"-trace", path, "-k", "100", "-max-print", "1",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 more matches") {
+		t.Errorf("truncation notice missing: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no query", []string{}},
+		{"bad query", []string{"-query", "PATTERN"}},
+		{"bad strategy", []string{"-query", "PATTERN SEQ(A a) WITHIN 5", "-strategy", "bogus"}},
+		{"missing trace", []string{"-query", "PATTERN SEQ(A a) WITHIN 5", "-trace", "/nonexistent"}},
+		{"missing query file", []string{"-query-file", "/nonexistent"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, strings.NewReader(""), &out); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 50",
+		"-explain",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan for:", "sequence:", "partitionable by: id"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain missing %q: %s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package oostream
+
+import (
+	"fmt"
+
+	"oostream/internal/core"
+)
+
+// Strategy selects the out-of-order handling approach.
+type Strategy string
+
+// Available strategies.
+const (
+	// StrategyNative is the paper's native out-of-order engine (default).
+	StrategyNative Strategy = "native"
+	// StrategyInOrder is the classic SASE engine (exact only on sorted
+	// input; the paper's problem-analysis baseline).
+	StrategyInOrder Strategy = "inorder"
+	// StrategyKSlack reorders with a K-slack buffer before an in-order
+	// engine (the levee baseline).
+	StrategyKSlack Strategy = "kslack"
+	// StrategySpeculate emits eagerly and compensates with retractions
+	// (the aggressive extension).
+	StrategySpeculate Strategy = "speculate"
+)
+
+// Strategies lists every available strategy, in evaluation-table order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyInOrder, StrategyKSlack, StrategyNative, StrategySpeculate}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Strategy selects the engine; default StrategyNative.
+	Strategy Strategy
+	// K is the disorder bound (slack) in logical milliseconds: no event is
+	// assumed to arrive more than K time units after the maximum timestamp
+	// seen. Ignored by StrategyInOrder.
+	K Time
+	// BestEffortLate makes the native engine process bound-violating
+	// events instead of dropping them (completeness is then best-effort).
+	BestEffortLate bool
+	// DisableTriggerOpt disables the native engine's scan optimization
+	// (ablation knob; results are unchanged, CPU cost rises).
+	DisableTriggerOpt bool
+	// PurgeEvery runs state purging every PurgeEvery events; 0 = default
+	// (64), negative = never (ablation knob; memory then grows unbounded).
+	PurgeEvery int
+	// OrderedOutput buffers matches so they are emitted in timestamp
+	// order (by last element) instead of completion order, at a latency
+	// cost bounded by K. Not available with StrategySpeculate
+	// (retractions cannot be order-buffered).
+	OrderedOutput bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == "" {
+		c.Strategy = StrategyNative
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 0 {
+		return fmt.Errorf("K must be >= 0, got %d", c.K)
+	}
+	if c.BestEffortLate && c.Strategy != StrategyNative {
+		return fmt.Errorf("BestEffortLate applies only to %q", StrategyNative)
+	}
+	if c.DisableTriggerOpt && c.Strategy != StrategyNative {
+		return fmt.Errorf("DisableTriggerOpt applies only to %q", StrategyNative)
+	}
+	if c.OrderedOutput && c.Strategy == StrategySpeculate {
+		return fmt.Errorf("OrderedOutput cannot buffer %q retractions", StrategySpeculate)
+	}
+	return nil
+}
+
+func (c Config) corePolicy() core.LatePolicy {
+	if c.BestEffortLate {
+		return core.BestEffort
+	}
+	return core.DropLate
+}

@@ -1,0 +1,81 @@
+package oostream_test
+
+import (
+	"fmt"
+
+	"oostream"
+)
+
+// ExampleCompile shows the query language and the compile-time checks a
+// schema enables.
+func ExampleCompile() {
+	schema := oostream.NewSchema()
+	schema.Declare("LOW", map[string]oostream.Kind{"sensor": oostream.KindInt})
+	schema.Declare("HIGH", map[string]oostream.Kind{"sensor": oostream.KindInt})
+
+	q, err := oostream.Compile(`
+		PATTERN SEQ(LOW l, HIGH h)
+		WHERE   l.sensor = h.sensor
+		WITHIN  10s`, schema)
+	if err != nil {
+		fmt.Println("compile error:", err)
+		return
+	}
+	fmt.Println(q.Source())
+	fmt.Println("window:", q.Window(), "ms; partitionable by sensor:", q.PartitionableBy("sensor"))
+	// Output:
+	// PATTERN SEQ(LOW l, HIGH h) WHERE (l.sensor = h.sensor) WITHIN 10000ms
+	// window: 10000 ms; partitionable by sensor: true
+}
+
+// ExampleEngine_Process demonstrates native out-of-order handling: the
+// match is emitted the moment its late first element arrives.
+func ExampleEngine_Process() {
+	q := oostream.MustCompile("PATTERN SEQ(A a, B b) WITHIN 100", nil)
+	en := oostream.MustNewEngine(q, oostream.Config{
+		Strategy: oostream.StrategyNative,
+		K:        50,
+	})
+	// B arrives first even though A precedes it in event time.
+	fmt.Println("after B:", len(en.Process(oostream.Event{Type: "B", TS: 20, Seq: 2})))
+	matches := en.Process(oostream.Event{Type: "A", TS: 10, Seq: 1})
+	fmt.Println("after late A:", len(matches))
+	fmt.Println("match key:", matches[0].Key())
+	// Output:
+	// after B: 0
+	// after late A: 1
+	// match key: 1|2
+}
+
+// ExampleEngine_Advance shows heartbeats sealing negation output through
+// stream silence.
+func ExampleEngine_Advance() {
+	q := oostream.MustCompile("PATTERN SEQ(A a, !(N n), B b) WITHIN 100", nil)
+	en := oostream.MustNewEngine(q, oostream.Config{K: 50})
+	en.Process(oostream.Event{Type: "A", TS: 10, Seq: 1})
+	pending := en.Process(oostream.Event{Type: "B", TS: 30, Seq: 2})
+	fmt.Println("on completion:", len(pending))
+	sealed := en.Advance(80) // safe clock 30 reaches the gap's end
+	fmt.Println("after heartbeat:", len(sealed))
+	// Output:
+	// on completion: 0
+	// after heartbeat: 1
+}
+
+// ExampleConfig shows the strategy trade-off on one disordered stream.
+func ExampleConfig() {
+	q := oostream.MustCompile("PATTERN SEQ(A a, B b) WITHIN 100", nil)
+	stream := []oostream.Event{
+		{Type: "B", TS: 20, Seq: 2}, // out of order
+		{Type: "A", TS: 10, Seq: 1},
+		{Type: "A", TS: 200, Seq: 3},
+		{Type: "B", TS: 210, Seq: 4},
+	}
+	for _, strat := range []oostream.Strategy{oostream.StrategyInOrder, oostream.StrategyNative} {
+		en := oostream.MustNewEngine(q, oostream.Config{Strategy: strat, K: 50})
+		fmt.Printf("%s: %d matches\n", strat, len(en.ProcessAll(stream)))
+	}
+	// Output:
+	// inorder: 1 matches
+	// native: 2 matches
+}

@@ -1,0 +1,66 @@
+// Quickstart: compile a pattern query, feed a small out-of-order stream by
+// hand, and watch the native engine emit the match the moment the late
+// event arrives — no reorder buffer, no added latency for in-order data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oostream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A temperature spike pattern: a LOW reading followed by a HIGH
+	// reading of the same sensor within 10 seconds.
+	query, err := oostream.Compile(`
+		PATTERN SEQ(LOW l, HIGH h)
+		WHERE   l.sensor = h.sensor
+		WITHIN  10s
+		RETURN  l.sensor AS sensor, h.temp AS peak`, nil)
+	if err != nil {
+		return err
+	}
+
+	// The native strategy handles disorder up to K = 5s natively.
+	engine, err := oostream.NewEngine(query, oostream.Config{
+		Strategy: oostream.StrategyNative,
+		K:        5_000,
+	})
+	if err != nil {
+		return err
+	}
+
+	stream := []oostream.Event{
+		// The HIGH reading arrives BEFORE the LOW one that precedes it in
+		// event time — network delay on the LOW reading's path.
+		oostream.NewEvent("HIGH", 4_000, oostream.Attrs{
+			"sensor": oostream.Int(7), "temp": oostream.Float(98.5),
+		}),
+		oostream.NewEvent("LOW", 1_000, oostream.Attrs{
+			"sensor": oostream.Int(7), "temp": oostream.Float(41.0),
+		}),
+		oostream.NewEvent("LOW", 6_000, oostream.Attrs{
+			"sensor": oostream.Int(3), "temp": oostream.Float(40.0),
+		}),
+	}
+
+	for i, e := range stream {
+		matches := engine.Process(e)
+		fmt.Printf("event %d: %v\n", i+1, e)
+		for _, m := range matches {
+			fmt.Printf("  MATCH %v fields=%v\n", m, m.Fields)
+		}
+	}
+	for _, m := range engine.Flush() {
+		fmt.Printf("flush: MATCH %v\n", m)
+	}
+	fmt.Printf("metrics: %v\n", engine.Metrics())
+	return nil
+}

@@ -1,0 +1,72 @@
+// Stock rebound detection with speculative output. Consolidated market
+// feeds interleave exchanges with different latencies, so ticks arrive out
+// of order. The query spots V-shaped rebounds per symbol:
+//
+//	SEQ(TRADE a, TRADE b, TRADE c) same symbol, b below a, c above b.
+//
+// Trading logic wants signals *now*, not after a K-slack delay — the
+// speculative engine emits immediately and retracts the (rare) signals a
+// late tick invalidates; the example compares it against the conservative
+// levee on signal latency and shows the retraction stream a consumer must
+// handle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oostream"
+	"oostream/internal/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	query, err := oostream.Compile(`
+		PATTERN SEQ(TRADE a, TRADE b, TRADE c)
+		WHERE a.sym = b.sym AND b.sym = c.sym
+		  AND b.price < a.price AND c.price > b.price
+		WITHIN 200
+		RETURN a.sym AS sym, b.price AS dip`, nil)
+	if err != nil {
+		return err
+	}
+
+	const k = 300
+	sorted := gen.Stock(gen.DefaultStock(3_000, 5))
+	stream := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.2, MaxDelay: k, Seed: 6})
+	fmt.Printf("ticks: %d, %.1f%% out of order\n\n", len(stream), 100*gen.OOORatio(stream))
+
+	for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative, oostream.StrategySpeculate} {
+		en, err := oostream.NewEngine(query, oostream.Config{Strategy: strat, K: k})
+		if err != nil {
+			return err
+		}
+		signals := en.ProcessAll(stream)
+		inserts, retracts := 0, 0
+		for _, m := range signals {
+			if m.Kind == oostream.Retract {
+				retracts++
+			} else {
+				inserts++
+			}
+		}
+		m := en.Metrics()
+		fmt.Printf("%-10s signals=%-6d retractions=%-4d latency mean=%.1fms p99=%dms\n",
+			strat, inserts, retracts, m.LogicalLat.Mean(), m.LogicalLat.Quantile(0.99))
+	}
+
+	// All three converge to the same signal set.
+	base := oostream.MustNewEngine(query, oostream.Config{Strategy: oostream.StrategyKSlack, K: k}).ProcessAll(stream)
+	spec := oostream.MustNewEngine(query, oostream.Config{Strategy: oostream.StrategySpeculate, K: k}).ProcessAll(stream)
+	if ok, _ := oostream.SameResults(base, spec); ok {
+		fmt.Println("\nspeculative stream converged to the conservative result set ✓")
+	} else {
+		fmt.Println("\nWARNING: speculative stream did not converge")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module oostream
+
+go 1.22

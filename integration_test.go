@@ -1,0 +1,190 @@
+package oostream_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"oostream"
+	"oostream/internal/engine"
+	"oostream/internal/gen"
+	"oostream/internal/oracle"
+	"oostream/internal/plan"
+	"oostream/internal/runtime"
+	"oostream/internal/trace"
+)
+
+// integrationCase pairs a workload with the queries the examples and
+// benchmarks run over it.
+type integrationCase struct {
+	name    string
+	queries []string
+	sorted  []oostream.Event
+	k       oostream.Time
+}
+
+func integrationCases() []integrationCase {
+	return []integrationCase{
+		{
+			name: "rfid",
+			queries: []string{
+				"PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN 6s",
+				"PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e) WHERE s.id = e.id AND s.id = c.id WITHIN 6s",
+			},
+			sorted: gen.RFID(gen.DefaultRFID(150, 101)),
+			k:      2_000,
+		},
+		{
+			name: "intrusion",
+			queries: []string{
+				"PATTERN SEQ(SCAN a, LOGIN l, EXFIL x) WHERE a.src = l.src AND l.src = x.src WITHIN 5s",
+				"PATTERN SEQ(SCAN a, !(LOGIN l), EXFIL x) WHERE a.src = x.src AND a.src = l.src WITHIN 3s",
+			},
+			sorted: gen.Intrusion(gen.DefaultIntrusion(60, 102)),
+			k:      1_500,
+		},
+		{
+			name: "stock",
+			queries: []string{
+				"PATTERN SEQ(TRADE a, TRADE b, TRADE c) WHERE a.sym = b.sym AND b.sym = c.sym AND b.price < a.price AND c.price > b.price WITHIN 150",
+			},
+			sorted: gen.Stock(gen.DefaultStock(600, 103)),
+			k:      300,
+		},
+	}
+}
+
+// TestWorkloadStrategyMatrix is the end-to-end equivalence matrix: for
+// every workload and query, every exact strategy on the disordered stream
+// reproduces the in-order engine's results on the sorted stream, which in
+// turn match the brute-force oracle.
+func TestWorkloadStrategyMatrix(t *testing.T) {
+	for _, tc := range integrationCases() {
+		shuffled := gen.Shuffle(tc.sorted, gen.Disorder{Ratio: 0.25, MaxDelay: tc.k, Seed: 7})
+		for qi, src := range tc.queries {
+			t.Run(fmt.Sprintf("%s/q%d", tc.name, qi), func(t *testing.T) {
+				q := oostream.MustCompile(src, nil)
+				truth := oostream.MustNewEngine(q, oostream.Config{Strategy: oostream.StrategyInOrder}).
+					ProcessAll(tc.sorted)
+
+				// Cross-check the in-order engine against the oracle.
+				p, err := plan.ParseAndCompile(src, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracleMatches := oracle.Matches(p, tc.sorted)
+				if ok, diff := oostream.SameResults(truth, oracleMatches); !ok {
+					t.Fatalf("in-order engine vs oracle:\n%s", diff)
+				}
+
+				for _, strat := range []oostream.Strategy{
+					oostream.StrategyKSlack, oostream.StrategyNative, oostream.StrategySpeculate,
+				} {
+					got := oostream.MustNewEngine(q, oostream.Config{Strategy: strat, K: tc.k}).
+						ProcessAll(shuffled)
+					if ok, diff := oostream.SameResults(truth, got); !ok {
+						t.Errorf("%s under disorder (%d truth matches):\n%s", strat, len(truth), diff)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceRoundTripThroughEngine writes a disordered workload to the
+// JSONL format and replays it: the engine must produce identical results
+// from the replayed bytes.
+func TestTraceRoundTripThroughEngine(t *testing.T) {
+	tc := integrationCases()[0]
+	shuffled := gen.Shuffle(tc.sorted, gen.Disorder{Ratio: 0.25, MaxDelay: tc.k, Seed: 9})
+	q := oostream.MustCompile(tc.queries[1], nil)
+	want := oostream.MustNewEngine(q, oostream.Config{K: tc.k}).ProcessAll(shuffled)
+
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if err := w.WriteAll(shuffled); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := trace.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := oostream.MustNewEngine(q, oostream.Config{K: tc.k}).ProcessAll(replayed)
+	if ok, diff := oostream.SameResults(want, got); !ok {
+		t.Fatalf("replay differs:\n%s", diff)
+	}
+}
+
+// TestFanoutAllStrategies runs all four strategies concurrently over one
+// disordered stream through the fan-out runtime and checks each against
+// its sequential run.
+func TestFanoutAllStrategies(t *testing.T) {
+	tc := integrationCases()[0]
+	shuffled := gen.Shuffle(tc.sorted, gen.Disorder{Ratio: 0.25, MaxDelay: tc.k, Seed: 11})
+	q := oostream.MustCompile(tc.queries[1], nil)
+
+	sequential := map[string][]oostream.Match{}
+	var engines []engine.Engine
+	for _, strat := range oostream.Strategies() {
+		cfg := oostream.Config{Strategy: strat, K: tc.k}
+		sequential[string(strat)] = oostream.MustNewEngine(q, cfg).ProcessAll(shuffled)
+		engines = append(engines, newInnerEngine(t, q, cfg))
+	}
+
+	f := runtime.NewFanout(engines...)
+	in := make(chan oostream.Event)
+	out := make(chan runtime.Tagged, 1)
+	ctx := context.Background()
+	go func() { _ = runtime.FeedSlice(ctx, shuffled, in) }()
+	byEngine := map[string][]oostream.Match{}
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.Run(ctx, in, out) }()
+	for tg := range out {
+		byEngine[tg.Engine] = append(byEngine[tg.Engine], tg.Match)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range sequential {
+		if ok, diff := oostream.SameResults(want, byEngine[name]); !ok {
+			t.Errorf("%s via fanout differs:\n%s", name, diff)
+		}
+	}
+}
+
+// newInnerEngine builds a raw engine.Engine for the runtime fan-out (the
+// facade Engine wraps one; the fan-out wants the interface directly).
+func newInnerEngine(t *testing.T, q *oostream.Query, cfg oostream.Config) engine.Engine {
+	t.Helper()
+	return facadeAdapter{oostream.MustNewEngine(q, cfg)}
+}
+
+// facadeAdapter exposes a facade Engine as an engine.Engine.
+type facadeAdapter struct {
+	en *oostream.Engine
+}
+
+func (a facadeAdapter) Name() string                              { return a.en.Strategy() }
+func (a facadeAdapter) Process(e oostream.Event) []oostream.Match { return a.en.Process(e) }
+func (a facadeAdapter) Flush() []oostream.Match                   { return a.en.Flush() }
+func (a facadeAdapter) Metrics() oostream.Metrics                 { return a.en.Metrics() }
+func (a facadeAdapter) StateSize() int                            { return a.en.StateSize() }
+
+// TestLateDropAccounting checks that when the true disorder exceeds the
+// configured K, the native engine reports the violations rather than
+// silently mis-answering.
+func TestLateDropAccounting(t *testing.T) {
+	tc := integrationCases()[0]
+	// Disorder up to 2000ms but K configured at 200ms.
+	shuffled := gen.Shuffle(tc.sorted, gen.Disorder{Ratio: 0.3, MaxDelay: 2_000, Seed: 13})
+	q := oostream.MustCompile(tc.queries[0], nil)
+	en := oostream.MustNewEngine(q, oostream.Config{K: 200})
+	en.ProcessAll(shuffled)
+	if en.Metrics().EventsLate == 0 {
+		t.Fatal("under-configured K must surface late events")
+	}
+}

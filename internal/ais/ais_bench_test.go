@@ -1,0 +1,56 @@
+package ais
+
+import (
+	"math/rand"
+	"testing"
+
+	"oostream/internal/event"
+)
+
+// BenchmarkAppendInOrder measures the classic in-order push path: sorted
+// insertion degenerates to an append plus a constant-time RIP lookup.
+func BenchmarkAppendInOrder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := New(3)
+		b.StartTimer()
+		for ts := event.Time(0); ts < 1000; ts++ {
+			a.Insert(int(ts)%3, event.Event{TS: ts, Seq: event.Seq(ts + 1)})
+		}
+	}
+}
+
+// BenchmarkInsertOutOfOrder measures the paper's insertion path: binary
+// search placement plus RIP fix-up of the successor run.
+func BenchmarkInsertOutOfOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tss := make([]event.Time, 1000)
+	for i := range tss {
+		tss[i] = event.Time(rng.Intn(10_000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := New(3)
+		b.StartTimer()
+		for j, ts := range tss {
+			a.Insert(j%3, event.Event{TS: ts, Seq: event.Seq(j + 1)})
+		}
+	}
+}
+
+// BenchmarkPurge measures prefix purging across stacks.
+func BenchmarkPurge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := New(2)
+		for ts := event.Time(0); ts < 2000; ts++ {
+			a.Insert(int(ts)%2, event.Event{TS: ts, Seq: event.Seq(ts + 1)})
+		}
+		b.StartTimer()
+		a.PurgeBefore(func(int) event.Time { return 1000 })
+	}
+}

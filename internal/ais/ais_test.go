@@ -1,0 +1,271 @@
+package ais
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oostream/internal/event"
+)
+
+var seqCounter event.Seq
+
+func ev(ts event.Time) event.Event {
+	seqCounter++
+	return event.Event{Type: "T", TS: ts, Seq: seqCounter}
+}
+
+func TestStackInsertKeepsOrder(t *testing.T) {
+	a := New(1)
+	for _, ts := range []event.Time{5, 1, 9, 3, 7, 3} {
+		a.Insert(0, ev(ts))
+	}
+	s := a.Stack(0)
+	if !s.IsSorted() {
+		t.Fatalf("stack not sorted: %s", s)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.At(0).Event.TS != 1 || s.Top().Event.TS != 9 {
+		t.Errorf("bounds wrong: %s", s)
+	}
+}
+
+func TestStackTiesOrderedBySeq(t *testing.T) {
+	a := New(1)
+	e1, e2 := ev(5), ev(5)
+	a.Insert(0, e2) // later seq inserted first
+	a.Insert(0, e1)
+	s := a.Stack(0)
+	if s.At(0).Event.Seq != e1.Seq || s.At(1).Event.Seq != e2.Seq {
+		t.Errorf("ties not ordered by seq: %v, %v", s.At(0).Event, s.At(1).Event)
+	}
+}
+
+func TestSearchHelpers(t *testing.T) {
+	a := New(1)
+	for _, ts := range []event.Time{10, 20, 20, 30} {
+		a.Insert(0, ev(ts))
+	}
+	s := a.Stack(0)
+	tests := []struct {
+		ts                event.Time
+		upper, firstAfter int
+	}{
+		{5, 0, 0},
+		{10, 0, 1},
+		{15, 1, 1},
+		{20, 1, 3},
+		{25, 3, 3},
+		{30, 3, 4},
+		{35, 4, 4},
+	}
+	for _, tt := range tests {
+		if got := s.UpperBound(tt.ts); got != tt.upper {
+			t.Errorf("UpperBound(%d) = %d, want %d", tt.ts, got, tt.upper)
+		}
+		if got := s.FirstAfter(tt.ts); got != tt.firstAfter {
+			t.Errorf("FirstAfter(%d) = %d, want %d", tt.ts, got, tt.firstAfter)
+		}
+	}
+	if got := s.LatestBefore(20); got == nil || got.Event.TS != 10 {
+		t.Errorf("LatestBefore(20) = %v", got)
+	}
+	if got := s.LatestBefore(10); got != nil {
+		t.Errorf("LatestBefore(10) = %v, want nil", got)
+	}
+	if got := s.LatestBefore(100); got == nil || got.Event.TS != 30 {
+		t.Errorf("LatestBefore(100) = %v", got)
+	}
+}
+
+func TestRIPInOrder(t *testing.T) {
+	// Classic SASE: in-order arrivals; RIP = top of previous stack.
+	a := New(3)
+	a.Insert(0, ev(1))      // A@1
+	a.Insert(0, ev(2))      // A@2
+	b := a.Insert(1, ev(3)) // B@3 -> RIP A@2
+	if b.RIP == nil || b.RIP.Event.TS != 2 {
+		t.Fatalf("B RIP = %v", ripTS(b))
+	}
+	a.Insert(0, ev(4)) // A@4
+	c := a.Insert(2, ev(5))
+	if c.RIP == nil || c.RIP.Event.TS != 3 {
+		t.Fatalf("C RIP = %v", ripTS(c))
+	}
+	if err := a.CheckRIPInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIPNoViablePredecessor(t *testing.T) {
+	a := New(2)
+	b := a.Insert(1, ev(5)) // B before any A
+	if b.RIP != nil {
+		t.Fatalf("RIP should be nil, got %v", ripTS(b))
+	}
+	// A at the same timestamp is not viable (strict <).
+	a.Insert(0, ev(5))
+	if b.RIP != nil {
+		t.Fatalf("same-ts A must not become RIP, got %v", ripTS(b))
+	}
+	// An earlier A is.
+	a.Insert(0, ev(3))
+	if b.RIP == nil || b.RIP.Event.TS != 3 {
+		t.Fatalf("late-arriving earlier A should become RIP, got %v", ripTS(b))
+	}
+}
+
+func TestRIPFixupOnOutOfOrderInsert(t *testing.T) {
+	a := New(2)
+	a.Insert(0, ev(1)) // A@1
+	b1 := a.Insert(1, ev(4))
+	b2 := a.Insert(1, ev(8))
+	if b1.RIP.Event.TS != 1 || b2.RIP.Event.TS != 1 {
+		t.Fatal("setup RIPs wrong")
+	}
+	// Late A@6: must become RIP of B@8 but not B@4.
+	a.Insert(0, ev(6))
+	if b1.RIP.Event.TS != 1 {
+		t.Errorf("B@4 RIP = %v, want 1", ripTS(b1))
+	}
+	if b2.RIP.Event.TS != 6 {
+		t.Errorf("B@8 RIP = %v, want 6", ripTS(b2))
+	}
+	// Late A@2: RIP of B@4 updates; B@8 keeps A@6.
+	a.Insert(0, ev(2))
+	if b1.RIP.Event.TS != 2 {
+		t.Errorf("B@4 RIP = %v, want 2", ripTS(b1))
+	}
+	if b2.RIP.Event.TS != 6 {
+		t.Errorf("B@8 RIP = %v, want 6", ripTS(b2))
+	}
+	if err := a.CheckRIPInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixupRunIsContiguousAndStops(t *testing.T) {
+	a := New(2)
+	a.Insert(0, ev(5)) // A@5
+	bs := []*Instance{
+		a.Insert(1, ev(2)),  // B@2, RIP nil
+		a.Insert(1, ev(4)),  // B@4, RIP nil
+		a.Insert(1, ev(6)),  // B@6, RIP A@5
+		a.Insert(1, ev(10)), // B@10, RIP A@5
+	}
+	// Late A@3: becomes RIP of B@4 only; B@6, B@10 keep A@5.
+	a.Insert(0, ev(3))
+	wantTS := []any{nil, event.Time(3), event.Time(5), event.Time(5)}
+	for i, b := range bs {
+		got := ripTS(b)
+		if (got == nil) != (wantTS[i] == nil) || (got != nil && got != wantTS[i]) {
+			t.Errorf("B[%d] RIP = %v, want %v", i, got, wantTS[i])
+		}
+	}
+	if err := a.CheckRIPInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPurgeBefore(t *testing.T) {
+	a := New(2)
+	for _, ts := range []event.Time{1, 3, 5, 7} {
+		a.Insert(0, ev(ts))
+	}
+	for _, ts := range []event.Time{2, 6} {
+		a.Insert(1, ev(ts))
+	}
+	n := a.PurgeBefore(func(pos int) event.Time {
+		if pos == 0 {
+			return 4
+		}
+		return 3
+	})
+	if n != 3 {
+		t.Fatalf("purged = %d, want 3", n)
+	}
+	if a.Stack(0).Len() != 2 || a.Stack(0).At(0).Event.TS != 5 {
+		t.Errorf("stack0 after purge: %s", a.Stack(0))
+	}
+	if a.Stack(1).Len() != 1 || a.Stack(1).At(0).Event.TS != 6 {
+		t.Errorf("stack1 after purge: %s", a.Stack(1))
+	}
+	if a.Size() != 3 {
+		t.Errorf("Size() = %d", a.Size())
+	}
+	// Purging nothing is a no-op.
+	if got := a.Stack(0).PurgeBefore(0); got != 0 {
+		t.Errorf("empty purge removed %d", got)
+	}
+}
+
+func TestRIPInvariantProperty(t *testing.T) {
+	// Random interleavings of inserts across 3 stacks must keep stacks
+	// sorted and every live RIP exact (no purging here, so no stale RIPs).
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3)
+		for i := 0; i < int(nOps%64)+1; i++ {
+			pos := rng.Intn(3)
+			ts := event.Time(rng.Intn(50))
+			a.Insert(pos, ev(ts))
+		}
+		for i := 0; i < 3; i++ {
+			if !a.Stack(i).IsSorted() {
+				return false
+			}
+		}
+		// Strengthen CheckRIPInvariant: with no purging, nil-want means
+		// RIP must be nil.
+		for pos := 1; pos < 3; pos++ {
+			prev := a.Stack(pos - 1)
+			for i := 0; i < a.Stack(pos).Len(); i++ {
+				x := a.Stack(pos).At(i)
+				want := prev.LatestBefore(x.Event.TS)
+				if want == nil && x.RIP != nil {
+					return false
+				}
+			}
+		}
+		return a.CheckRIPInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPurgePropertyKeepsSuffix(t *testing.T) {
+	f := func(seed int64, horizon uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(1)
+		total := 40
+		for i := 0; i < total; i++ {
+			a.Insert(0, ev(event.Time(rng.Intn(100))))
+		}
+		h := event.Time(horizon % 100)
+		before := a.Stack(0).UpperBound(h)
+		purged := a.Stack(0).PurgeBefore(h)
+		if purged != before {
+			return false
+		}
+		s := a.Stack(0)
+		if s.Len() != total-purged || !s.IsSorted() {
+			return false
+		}
+		return s.Len() == 0 || s.At(0).Event.TS >= h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackString(t *testing.T) {
+	a := New(1)
+	a.Insert(0, ev(1))
+	a.Insert(0, ev(2))
+	if got := a.Stack(0).String(); got != "[1 2]" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"oostream"
+)
+
+func TestAllExperimentsRunAtSmokeScale(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tbl := exp.Run(Smoke)
+			if tbl.ID != exp.ID {
+				t.Errorf("table ID = %q, want %q", tbl.ID, exp.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), exp.ID) {
+				t.Error("render missing experiment ID")
+			}
+			buf.Reset()
+			if err := tbl.RenderCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if lines := strings.Count(buf.String(), "\n"); lines != len(tbl.Rows)+2 {
+				t.Errorf("CSV lines = %d, want %d", lines, len(tbl.Rows)+2)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+// cell finds the value at (rowMatch, col) in a table.
+func cell(t *testing.T, tbl *Table, match func(row []string) bool, col string) string {
+	t.Helper()
+	colIdx := -1
+	for i, c := range tbl.Columns {
+		if c == col {
+			colIdx = i
+		}
+	}
+	if colIdx < 0 {
+		t.Fatalf("column %q not found in %v", col, tbl.Columns)
+	}
+	for _, row := range tbl.Rows {
+		if match(row) {
+			return row[colIdx]
+		}
+	}
+	t.Fatalf("no row matched in %s", tbl.ID)
+	return ""
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestE1Shape checks the headline claim: exact strategies stay exact under
+// disorder while the naive engine degrades.
+func TestE1Shape(t *testing.T) {
+	tbl := E1Correctness(Smoke)
+	at := func(ratio, strat string) (p, r float64) {
+		match := func(row []string) bool { return row[0] == ratio && row[1] == strat }
+		return parseF(t, cell(t, tbl, match, "precision")), parseF(t, cell(t, tbl, match, "recall"))
+	}
+	for _, strat := range []string{"kslack", "native", "speculate"} {
+		p, r := at("20%", strat)
+		if p < 0.9999 || r < 0.9999 {
+			t.Errorf("%s at 20%% disorder: precision=%.3f recall=%.3f, want exact", strat, p, r)
+		}
+	}
+	_, naiveRecall := at("20%", "inorder")
+	if naiveRecall > 0.99 {
+		t.Errorf("inorder recall at 20%% disorder = %.3f; expected visible degradation", naiveRecall)
+	}
+	// At zero disorder everyone is exact.
+	for _, strat := range []string{"inorder", "kslack", "native", "speculate"} {
+		p, r := at("0%", strat)
+		if p < 0.9999 || r < 0.9999 {
+			t.Errorf("%s at 0%%: precision=%.3f recall=%.3f", strat, p, r)
+		}
+	}
+}
+
+// TestE8Shape checks the latency claim: the levee pays ~K, native does not.
+func TestE8Shape(t *testing.T) {
+	tbl := E8Latency(Smoke)
+	match := func(k, strat string) func([]string) bool {
+		return func(row []string) bool { return row[0] == k && row[1] == strat }
+	}
+	kslackMean := parseF(t, cell(t, tbl, match("10000", "kslack"), "lat_mean(ms)"))
+	nativeMean := parseF(t, cell(t, tbl, match("10000", "native"), "lat_mean(ms)"))
+	if kslackMean < 5_000 {
+		t.Errorf("kslack mean latency at K=10000 is %.1f, expected ~K", kslackMean)
+	}
+	if nativeMean > kslackMean/4 {
+		t.Errorf("native mean latency %.1f not clearly below kslack %.1f", nativeMean, kslackMean)
+	}
+}
+
+// TestE6Shape checks that disabling purge blows up state.
+func TestE6Shape(t *testing.T) {
+	tbl := E6PurgeAblation(Smoke)
+	never := parseF(t, cell(t, tbl, func(r []string) bool { return r[0] == "never" }, "peak_state"))
+	eager := parseF(t, cell(t, tbl, func(r []string) bool { return r[0] == "1" }, "peak_state"))
+	if never < 5*eager {
+		t.Errorf("purge ablation: never=%v eager=%v, expected blow-up", never, eager)
+	}
+}
+
+// TestE11Shape checks that retractions appear under disorder and converge.
+func TestE11Shape(t *testing.T) {
+	tbl := E11Speculation(Smoke)
+	at := func(ratio, col string) float64 {
+		return parseF(t, cell(t, tbl, func(r []string) bool { return r[0] == ratio }, col))
+	}
+	if at("0%", "retracts") != 0 {
+		t.Error("no disorder should mean no retractions")
+	}
+	if at("40%", "retracts") == 0 {
+		t.Error("heavy disorder should force retractions")
+	}
+	if at("40%", "precision") < 0.9999 || at("40%", "recall") < 0.9999 {
+		t.Error("converged speculative output must be exact")
+	}
+}
+
+// TestE4Shape checks the memory claim: kslack buffer grows with K and
+// dominates native at large K.
+func TestE4Shape(t *testing.T) {
+	tbl := E4MemoryVsK(Smoke)
+	at := func(k, strat string) float64 {
+		return parseF(t, cell(t, tbl, func(r []string) bool { return r[0] == k && r[1] == strat }, "peak_state"))
+	}
+	if at("10000", "kslack") <= at("100", "kslack") {
+		t.Error("kslack peak state should grow with K")
+	}
+	if at("10000", "kslack") <= at("10000", "native") {
+		t.Error("at large K the reorder buffer should dominate native state")
+	}
+}
+
+// Sanity: the Result helper computes throughput from elapsed time.
+func TestResultThroughput(t *testing.T) {
+	r := Result{Events: 1000}
+	if r.Throughput() != 0 {
+		t.Error("zero elapsed should give zero throughput")
+	}
+	q := oostream.MustCompile("PATTERN SEQ(A a) WITHIN 10", nil)
+	events := []oostream.Event{{Type: "A", TS: 1, Seq: 1}}
+	res := runOne(q, oostream.Config{K: 1}, events)
+	if res.Throughput() <= 0 || res.Events != 1 {
+		t.Errorf("runOne: %+v", res)
+	}
+}

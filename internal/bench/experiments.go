@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"oostream"
+	"oostream/internal/gen"
+	"oostream/internal/netsim"
+)
+
+// oooRatios is the disorder sweep used by several experiments.
+var oooRatios = []float64{0, 0.01, 0.05, 0.10, 0.20, 0.40}
+
+// E1Correctness reproduces the paper's problem analysis as a table: the
+// result quality of each strategy on increasingly disordered input, scored
+// against the exact result set (the in-order engine on the sorted stream).
+// Expected shape: inorder loses recall as disorder grows; kslack, native,
+// and (after convergence) speculate stay at 1.000/1.000.
+func E1Correctness(s Scale) *Table {
+	q := negQuery()
+	sorted := rfidSorted(s, 1)
+	truth := runOne(q, oostream.Config{Strategy: oostream.StrategyInOrder}, sorted)
+
+	t := &Table{
+		ID:      "E1",
+		Title:   "Result correctness vs. disorder ratio",
+		Anchor:  "paper §problem analysis: missed and premature output of in-order SSC",
+		Columns: []string{"ooo%", "strategy", "matches", "precision", "recall"},
+	}
+	for _, ratio := range oooRatios {
+		shuffled := disorder(sorted, ratio, defaultK, 2)
+		for _, strat := range oostream.Strategies() {
+			r := runOne(q, oostream.Config{Strategy: strat, K: defaultK}, shuffled)
+			p, rec := precisionRecall(truth.Matches, r.Matches)
+			t.AddRow(fmtPct(ratio), string(strat), fmtInt(len(keyCounts(r.Matches))), fmtF3(p), fmtF3(rec))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected: inorder degrades with disorder; kslack/native/speculate stay exact",
+	)
+	return t
+}
+
+// E2ThroughputVsDisorder measures CPU cost (as events/second) of each
+// strategy across the disorder sweep. Expected shape: native tracks kslack
+// within a small factor and degrades gracefully with disorder; inorder is
+// fastest but wrong (see E1).
+func E2ThroughputVsDisorder(s Scale) *Table {
+	q := seqQuery()
+	sorted := rfidSorted(s, 3)
+	t := &Table{
+		ID:      "E2",
+		Title:   "Throughput vs. disorder ratio",
+		Anchor:  "paper §experiments: CPU cost as out-of-order percentage grows",
+		Columns: []string{"ooo%", "strategy", "kev/s", "matches"},
+	}
+	for _, ratio := range oooRatios {
+		shuffled := disorder(sorted, ratio, defaultK, 4)
+		for _, strat := range []oostream.Strategy{oostream.StrategyInOrder, oostream.StrategyKSlack, oostream.StrategyNative} {
+			r := runOne(q, oostream.Config{Strategy: strat, K: defaultK}, shuffled)
+			t.AddRow(fmtPct(ratio), string(strat), fmtKevS(r.Throughput()), fmtInt(len(r.Matches)))
+		}
+	}
+	return t
+}
+
+// E3ThroughputVsK measures CPU cost against the slack bound K at fixed
+// disorder. Expected shape: kslack's cost grows with K (bigger buffer, more
+// heap churn); native is largely insensitive to K for CPU.
+func E3ThroughputVsK(s Scale) *Table {
+	q := seqQuery()
+	sorted := rfidSorted(s, 5)
+	t := &Table{
+		ID:      "E3",
+		Title:   "Throughput vs. slack bound K",
+		Anchor:  "paper §experiments: CPU cost vs. K-slack parameter",
+		Columns: []string{"K(ms)", "strategy", "kev/s"},
+	}
+	for _, k := range []oostream.Time{100, 500, 1_000, 5_000, 10_000} {
+		shuffled := disorder(sorted, 0.10, k, 6)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative} {
+			r := runOne(q, oostream.Config{Strategy: strat, K: k}, shuffled)
+			t.AddRow(fmtInt(int(k)), string(strat), fmtKevS(r.Throughput()))
+		}
+	}
+	return t
+}
+
+// E4MemoryVsK measures peak state (buffered events + stack instances)
+// against K. Expected shape: kslack's buffer grows linearly with K; the
+// native engine holds only pattern-relevant instances within window+K.
+func E4MemoryVsK(s Scale) *Table {
+	q := seqQuery()
+	sorted := rfidSorted(s, 7)
+	t := &Table{
+		ID:      "E4",
+		Title:   "Peak state vs. slack bound K",
+		Anchor:  "paper §experiments: memory consumption vs. K",
+		Columns: []string{"K(ms)", "strategy", "peak_state", "purged"},
+	}
+	for _, k := range []oostream.Time{100, 500, 1_000, 5_000, 10_000} {
+		shuffled := disorder(sorted, 0.10, k, 8)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative} {
+			r := runOne(q, oostream.Config{Strategy: strat, K: k}, shuffled)
+			t.AddRow(fmtInt(int(k)), string(strat), fmtInt(r.Metrics.PeakState), fmtU64(r.Metrics.Purged))
+		}
+	}
+	t.Notes = append(t.Notes, "expected: kslack peak grows ~linearly in K; native stays near rate*(W+K) of relevant types only")
+	return t
+}
+
+// E5Window measures the native engine's cost and state across window
+// sizes. Expected shape: both CPU and memory grow with the window (more
+// live instances, larger enumeration ranges).
+func E5Window(s Scale) *Table {
+	sorted := rfidSorted(s, 9)
+	shuffled := disorder(sorted, 0.10, defaultK, 10)
+	t := &Table{
+		ID:      "E5",
+		Title:   "Native cost vs. window size",
+		Anchor:  "paper §experiments: window parameter sweep",
+		Columns: []string{"window(ms)", "kev/s", "peak_state", "matches"},
+	}
+	for _, w := range []int{1_000, 5_000, 10_000, 50_000, 100_000} {
+		q := oostream.MustCompile(fmt.Sprintf(
+			"PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN %d", w),
+			gen.RFIDSchema())
+		r := runOne(q, oostream.Config{Strategy: oostream.StrategyNative, K: defaultK}, shuffled)
+		t.AddRow(fmtInt(w), fmtKevS(r.Throughput()), fmtInt(r.Metrics.PeakState), fmtInt(len(r.Matches)))
+	}
+	return t
+}
+
+// E6PurgeAblation quantifies the purge algorithms: peak state and
+// throughput with purging on (several cadences) and off. Expected shape:
+// without purge, state grows with stream length; with purge it plateaus.
+func E6PurgeAblation(s Scale) *Table {
+	q := seqQuery()
+	sorted := rfidSorted(s, 11)
+	shuffled := disorder(sorted, 0.10, defaultK, 12)
+	t := &Table{
+		ID:      "E6",
+		Title:   "State purging ablation (native)",
+		Anchor:  "paper §state purging: minimizing memory consumption",
+		Columns: []string{"purge_every", "kev/s", "peak_state", "purged"},
+	}
+	for _, pe := range []int{1, 16, 64, 256, -1} {
+		label := fmtInt(pe)
+		if pe < 0 {
+			label = "never"
+		}
+		r := runOne(q, oostream.Config{Strategy: oostream.StrategyNative, K: defaultK, PurgeEvery: pe}, shuffled)
+		t.AddRow(label, fmtKevS(r.Throughput()), fmtInt(r.Metrics.PeakState), fmtU64(r.Metrics.Purged))
+	}
+	t.Notes = append(t.Notes, "expected: peak_state explodes with purging disabled; cadence trades CPU for memory slack")
+	return t
+}
+
+// E7OptAblation quantifies the sequence-scan optimization: triggering
+// construction probes only for genuinely out-of-order insertions. A probe
+// at an in-order mid-pattern insertion uselessly enumerates all
+// earlier-position combinations, so the waste grows with pattern length;
+// the experiment uses a four-step pattern to expose it. Expected shape:
+// the optimized engine wins most at low disorder, where nearly every probe
+// would be wasted.
+func E7OptAblation(s Scale) *Table {
+	q := oostream.MustCompile(
+		"PATTERN SEQ(T1 v1, T2 v2, T3 v3, T4 v4) WHERE v1.id = v4.id WITHIN 400", nil)
+	sorted := gen.Uniform(s.uniformN(), []string{"T1", "T2", "T3", "T4"}, 4, 10, 13)
+	t := &Table{
+		ID:      "E7",
+		Title:   "Sequence-scan optimization ablation (native)",
+		Anchor:  "paper §optimizations for sequence scan and construction",
+		Columns: []string{"ooo%", "variant", "kev/s", "probes", "empty_probes"},
+	}
+	for _, ratio := range oooRatios {
+		shuffled := disorder(sorted, ratio, 200, 14)
+		opt := runOne(q, oostream.Config{Strategy: oostream.StrategyNative, K: 200}, shuffled)
+		noopt := runOne(q, oostream.Config{Strategy: oostream.StrategyNative, K: 200, DisableTriggerOpt: true}, shuffled)
+		t.AddRow(fmtPct(ratio), "optimized", fmtKevS(opt.Throughput()),
+			fmtU64(opt.Metrics.Probes), fmtU64(opt.Metrics.EmptyProbes))
+		t.AddRow(fmtPct(ratio), "probe-always", fmtKevS(noopt.Throughput()),
+			fmtU64(noopt.Metrics.Probes), fmtU64(noopt.Metrics.EmptyProbes))
+	}
+	t.Notes = append(t.Notes,
+		"probes/empty_probes are deterministic: the optimization's saving is the probe-always empty_probes surplus")
+	return t
+}
+
+// E8Latency measures result latency (logical time between a match's last
+// event timestamp and the clock at emission) across K. Expected shape:
+// kslack pays ~K on every result; native pays nothing on in-order results
+// and only the actual delay on disorder-affected ones.
+func E8Latency(s Scale) *Table {
+	q := seqQuery()
+	sorted := rfidSorted(s, 15)
+	t := &Table{
+		ID:      "E8",
+		Title:   "Result latency vs. slack bound K",
+		Anchor:  "paper §experiments: output latency of levee vs. native",
+		Columns: []string{"K(ms)", "strategy", "lat_mean(ms)", "lat_p99(ms)", "lat_max(ms)"},
+	}
+	for _, k := range []oostream.Time{500, 2_000, 10_000} {
+		shuffled := disorder(sorted, 0.10, k, 16)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative, oostream.StrategySpeculate} {
+			r := runOne(q, oostream.Config{Strategy: strat, K: k}, shuffled)
+			lat := r.Metrics.LogicalLat
+			t.AddRow(fmtInt(int(k)), string(strat),
+				fmtF1(lat.Mean()), fmtU64(lat.Quantile(0.99)), fmtU64(lat.Max()))
+		}
+	}
+	t.Notes = append(t.Notes, "expected: kslack mean ~K; native mean << K (only disorder-affected results wait)")
+	return t
+}
+
+// E9PatternLength measures throughput as the pattern grows from 2 to 6
+// positive components over a uniform stream. Expected shape: cost grows
+// with length (more stacks, deeper construction), for every strategy.
+func E9PatternLength(s Scale) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Throughput vs. pattern length",
+		Anchor:  "paper §experiments: query complexity scaling",
+		Columns: []string{"len", "strategy", "kev/s", "matches"},
+	}
+	allTypes := []string{"T1", "T2", "T3", "T4", "T5", "T6"}
+	events := gen.Uniform(s.uniformN(), allTypes, 4, 10, 17)
+	shuffled := gen.Shuffle(events, gen.Disorder{Ratio: 0.10, MaxDelay: 200, Seed: 18})
+	for n := 2; n <= 6; n++ {
+		src := "PATTERN SEQ("
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				src += ", "
+			}
+			src += fmt.Sprintf("T%d v%d", i+1, i+1)
+		}
+		src += ") WHERE v1.id = v2.id WITHIN 400"
+		q := oostream.MustCompile(src, nil)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative} {
+			r := runOne(q, oostream.Config{Strategy: strat, K: 200}, shuffled)
+			t.AddRow(fmtInt(n), string(strat), fmtKevS(r.Throughput()), fmtInt(len(r.Matches)))
+		}
+	}
+	return t
+}
+
+// E10Negation focuses on the shoplifting query: correctness, throughput,
+// and sealing latency of every strategy under disorder. Expected shape:
+// inorder produces false positives (premature output); native is exact with
+// sealing latency ~K; speculate is exact after retractions with zero
+// insert latency.
+func E10Negation(s Scale) *Table {
+	q := negQuery()
+	sorted := rfidSorted(s, 19)
+	shuffled := disorder(sorted, 0.10, defaultK, 20)
+	truth := runOne(q, oostream.Config{Strategy: oostream.StrategyInOrder}, sorted)
+	t := &Table{
+		ID:      "E10",
+		Title:   "Negation query under disorder",
+		Anchor:  "paper §problem analysis + §sequence construction: negation needs sealing",
+		Columns: []string{"strategy", "kev/s", "precision", "recall", "retracts", "lat_mean(ms)"},
+	}
+	for _, strat := range oostream.Strategies() {
+		r := runOne(q, oostream.Config{Strategy: strat, K: defaultK}, shuffled)
+		p, rec := precisionRecall(truth.Matches, r.Matches)
+		t.AddRow(string(strat), fmtKevS(r.Throughput()), fmtF3(p), fmtF3(rec),
+			fmtU64(r.Metrics.Retractions), fmtF1(r.Metrics.LogicalLat.Mean()))
+	}
+	return t
+}
+
+// E11Speculation measures the aggressive extension across disorder ratios:
+// how much premature output it produces (retraction rate) and what it costs.
+// Expected shape: retractions grow with disorder; throughput stays close to
+// native; converged results stay exact (precision/recall 1).
+func E11Speculation(s Scale) *Table {
+	q := negQuery()
+	sorted := rfidSorted(s, 21)
+	truth := runOne(q, oostream.Config{Strategy: oostream.StrategyInOrder}, sorted)
+	t := &Table{
+		ID:      "E11",
+		Title:   "Speculative output and compensation",
+		Anchor:  "extension: aggressive strategy (ICDE'09 follow-up) vs. conservative sealing",
+		Columns: []string{"ooo%", "inserts", "retracts", "retract_rate", "kev/s", "precision", "recall"},
+	}
+	for _, ratio := range oooRatios {
+		shuffled := disorder(sorted, ratio, defaultK, 22)
+		r := runOne(q, oostream.Config{Strategy: oostream.StrategySpeculate, K: defaultK}, shuffled)
+		inserts := r.Metrics.Matches
+		retracts := r.Metrics.Retractions
+		rate := 0.0
+		if inserts > 0 {
+			rate = float64(retracts) / float64(inserts)
+		}
+		p, rec := precisionRecall(truth.Matches, r.Matches)
+		t.AddRow(fmtPct(ratio), fmtU64(inserts), fmtU64(retracts), fmtF3(rate),
+			fmtKevS(r.Throughput()), fmtF3(p), fmtF3(rec))
+	}
+	return t
+}
+
+// E12NetworkSim replaces synthetic disorder injection with the mechanistic
+// delivery model of internal/netsim (link jitter + source failure bursts —
+// the disorder causes the paper's introduction names) and asks the
+// provisioning question a deployment faces: how large must K be, relative
+// to the realized delay distribution, for each strategy to stay exact, and
+// what does each K cost in latency and drops. Expected shape: K at the
+// realized max keeps everyone exact; K at p99 drops the burst tail (late
+// events) and costs recall for all strategies equally; native's latency
+// advantage over kslack persists at every K.
+func E12NetworkSim(s Scale) *Table {
+	q := seqQuery()
+	sorted := rfidSorted(s, 23)
+	delivered, delays, prof, err := netsim.Deliver(sorted, netsim.Config{
+		Sources: 8,
+		Link:    netsim.DefaultLink(),
+		Failure: netsim.FailureConfig{MTBF: 60_000, OutageMean: 2_000},
+		Seed:    24,
+	})
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	truth := runOne(q, oostream.Config{Strategy: oostream.StrategyInOrder}, sorted)
+	t := &Table{
+		ID:      "E12",
+		Title:   "Strategies under simulated network delivery",
+		Anchor:  "paper §introduction: disorder from network latency and machine failure (substituted trace)",
+		Columns: []string{"K", "strategy", "kev/s", "late", "precision", "recall", "lat_mean(ms)"},
+		Notes: []string{
+			"delivery profile: " + prof.String(),
+		},
+	}
+	for _, k := range []oostream.Time{prof.DelayP99, prof.MaxDelay} {
+		label := fmt.Sprintf("p99(%d)", k)
+		if k == prof.MaxDelay {
+			label = fmt.Sprintf("max(%d)", k)
+		}
+		_ = netsim.ExceedingK(delays, k)
+		for _, strat := range []oostream.Strategy{oostream.StrategyKSlack, oostream.StrategyNative, oostream.StrategySpeculate} {
+			r := runOne(q, oostream.Config{Strategy: strat, K: k}, delivered)
+			p, rec := precisionRecall(truth.Matches, r.Matches)
+			t.AddRow(label, string(strat), fmtKevS(r.Throughput()), fmtU64(r.Metrics.EventsLate),
+				fmtF3(p), fmtF3(rec), fmtF1(r.Metrics.LogicalLat.Mean()))
+		}
+	}
+	return t
+}
+
+// E13Partitioned measures the key-partitioned scale-out extension: the
+// shoplifting query is equality-linked on the item id, so the stream can
+// be hash-partitioned and matched by independent engines. Sequential
+// execution isolates the bookkeeping overhead of partitioning; per-shard
+// peak state shows the memory split a real deployment would get per core.
+// Results are checked identical to the single engine's.
+func E13Partitioned(s Scale) *Table {
+	q := negQuery()
+	sorted := rfidSorted(s, 25)
+	shuffled := disorder(sorted, 0.10, defaultK, 26)
+	single := runOne(q, oostream.Config{Strategy: oostream.StrategyNative, K: defaultK}, shuffled)
+	t := &Table{
+		ID:      "E13",
+		Title:   "Key-partitioned scale-out (native, sequential shards)",
+		Anchor:  "extension: hash partitioning on the equality-linked attribute",
+		Columns: []string{"shards", "kev/s", "exact", "peak_state_total", "peak_per_shard"},
+	}
+	t.AddRow("1 (unsharded)", fmtKevS(single.Throughput()), "-", fmtInt(single.Metrics.PeakState), fmtInt(single.Metrics.PeakState))
+	for _, shards := range []int{2, 4, 8, 16} {
+		en, err := oostream.NewPartitionedEngine(q, oostream.Config{K: defaultK}, "id", shards)
+		if err != nil {
+			panic(err) // query is statically partitionable
+		}
+		start := time.Now()
+		got := en.ProcessAll(shuffled)
+		elapsed := time.Since(start)
+		exact, _ := oostream.SameResults(single.Matches, got)
+		m := en.Metrics()
+		t.AddRow(fmtInt(shards), fmtKevS(float64(len(shuffled))/elapsed.Seconds()),
+			fmt.Sprintf("%v", exact), fmtInt(m.PeakState), fmtInt(m.PeakState/shards))
+	}
+	t.Notes = append(t.Notes, "sequential shards isolate partitioning overhead; goroutine-per-shard execution is in internal/shard.Parallel")
+	return t
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oostream/internal/event"
+	"oostream/internal/plan"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointFile is the serialized engine state. Stack instances are
+// stored as plain events; RIP pointers are rebuilt on restore by
+// re-insertion (the RIP invariant is a pure function of stack contents).
+type checkpointFile struct {
+	Version    int                 `json:"version"`
+	PlanSource string              `json:"planSource"`
+	K          event.Time          `json:"k"`
+	LatePolicy int                 `json:"latePolicy"`
+	NoTrigOpt  bool                `json:"noTriggerOpt"`
+	PurgeEvery int                 `json:"purgeEvery"`
+	Clock      event.Time          `json:"clock"`
+	Started    bool                `json:"started"`
+	Arrival    uint64              `json:"arrival"`
+	Enumerated uint64              `json:"enumerated"`
+	Since      int                 `json:"since"`
+	Stacks     [][]event.Event     `json:"stacks"`
+	NegStores  [][]event.Event     `json:"negStores"`
+	Pending    []checkpointPending `json:"pending"`
+}
+
+type checkpointPending struct {
+	Events  []event.Event `json:"events"`
+	SealTS  event.Time    `json:"sealTS"`
+	MadeSeq uint64        `json:"madeSeq"`
+}
+
+// Checkpoint serializes the engine's full state (stacks, negative stores,
+// pending matches, clocks) so that a Restore'd engine continues the stream
+// exactly where this one stopped. The engine can keep processing after a
+// checkpoint; the snapshot is taken synchronously.
+//
+// Metrics counters are NOT checkpointed: a restored engine starts fresh
+// counters (operational metrics describe a process, not the computation).
+func (en *Engine) Checkpoint(w io.Writer) error {
+	cf := checkpointFile{
+		Version:    checkpointVersion,
+		PlanSource: en.plan.Source,
+		K:          en.opts.K,
+		LatePolicy: int(en.opts.LatePolicy),
+		NoTrigOpt:  en.opts.DisableTriggerOpt,
+		PurgeEvery: en.opts.PurgeEvery,
+		Clock:      en.clock,
+		Started:    en.started,
+		Arrival:    en.arrival,
+		Enumerated: en.enumerated,
+		Since:      en.since,
+	}
+	for pos := 0; pos < en.stacks.Len(); pos++ {
+		s := en.stacks.Stack(pos)
+		events := make([]event.Event, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			events[i] = s.At(i).Event
+		}
+		cf.Stacks = append(cf.Stacks, events)
+	}
+	for _, ns := range en.negStores {
+		events := make([]event.Event, ns.len())
+		copy(events, ns.items)
+		cf.NegStores = append(cf.NegStores, events)
+	}
+	for _, pm := range en.pending {
+		cf.Pending = append(cf.Pending, checkpointPending{
+			Events:  pm.events,
+			SealTS:  pm.sealTS,
+			MadeSeq: pm.madeSeq,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(cf)
+}
+
+// Restore rebuilds an engine from a checkpoint. The plan must be compiled
+// from the same query text the checkpointed engine ran (verified against
+// the recorded canonical source); options are restored from the checkpoint.
+func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
+	var cf checkpointFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("decode checkpoint: %w", err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", cf.Version, checkpointVersion)
+	}
+	if cf.PlanSource != p.Source {
+		return nil, fmt.Errorf("checkpoint is for query %q, not %q", cf.PlanSource, p.Source)
+	}
+	if len(cf.Stacks) != p.Len() || len(cf.NegStores) != len(p.Negatives) {
+		return nil, fmt.Errorf("checkpoint shape mismatch: %d stacks / %d negstores", len(cf.Stacks), len(cf.NegStores))
+	}
+	en, err := New(p, Options{
+		K:                 cf.K,
+		LatePolicy:        LatePolicy(cf.LatePolicy),
+		DisableTriggerOpt: cf.NoTrigOpt,
+		PurgeEvery:        cf.PurgeEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	en.clock = cf.Clock
+	en.started = cf.Started
+	en.arrival = cf.Arrival
+	en.enumerated = cf.Enumerated
+	en.since = cf.Since
+	for pos, events := range cf.Stacks {
+		for _, e := range events {
+			en.stacks.Insert(pos, e)
+		}
+	}
+	for i, events := range cf.NegStores {
+		for _, e := range events {
+			en.negStores[i].insert(e)
+		}
+	}
+	for _, pm := range cf.Pending {
+		en.pending = append(en.pending, pendingMatch{
+			events:  pm.Events,
+			sealTS:  pm.SealTS,
+			madeSeq: pm.MadeSeq,
+		})
+	}
+	// Restore heap order on the pending queue.
+	heap.Init(&en.pending)
+	en.met.SetLiveState(en.StateSize())
+	return en, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/gen"
+	"oostream/internal/plan"
+)
+
+// TestCheckpointRestoreContinuesExactly is the recovery contract: splitting
+// a stream at any point into run-checkpoint-restore-run produces exactly
+// the output of an uninterrupted run.
+func TestCheckpointRestoreContinuesExactly(t *testing.T) {
+	queries := []string{
+		"PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 50",
+		"PATTERN SEQ(A a, !(N n), B b) WITHIN 60",
+		"PATTERN SEQ(A a, B b, !(N n)) WITHIN 40",
+	}
+	for _, src := range queries {
+		p := compile(t, src)
+		sorted := gen.Uniform(400, []string{"A", "B", "N"}, 3, 5, 41)
+		shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.3, MaxDelay: 40, Seed: 42})
+
+		want := drain(t, p, Options{K: 40}, shuffled)
+
+		for _, cut := range []int{0, 1, 137, 399, 400} {
+			first := MustNew(p, Options{K: 40})
+			var got []plan.Match
+			for _, e := range shuffled[:cut] {
+				got = append(got, first.Process(e)...)
+			}
+			var buf bytes.Buffer
+			if err := first.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			second, err := Restore(p, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range shuffled[cut:] {
+				got = append(got, second.Process(e)...)
+			}
+			got = append(got, second.Flush()...)
+			if ok, diff := plan.SameResults(want, got); !ok {
+				t.Fatalf("%s cut at %d:\n%s", src, cut, diff)
+			}
+		}
+	}
+}
+
+func TestCheckpointPreservesPendingNegation(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, !(N n), B b) WITHIN 100")
+	en := MustNew(p, Options{K: 50})
+	en.Process(event.Event{Type: "A", TS: 10, Seq: 1})
+	if out := en.Process(event.Event{Type: "B", TS: 30, Seq: 2}); len(out) != 0 {
+		t.Fatal("should pend")
+	}
+	var buf bytes.Buffer
+	if err := en.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.pending.Len() != 1 {
+		t.Fatalf("pending lost: %d", restored.pending.Len())
+	}
+	// A late negative after restore still suppresses it.
+	restored.Process(event.Event{Type: "N", TS: 20, Seq: 3})
+	if out := restored.Flush(); len(out) != 0 {
+		t.Fatalf("restored engine emitted suppressed match: %v", out)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
+	en := MustNew(p, Options{K: 10})
+	var buf bytes.Buffer
+	if err := en.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := compile(t, "PATTERN SEQ(A a, C c) WITHIN 50")
+	if _, err := Restore(other, bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "is for query") {
+		t.Errorf("plan mismatch: %v", err)
+	}
+	if _, err := Restore(p, strings.NewReader("{garbage")); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	if _, err := Restore(p, strings.NewReader(`{"version":99}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+	if _, err := Restore(p, strings.NewReader(`{"version":1,"planSource":"`+p.Source+`","stacks":[[]]}`)); err == nil ||
+		!strings.Contains(err.Error(), "shape") {
+		t.Errorf("shape mismatch: %v", err)
+	}
+}
+
+func TestCheckpointRestoresOptionsAndClock(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
+	en := MustNew(p, Options{K: 33, LatePolicy: BestEffort, DisableTriggerOpt: true, PurgeEvery: 7})
+	en.Process(event.Event{Type: "A", TS: 100, Seq: 1})
+	var buf bytes.Buffer
+	if err := en.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.opts.K != 33 || r.opts.LatePolicy != BestEffort || !r.opts.DisableTriggerOpt || r.opts.PurgeEvery != 7 {
+		t.Errorf("options not restored: %+v", r.opts)
+	}
+	if r.clock != 100 || !r.started {
+		t.Errorf("clock not restored: %d %v", r.clock, r.started)
+	}
+	if r.StateSize() != 1 {
+		t.Errorf("state not restored: %d", r.StateSize())
+	}
+}

@@ -1,0 +1,405 @@
+// Package core implements the paper's contribution: a sequence scan and
+// construction (SSC) operator that handles out-of-order data arrival
+// natively, instead of reordering the stream in front of an order-assuming
+// engine.
+//
+// The engine keeps the Active Instance Stacks sorted by timestamp
+// (internal/ais): an out-of-order event is inserted at its timestamp-correct
+// position and the predecessor pointers of affected successors are repaired.
+// Construction is *trigger-based*: every match is enumerated exactly once,
+// when its last-ARRIVING member is inserted. Three trigger rules make that
+// exact:
+//
+//   - an event landing at the final pattern position always triggers
+//     (classic behaviour: it can complete matches as their last element);
+//   - an out-of-order event landing at any other position triggers a
+//     middle-out enumeration — binding its own position first, then earlier
+//     positions walking down, then later positions walking up — restricted
+//     to instances already in the stacks, i.e. to events that arrived
+//     before it;
+//   - an in-order event at a non-final position never triggers: no event
+//     with a larger timestamp can already be in the stacks, so no match can
+//     complete through it. (The scan optimization of the paper; disable
+//     with Options.DisableTriggerOpt for the ablation experiment.)
+//
+// Correct output for negation cannot be produced eagerly under disorder: a
+// qualifying negative event may still be in flight. The engine relies on
+// the paper's bounded-disorder assumption — no event is delayed more than K
+// time units past the maximum timestamp seen (K-slack) — and defers each
+// candidate match until the safe clock (maxTS − K) passes the end of its
+// negation gaps, at which point every relevant negative has arrived.
+//
+// The same safe clock drives state purging: an instance at a non-final
+// position is dead once safe − Window passes its timestamp; a final-position
+// instance once safe passes it; buffered negatives once safe − 2·Window
+// passes them (a leading negation's gap reaches one window behind a match
+// whose first element can itself be one window behind the safe clock).
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"oostream/internal/ais"
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/metrics"
+	"oostream/internal/plan"
+)
+
+// LatePolicy says what to do with events that violate the disorder bound K.
+type LatePolicy int
+
+const (
+	// DropLate discards bound-violating events (counted in metrics). This
+	// is the paper's model: K is an assumption the source must keep.
+	DropLate LatePolicy = iota + 1
+	// BestEffort processes bound-violating events anyway. Completeness is
+	// no longer guaranteed (state they needed may have been purged), but
+	// nothing already emitted becomes wrong.
+	BestEffort
+)
+
+// Options configure the native engine.
+type Options struct {
+	// K is the disorder bound (slack) in logical milliseconds. Events
+	// delayed more than K against the max seen timestamp are "late".
+	K event.Time
+	// LatePolicy handles late events; default DropLate.
+	LatePolicy LatePolicy
+	// DisableTriggerOpt turns off the scan optimization and probes for
+	// completions on every insertion (ablation; still exact, slower).
+	DisableTriggerOpt bool
+	// PurgeEvery runs a purge pass every PurgeEvery processed events.
+	// 0 selects the default (64); negative disables purging (ablation).
+	PurgeEvery int
+}
+
+const defaultPurgeEvery = 64
+
+func (o Options) normalized() (Options, error) {
+	if o.K < 0 {
+		return o, fmt.Errorf("K must be >= 0, got %d", o.K)
+	}
+	if o.LatePolicy == 0 {
+		o.LatePolicy = DropLate
+	}
+	if o.LatePolicy != DropLate && o.LatePolicy != BestEffort {
+		return o, fmt.Errorf("unknown late policy %d", o.LatePolicy)
+	}
+	if o.PurgeEvery == 0 {
+		o.PurgeEvery = defaultPurgeEvery
+	}
+	return o, nil
+}
+
+// Engine is the native out-of-order SSC engine.
+type Engine struct {
+	plan      *plan.Plan
+	opts      Options
+	stacks    *ais.Stacks
+	negStores []*negStore
+	pending   pendingHeap
+	// clock is the maximum timestamp seen (not the latest arrival's).
+	clock   event.Time
+	started bool
+	arrival uint64
+	since   int
+	// enumerated counts complete bindings found by construction; used to
+	// classify probes as empty (pure overhead) or productive.
+	enumerated uint64
+	met        metrics.Collector
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// New builds a native out-of-order engine.
+func New(p *plan.Plan, opts Options) (*Engine, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	en := &Engine{
+		plan:      p,
+		opts:      opts,
+		stacks:    ais.New(p.Len()),
+		negStores: make([]*negStore, len(p.Negatives)),
+	}
+	for i := range en.negStores {
+		en.negStores[i] = &negStore{}
+	}
+	return en, nil
+}
+
+// MustNew is New for known-good options (used in tests and examples).
+func MustNew(p *plan.Plan, opts Options) *Engine {
+	en, err := New(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return en
+}
+
+// Name implements engine.Engine.
+func (en *Engine) Name() string { return "native" }
+
+// Metrics implements engine.Engine.
+func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
+
+// StateSize implements engine.Engine.
+func (en *Engine) StateSize() int {
+	total := en.stacks.Size() + en.pending.Len()
+	for _, ns := range en.negStores {
+		total += ns.len()
+	}
+	return total
+}
+
+// safe returns the safe clock maxTS − K: every event with a timestamp below
+// it has arrived (under the disorder bound).
+func (en *Engine) safe() event.Time {
+	if !en.started {
+		return minTime
+	}
+	return en.clock - en.opts.K
+}
+
+const minTime = event.Time(-1 << 62)
+
+// Process implements engine.Engine.
+func (en *Engine) Process(e event.Event) []plan.Match {
+	en.arrival++
+	if !en.plan.Relevant(e.Type) {
+		en.met.IncIrrelevant()
+		return nil
+	}
+	isOOO := en.started && e.TS < en.clock
+	en.met.IncIn(isOOO)
+	if en.started && e.TS < en.safe() {
+		en.met.IncLate()
+		if en.opts.LatePolicy == DropLate {
+			return nil
+		}
+	}
+	if e.TS > en.clock || !en.started {
+		en.clock = e.TS
+		en.started = true
+	}
+	var out []plan.Match
+	if !en.plan.ConstFalse {
+		for _, negIdx := range en.plan.NegativesForType(e.Type) {
+			if plan.EvalLocal(en.plan.Negatives[negIdx].Local, e, en.met.IncPredError) {
+				en.negStores[negIdx].insert(e)
+			}
+		}
+		last := en.plan.Len() - 1
+		for _, pos := range en.plan.PositionsForType(e.Type) {
+			if !plan.EvalLocal(en.plan.Positives[pos].Local, e, en.met.IncPredError) {
+				continue
+			}
+			inst := en.stacks.Insert(pos, e)
+			if pos == last || isOOO || en.opts.DisableTriggerOpt {
+				before := en.enumerated
+				out = en.construct(inst, pos, out)
+				en.met.ObserveProbe(en.enumerated == before)
+			}
+		}
+	}
+	out = en.drainPending(out)
+	en.maybePurge()
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// Advance implements engine.Advancer: a heartbeat promising that no future
+// event carries a timestamp below ts − K. The clock moves forward, pending
+// negation output whose gaps the new safe clock seals is emitted, and a
+// purge pass runs. Moving the clock backwards is a no-op.
+func (en *Engine) Advance(ts event.Time) []plan.Match {
+	if !en.started || ts > en.clock {
+		en.clock = ts
+		en.started = true
+	}
+	out := en.drainPending(nil)
+	en.since = en.opts.PurgeEvery // force the next purge check to run
+	en.maybePurge()
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// Flush implements engine.Engine: end of stream seals every pending match.
+func (en *Engine) Flush() []plan.Match {
+	var out []plan.Match
+	for en.pending.Len() > 0 {
+		pm := heap.Pop(&en.pending).(pendingMatch)
+		out = en.finalize(pm, out)
+	}
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// construct enumerates every match that contains the just-inserted instance
+// at position pos, using only instances already in the stacks. Earlier
+// positions are bound walking down from pos, then later positions walking
+// up; cross predicates fire as soon as their referenced slots are all bound
+// (order-independent, see plan.CrossSatisfiedAt).
+func (en *Engine) construct(trigger *ais.Instance, pos int, out []plan.Match) []plan.Match {
+	n := en.plan.Len()
+	binding := make([]event.Event, n)
+	binding[pos] = trigger.Event
+	mask := uint64(1) << uint(pos)
+	if !en.plan.CrossSatisfiedAt(pos, mask, binding, en.met.IncPredError) {
+		return out
+	}
+	var down func(p int, mask uint64)
+	var up func(p int, mask uint64)
+	down = func(p int, mask uint64) {
+		if p < 0 {
+			up(pos+1, mask)
+			return
+		}
+		s := en.stacks.Stack(p)
+		lowTS := trigger.Event.TS - en.plan.Window
+		for i := s.UpperBound(binding[p+1].TS) - 1; i >= 0; i-- {
+			cand := s.At(i)
+			if cand.Event.TS < lowTS {
+				break
+			}
+			binding[p] = cand.Event
+			m := mask | 1<<uint(p)
+			if en.plan.CrossSatisfiedAt(p, m, binding, en.met.IncPredError) {
+				down(p-1, m)
+			}
+		}
+	}
+	up = func(p int, mask uint64) {
+		if p >= n {
+			out = en.emit(binding, out)
+			return
+		}
+		s := en.stacks.Stack(p)
+		highTS := binding[0].TS + en.plan.Window
+		for i := s.FirstAfter(binding[p-1].TS); i < s.Len(); i++ {
+			cand := s.At(i)
+			if cand.Event.TS > highTS {
+				break
+			}
+			binding[p] = cand.Event
+			m := mask | 1<<uint(p)
+			if en.plan.CrossSatisfiedAt(p, m, binding, en.met.IncPredError) {
+				up(p+1, m)
+			}
+		}
+	}
+	down(pos-1, mask)
+	return out
+}
+
+// emit routes a complete positive binding: sealed immediately when the safe
+// clock already passed every negation gap, otherwise parked in the pending
+// queue until it does.
+func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
+	en.enumerated++
+	events := make([]event.Event, len(binding))
+	copy(events, binding)
+	sealTS := minTime
+	for negIdx := range en.plan.Negatives {
+		_, hi := en.plan.GapBounds(negIdx, events)
+		if hi > sealTS {
+			sealTS = hi
+		}
+	}
+	pm := pendingMatch{events: events, sealTS: sealTS, madeSeq: en.arrival}
+	if sealTS <= en.safe() {
+		return en.finalize(pm, out)
+	}
+	heap.Push(&en.pending, pm)
+	return out
+}
+
+// drainPending finalizes pending matches whose negation gaps the safe clock
+// has sealed.
+func (en *Engine) drainPending(out []plan.Match) []plan.Match {
+	safe := en.safe()
+	for en.pending.Len() > 0 && en.pending[0].sealTS <= safe {
+		pm := heap.Pop(&en.pending).(pendingMatch)
+		out = en.finalize(pm, out)
+	}
+	return out
+}
+
+// finalize checks the (now sealed) negation gaps and emits the match.
+func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
+	for negIdx := range en.plan.Negatives {
+		lo, hi := en.plan.GapBounds(negIdx, pm.events)
+		if en.negStores[negIdx].anyInGap(lo, hi, func(t event.Event) bool {
+			return en.plan.NegMatches(negIdx, t, pm.events, en.met.IncPredError)
+		}) {
+			return out
+		}
+	}
+	fields, err := en.plan.Project(pm.events)
+	if err != nil {
+		en.met.IncPredError(err)
+		return out
+	}
+	m := plan.Match{
+		Kind:      plan.Insert,
+		Events:    pm.events,
+		Fields:    fields,
+		EmitSeq:   event.Seq(en.arrival),
+		EmitClock: en.clock,
+	}
+	en.met.AddMatch(false, en.clock-m.Last().TS, en.arrival-pm.madeSeq)
+	return append(out, m)
+}
+
+// maybePurge runs the paper's purge rules every opts.PurgeEvery events.
+func (en *Engine) maybePurge() {
+	if en.opts.PurgeEvery < 0 {
+		return
+	}
+	en.since++
+	if en.since < en.opts.PurgeEvery {
+		return
+	}
+	en.since = 0
+	safe := en.safe()
+	last := en.plan.Len() - 1
+	purged := en.stacks.PurgeBefore(func(pos int) event.Time {
+		if pos == last {
+			return safe
+		}
+		return safe - en.plan.Window
+	})
+	negHorizon := safe - 2*en.plan.Window
+	for _, ns := range en.negStores {
+		purged += ns.purgeBefore(negHorizon)
+	}
+	if purged > 0 {
+		en.met.ObservePurge(purged)
+	}
+}
+
+// pendingMatch is a binding awaiting negation sealing at sealTS.
+type pendingMatch struct {
+	events  []event.Event
+	sealTS  event.Time
+	madeSeq uint64
+}
+
+// pendingHeap is a min-heap on sealTS.
+type pendingHeap []pendingMatch
+
+func (h pendingHeap) Len() int           { return len(h) }
+func (h pendingHeap) Less(i, j int) bool { return h[i].sealTS < h[j].sealTS }
+func (h pendingHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x any)        { *h = append(*h, x.(pendingMatch)) }
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	old[n-1] = pendingMatch{}
+	*h = old[:n-1]
+	return out
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/gen"
+	"oostream/internal/oracle"
+	"oostream/internal/plan"
+)
+
+// Edge-condition tests: parameter extremes and degenerate streams that
+// historically break stream engines (tie storms, zero slack, boundary
+// windows, negative timestamps).
+
+func TestAllEventsSameTimestamp(t *testing.T) {
+	// Strict sequence order means a tie storm can never match a 2-step
+	// pattern, regardless of arrival order or predicates.
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100")
+	en := MustNew(p, Options{K: 10})
+	var out []plan.Match
+	for i := 0; i < 200; i++ {
+		typ := "A"
+		if i%2 == 1 {
+			typ = "B"
+		}
+		out = append(out, en.Process(event.Event{Type: typ, TS: 42, Seq: event.Seq(i + 1)})...)
+	}
+	out = append(out, en.Flush()...)
+	if len(out) != 0 {
+		t.Fatalf("tie storm produced %d matches", len(out))
+	}
+}
+
+func TestZeroSlackRequiresInOrder(t *testing.T) {
+	// K=0: any regression of the clock is late and dropped; sorted input
+	// remains exact.
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
+	sorted := gen.Uniform(200, []string{"A", "B"}, 3, 5, 91)
+	want := oracle.Matches(p, sorted)
+	got := drain(t, p, Options{K: 0}, sorted)
+	if ok, diff := plan.SameResults(want, got); !ok {
+		t.Fatalf("K=0 on sorted input:\n%s", diff)
+	}
+	// An out-of-order event is dropped, not mis-processed.
+	en := MustNew(p, Options{K: 0})
+	en.Process(event.Event{Type: "A", TS: 10, Seq: 1})
+	en.Process(event.Event{Type: "A", TS: 5, Seq: 2})
+	if en.Metrics().EventsLate != 1 {
+		t.Error("clock regression under K=0 must count late")
+	}
+}
+
+func TestWindowOne(t *testing.T) {
+	// Window 1: only adjacent-timestamp pairs match.
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 1")
+	en := MustNew(p, Options{K: 100})
+	en.Process(event.Event{Type: "A", TS: 10, Seq: 1})
+	out := en.Process(event.Event{Type: "B", TS: 11, Seq: 2})
+	if len(out) != 1 {
+		t.Fatalf("span 1 <= window 1 should match: %v", out)
+	}
+	out = en.Process(event.Event{Type: "B", TS: 12, Seq: 3})
+	if len(out) != 0 {
+		t.Fatalf("span 2 > window 1 matched: %v", out)
+	}
+}
+
+func TestNegativeTimestamps(t *testing.T) {
+	// Logical time is int64; nothing assumes positivity.
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100")
+	en := MustNew(p, Options{K: 50})
+	en.Process(event.Event{Type: "A", TS: -500, Seq: 1})
+	out := en.Process(event.Event{Type: "B", TS: -450, Seq: 2})
+	if len(out) != 1 {
+		t.Fatalf("negative timestamps: %v", out)
+	}
+	if en.Metrics().EventsLate != 0 {
+		t.Error("no late events expected")
+	}
+}
+
+func TestSingleEventPatternUnderDisorder(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a) WHERE a.id = 1 WITHIN 10")
+	sorted := gen.Uniform(100, []string{"A", "B"}, 3, 4, 93)
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.5, MaxDelay: 20, Seed: 94})
+	want := oracle.Matches(p, sorted)
+	got := drain(t, p, Options{K: 20}, shuffled)
+	if ok, diff := plan.SameResults(want, got); !ok {
+		t.Fatalf("single-step pattern:\n%s", diff)
+	}
+}
+
+func TestAdjacentNegationsSameGap(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, !(N n), !(M m), B b) WITHIN 100")
+	// Either negative type in the gap suppresses.
+	base := []event.Event{
+		{Type: "A", TS: 10, Seq: 1},
+		{Type: "B", TS: 50, Seq: 2},
+	}
+	if got := drain(t, p, Options{K: 100}, base); len(got) != 1 {
+		t.Fatalf("clean gap: %v", got)
+	}
+	withN := append([]event.Event{{Type: "N", TS: 30, Seq: 3}}, base...)
+	if got := drain(t, p, Options{K: 100}, withN); len(got) != 0 {
+		t.Fatalf("N in gap: %v", got)
+	}
+	withM := append([]event.Event{{Type: "M", TS: 30, Seq: 3}}, base...)
+	if got := drain(t, p, Options{K: 100}, withM); len(got) != 0 {
+		t.Fatalf("M in gap: %v", got)
+	}
+}
+
+func TestSameTypePositiveAndNegative(t *testing.T) {
+	// The same event type can be a positive component and a negated one;
+	// an event then lands in a stack AND a negative store.
+	p := compile(t, "PATTERN SEQ(T a, !(T n), T b) WHERE n.x > 5 WITHIN 100")
+	mk := func(ts event.Time, seq event.Seq, x int64) event.Event {
+		return event.Event{Type: "T", TS: ts, Seq: seq,
+			Attrs: event.Attrs{"x": event.Int(x)}}
+	}
+	// Middle event fails the negation's local predicate (x <= 5) but is a
+	// valid positive: matches (1,2), (2,3), (1,3).
+	events := []event.Event{mk(10, 1, 1), mk(20, 2, 2), mk(30, 3, 3)}
+	want := oracle.Matches(p, events)
+	got := drain(t, p, Options{K: 50}, events)
+	if ok, diff := plan.SameResults(want, got); !ok {
+		t.Fatalf("dual-role type:\n%s", diff)
+	}
+	if len(got) != 3 {
+		t.Fatalf("matches = %d, want 3", len(got))
+	}
+	// Now the middle event qualifies as a negative: only (1,2) and (2,3)
+	// survive (the (1,3) combination is invalidated).
+	events2 := []event.Event{mk(10, 1, 1), mk(20, 2, 9), mk(30, 3, 3)}
+	want2 := oracle.Matches(p, events2)
+	got2 := drain(t, p, Options{K: 50}, events2)
+	if ok, diff := plan.SameResults(want2, got2); !ok {
+		t.Fatalf("dual-role with qualifying negative:\n%s", diff)
+	}
+	if len(got2) != 2 {
+		t.Fatalf("matches = %d, want 2", len(got2))
+	}
+}
+
+func TestLargeKNeverPurgesDuringRun(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
+	sorted := gen.Uniform(500, []string{"A", "B"}, 3, 5, 95)
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.3, MaxDelay: 100, Seed: 96})
+	want := oracle.Matches(p, sorted)
+	got := drain(t, p, Options{K: 1 << 40, PurgeEvery: 1}, shuffled)
+	if ok, diff := plan.SameResults(want, got); !ok {
+		t.Fatalf("huge K:\n%s", diff)
+	}
+}
+
+func TestDuplicateSeqDoesNotCrash(t *testing.T) {
+	// Callers are told to provide unique seqs; duplicates degrade match
+	// identity but must not corrupt the engine.
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
+	en := MustNew(p, Options{K: 50})
+	en.Process(event.Event{Type: "A", TS: 10, Seq: 1})
+	en.Process(event.Event{Type: "A", TS: 12, Seq: 1})
+	out := en.Process(event.Event{Type: "B", TS: 20, Seq: 2})
+	if len(out) != 2 {
+		t.Fatalf("matches = %d", len(out))
+	}
+}
+
+// TestSoakLongStream is a longer-haul exercise (skipped with -short): a
+// quarter-million-event disordered stream through every ablation variant,
+// checking exactness against the in-order engine on the sorted stream and
+// that state stays bounded throughout.
+func TestSoakLongStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	p := compile(t, "PATTERN SEQ(A a, !(N n), B b) WHERE a.id = b.id WITHIN 200")
+	sorted := gen.Uniform(250_000, []string{"A", "B", "N", "X"}, 40, 4, 101)
+	const k = 300
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.25, MaxDelay: k, Seed: 102})
+
+	want := oracle.Matches(p, sorted)
+	for _, opts := range []Options{
+		{K: k},
+		{K: k, DisableTriggerOpt: true, PurgeEvery: 1},
+	} {
+		en := MustNew(p, opts)
+		var got []plan.Match
+		for _, e := range shuffled {
+			got = append(got, en.Process(e)...)
+		}
+		got = append(got, en.Flush()...)
+		if ok, diff := plan.SameResults(want, got); !ok {
+			t.Fatalf("soak %+v: wrong results:\n%s", opts, diff)
+		}
+		if peak := en.Metrics().PeakState; peak > 5_000 {
+			t.Fatalf("soak %+v: peak state %d not bounded", opts, peak)
+		}
+	}
+}

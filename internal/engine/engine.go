@@ -1,0 +1,54 @@
+// Package engine defines the interface every pattern-matching engine in
+// this library implements: the in-order baseline, the K-slack levee, the
+// native out-of-order engine (the paper's contribution), and the
+// speculative extension. The benchmark harness, the runtime pipeline, and
+// the public facade all program against this interface.
+package engine
+
+import (
+	"oostream/internal/event"
+	"oostream/internal/metrics"
+	"oostream/internal/plan"
+)
+
+// Engine consumes a stream of events one at a time and produces matches.
+//
+// Events must carry unique, pre-assigned Seq numbers (the generator or
+// ingestor assigns them); engines use Seq for tie-breaking and match
+// identity, never for ordering assumptions. Engines are not safe for
+// concurrent Process calls; wrap them in a runtime pipeline for
+// channel-based use.
+type Engine interface {
+	// Name identifies the strategy, e.g. "inorder", "kslack", "native".
+	Name() string
+	// Process ingests one event and returns any matches it emits.
+	Process(e event.Event) []plan.Match
+	// Flush signals end-of-stream: the engine seals all pending state and
+	// returns the final matches. After Flush, Process must not be called.
+	Flush() []plan.Match
+	// Metrics returns a snapshot of the engine's counters.
+	Metrics() metrics.Snapshot
+	// StateSize returns the current number of buffered items (stack
+	// instances, reorder buffers, negative stores, pending matches).
+	StateSize() int
+}
+
+// Advancer is implemented by engines that support heartbeats
+// (punctuation): Advance tells the engine that the source guarantees no
+// future event will carry a timestamp below ts − K, letting it seal
+// pending output and purge state during stream silence.
+type Advancer interface {
+	// Advance moves the engine's clock to at least ts and returns any
+	// matches that become emittable.
+	Advance(ts event.Time) []plan.Match
+}
+
+// Drain runs a whole finite stream through an engine and returns every
+// match (Process results plus Flush).
+func Drain(en Engine, events []event.Event) []plan.Match {
+	var out []plan.Match
+	for _, e := range events {
+		out = append(out, en.Process(e)...)
+	}
+	return append(out, en.Flush()...)
+}

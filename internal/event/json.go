@@ -1,0 +1,63 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the tagged-union wire form of a Value; exactly one field is
+// set. It matches the trace format's value encoding.
+type jsonValue struct {
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. Invalid values fail rather than
+// serializing silently.
+func (v Value) MarshalJSON() ([]byte, error) {
+	var w jsonValue
+	switch v.kind {
+	case KindInt:
+		w.Int = &v.i
+	case KindFloat:
+		w.Float = &v.f
+	case KindString:
+		w.Str = &v.s
+	case KindBool:
+		w.Bool = &v.b
+	default:
+		return nil, fmt.Errorf("cannot marshal %s value", v.kind)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w jsonValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	set := 0
+	if w.Int != nil {
+		set++
+		*v = Int(*w.Int)
+	}
+	if w.Float != nil {
+		set++
+		*v = Float(*w.Float)
+	}
+	if w.Str != nil {
+		set++
+		*v = Str(*w.Str)
+	}
+	if w.Bool != nil {
+		set++
+		*v = Bool(*w.Bool)
+	}
+	if set != 1 {
+		return fmt.Errorf("value must set exactly one of int/float/str/bool, got %d", set)
+	}
+	return nil
+}

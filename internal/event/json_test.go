@@ -1,0 +1,69 @@
+package event
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	for _, v := range []Value{Int(-42), Float(2.5), Str("hé\"llo"), Bool(true), Bool(false)} {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if !back.Equal(v) || back.Kind() != v.Kind() {
+			t.Errorf("round trip %v -> %s -> %v", v, raw, back)
+		}
+	}
+}
+
+func TestValueJSONInvalid(t *testing.T) {
+	if _, err := json.Marshal(Value{}); err == nil {
+		t.Error("invalid value marshaled")
+	}
+	var v Value
+	for _, raw := range []string{`{}`, `{"int":1,"str":"x"}`, `[1]`} {
+		if err := json.Unmarshal([]byte(raw), &v); err == nil {
+			t.Errorf("unmarshal %s should fail", raw)
+		}
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	e := New("TRADE", 123, Attrs{"sym": Int(4), "price": Float(99.5), "flag": Bool(true)})
+	e.Seq = 7
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"TRADE"`, `"ts":123`, `"seq":7`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("json %s missing %s", raw, want)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != e.Type || back.TS != e.TS || back.Seq != e.Seq || len(back.Attrs) != 3 {
+		t.Errorf("round trip: %v vs %v", e, back)
+	}
+	if !back.Attrs["price"].Equal(Float(99.5)) {
+		t.Errorf("price = %v", back.Attrs["price"])
+	}
+}
+
+func TestEventJSONOmitsEmptyAttrs(t *testing.T) {
+	raw, err := json.Marshal(Event{Type: "A", TS: 1, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "attrs") {
+		t.Errorf("empty attrs serialized: %s", raw)
+	}
+}

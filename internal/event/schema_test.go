@@ -1,0 +1,101 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func rfidSchema() *Schema {
+	s := NewSchema()
+	s.Declare("SHELF", map[string]Kind{"id": KindInt, "aisle": KindString})
+	s.Declare("EXIT", map[string]Kind{"id": KindInt})
+	return s
+}
+
+func TestSchemaDeclareAndLookup(t *testing.T) {
+	s := rfidSchema()
+	if _, ok := s.Type("SHELF"); !ok {
+		t.Fatal("SHELF not found")
+	}
+	if _, ok := s.Type("NOPE"); ok {
+		t.Fatal("NOPE should not exist")
+	}
+	if k, ok := s.Field("SHELF", "aisle"); !ok || k != KindString {
+		t.Errorf("Field(SHELF, aisle) = %v, %v", k, ok)
+	}
+	if _, ok := s.Field("SHELF", "nope"); ok {
+		t.Error("missing field should not resolve")
+	}
+	if _, ok := s.Field("NOPE", "id"); ok {
+		t.Error("missing type should not resolve fields")
+	}
+}
+
+func TestSchemaTypesSorted(t *testing.T) {
+	s := rfidSchema()
+	got := s.Types()
+	if len(got) != 2 || got[0] != "EXIT" || got[1] != "SHELF" {
+		t.Errorf("Types() = %v", got)
+	}
+}
+
+func TestSchemaRedeclareReplaces(t *testing.T) {
+	s := rfidSchema()
+	s.Declare("SHELF", map[string]Kind{"id": KindString})
+	if k, _ := s.Field("SHELF", "id"); k != KindString {
+		t.Errorf("redeclare did not replace: id kind = %v", k)
+	}
+	if _, ok := s.Field("SHELF", "aisle"); ok {
+		t.Error("redeclare should drop old fields")
+	}
+}
+
+func TestSchemaDeclareCopiesFields(t *testing.T) {
+	fields := map[string]Kind{"id": KindInt}
+	s := NewSchema()
+	s.Declare("A", fields)
+	fields["id"] = KindString
+	if k, _ := s.Field("A", "id"); k != KindInt {
+		t.Error("Declare did not copy the field map")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := rfidSchema()
+	tests := []struct {
+		name    string
+		e       Event
+		wantErr string
+	}{
+		{"valid", New("SHELF", 1, Attrs{"id": Int(7), "aisle": Str("a3")}), ""},
+		{"extra field ok", New("EXIT", 1, Attrs{"id": Int(7), "meta": Str("x")}), ""},
+		{"unknown type", New("NOPE", 1, nil), "not declared"},
+		{"missing attr", New("SHELF", 1, Attrs{"id": Int(7)}), "missing attribute"},
+		{"wrong kind", New("EXIT", 1, Attrs{"id": Str("7")}), "has kind"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := s.Validate(tt.e)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSchemaValidateIntWhereFloatDeclared(t *testing.T) {
+	s := NewSchema()
+	s.Declare("T", map[string]Kind{"price": KindFloat})
+	if err := s.Validate(New("T", 1, Attrs{"price": Int(10)})); err != nil {
+		t.Fatalf("int should satisfy declared float: %v", err)
+	}
+	if err := s.Validate(New("T", 1, Attrs{"price": Str("10")})); err == nil {
+		t.Fatal("string should not satisfy declared float")
+	}
+}

@@ -1,0 +1,145 @@
+package event
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hi"), KindString, `"hi"`},
+		{Bool(true), KindBool, "true"},
+		{Value{}, KindInvalid, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if tt.v.Kind() != tt.kind {
+			t.Errorf("%v: kind = %v, want %v", tt.v, tt.v.Kind(), tt.kind)
+		}
+		if got := tt.v.String(); got != tt.str {
+			t.Errorf("String() = %q, want %q", got, tt.str)
+		}
+		if tt.v.Valid() != (tt.kind != KindInvalid) {
+			t.Errorf("%v: Valid() mismatch", tt.v)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v, ok := Int(3).AsInt(); !ok || v != 3 {
+		t.Error("AsInt on Int failed")
+	}
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("AsInt on Str should fail")
+	}
+	if v, ok := Int(3).AsFloat(); !ok || v != 3.0 {
+		t.Error("AsFloat should convert ints")
+	}
+	if v, ok := Float(2.5).AsFloat(); !ok || v != 2.5 {
+		t.Error("AsFloat on Float failed")
+	}
+	if _, ok := Bool(true).AsFloat(); ok {
+		t.Error("AsFloat on Bool should fail")
+	}
+	if v, ok := Str("s").AsString(); !ok || v != "s" {
+		t.Error("AsString failed")
+	}
+	if v, ok := Bool(true).AsBool(); !ok || !v {
+		t.Error("AsBool failed")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Int(3), Float(3.0), true},
+		{Float(3.0), Int(3), true},
+		{Float(2.5), Float(2.5), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Str("3"), Int(3), false},
+		{Bool(true), Int(1), false},
+		{Value{}, Value{}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b    Value
+		want    int
+		wantErr bool
+	}{
+		{Int(1), Int(2), -1, false},
+		{Int(2), Int(2), 0, false},
+		{Int(3), Int(2), 1, false},
+		{Int(1), Float(1.5), -1, false},
+		{Float(2.5), Int(2), 1, false},
+		{Str("a"), Str("b"), -1, false},
+		{Str("b"), Str("b"), 0, false},
+		{Str("c"), Str("b"), 1, false},
+		{Bool(false), Bool(true), -1, false},
+		{Bool(true), Bool(true), 0, false},
+		{Bool(true), Bool(false), 1, false},
+		{Str("a"), Int(1), 0, true},
+		{Bool(true), Float(1), 0, true},
+		{Value{}, Value{}, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := tt.a.Compare(tt.b)
+		if tt.wantErr {
+			if !errors.Is(err, ErrIncomparable) {
+				t.Errorf("%v.Compare(%v): want ErrIncomparable, got %v", tt.a, tt.b, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%v.Compare(%v): unexpected error %v", tt.a, tt.b, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, err1 := Int(a).Compare(Int(b))
+		y, err2 := Int(b).Compare(Int(a))
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareEqualConsistencyProperty(t *testing.T) {
+	f := func(a int64, bf float64) bool {
+		av, bv := Int(a), Float(bf)
+		c, err := av.Compare(bv)
+		if err != nil {
+			return false
+		}
+		return (c == 0) == av.Equal(bv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

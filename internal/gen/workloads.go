@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"oostream/internal/event"
+)
+
+// RFIDConfig configures the RFID supply-chain workload. Items move through
+// a shop: a SHELF reading when picked up, optionally a COUNTER reading when
+// paid, and an EXIT reading when carried out. The shoplifting query
+// SEQ(SHELF s, !(COUNTER c), EXIT e) WHERE s.id = e.id AND s.id = c.id
+// detects items that left without being paid for.
+type RFIDConfig struct {
+	// Items is the number of item journeys to generate.
+	Items int
+	// PayRatio is the fraction of items that pass the counter.
+	PayRatio float64
+	// ShelfToExit is the maximum time from shelf to exit per item.
+	ShelfToExit event.Time
+	// InterArrival is the mean gap between consecutive item pickups.
+	InterArrival event.Time
+	// NoiseRatio adds unrelated reader events (type MISC) per item event.
+	NoiseRatio float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultRFID is the configuration the experiment tables use.
+func DefaultRFID(items int, seed int64) RFIDConfig {
+	return RFIDConfig{
+		Items:        items,
+		PayRatio:     0.8,
+		ShelfToExit:  5_000,
+		InterArrival: 20,
+		NoiseRatio:   0.3,
+		Seed:         seed,
+	}
+}
+
+// RFIDSchema declares the workload's event types.
+func RFIDSchema() *event.Schema {
+	s := event.NewSchema()
+	intField := map[string]event.Kind{"id": event.KindInt}
+	s.Declare("SHELF", map[string]event.Kind{"id": event.KindInt, "aisle": event.KindString})
+	s.Declare("COUNTER", intField)
+	s.Declare("EXIT", map[string]event.Kind{"id": event.KindInt, "gate": event.KindString})
+	s.Declare("MISC", map[string]event.Kind{"id": event.KindInt})
+	return s
+}
+
+// RFID generates the workload, sorted by timestamp with sequence numbers
+// assigned.
+func RFID(cfg RFIDConfig) []event.Event {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []event.Event
+	start := event.Time(0)
+	for item := 0; item < cfg.Items; item++ {
+		start += event.Time(rng.Int63n(int64(cfg.InterArrival)*2) + 1)
+		id := event.Int(int64(item))
+		shelfTS := start
+		exitTS := shelfTS + event.Time(rng.Int63n(int64(cfg.ShelfToExit))) + 2
+		events = append(events, event.New("SHELF", shelfTS, event.Attrs{
+			"id":    id,
+			"aisle": event.Str("a" + strconv.Itoa(rng.Intn(12))),
+		}))
+		if rng.Float64() < cfg.PayRatio {
+			counterTS := shelfTS + (exitTS-shelfTS)/2
+			events = append(events, event.New("COUNTER", counterTS, event.Attrs{"id": id}))
+		}
+		events = append(events, event.New("EXIT", exitTS, event.Attrs{
+			"id":   id,
+			"gate": event.Str("g" + strconv.Itoa(rng.Intn(4))),
+		}))
+		for rng.Float64() < cfg.NoiseRatio {
+			events = append(events, event.New("MISC", shelfTS+event.Time(rng.Int63n(int64(cfg.ShelfToExit))), event.Attrs{
+				"id": event.Int(rng.Int63n(int64(cfg.Items) + 1)),
+			}))
+		}
+	}
+	event.SortByTime(events)
+	return assignSeqs(events)
+}
+
+// IntrusionConfig configures the network-intrusion workload: port SCANs
+// possibly followed by a LOGIN and an EXFIL transfer from the same source
+// address. The detection query is
+// SEQ(SCAN a, LOGIN l, EXFIL x) WHERE a.src = l.src AND l.src = x.src.
+type IntrusionConfig struct {
+	// Attackers is the number of attack sequences.
+	Attackers int
+	// Hosts is the size of the address pool (as int ids).
+	Hosts int
+	// BackgroundPerAttack is the number of benign events per attack.
+	BackgroundPerAttack int
+	// AttackSpan is the max duration of an attack sequence.
+	AttackSpan event.Time
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultIntrusion is the configuration the experiment tables use.
+func DefaultIntrusion(attackers int, seed int64) IntrusionConfig {
+	return IntrusionConfig{
+		Attackers:           attackers,
+		Hosts:               64,
+		BackgroundPerAttack: 8,
+		AttackSpan:          2_000,
+		Seed:                seed,
+	}
+}
+
+// Intrusion generates the workload, sorted with sequence numbers assigned.
+func Intrusion(cfg IntrusionConfig) []event.Event {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []event.Event
+	ts := event.Time(0)
+	host := func() event.Value { return event.Int(int64(rng.Intn(cfg.Hosts))) }
+	for a := 0; a < cfg.Attackers; a++ {
+		ts += event.Time(rng.Int63n(50) + 1)
+		src := host()
+		t0 := ts
+		t1 := t0 + event.Time(rng.Int63n(int64(cfg.AttackSpan)/2)+1)
+		t2 := t1 + event.Time(rng.Int63n(int64(cfg.AttackSpan)/2)+1)
+		events = append(events,
+			event.New("SCAN", t0, event.Attrs{"src": src, "port": event.Int(int64(rng.Intn(1024)))}),
+			event.New("LOGIN", t1, event.Attrs{"src": src, "ok": event.Bool(rng.Float64() < 0.5)}),
+			event.New("EXFIL", t2, event.Attrs{"src": src, "bytes": event.Int(rng.Int63n(1 << 20))}),
+		)
+		for i := 0; i < cfg.BackgroundPerAttack; i++ {
+			typ := [3]string{"SCAN", "LOGIN", "EXFIL"}[rng.Intn(3)]
+			attrs := event.Attrs{"src": host()}
+			switch typ {
+			case "SCAN":
+				attrs["port"] = event.Int(int64(rng.Intn(1024)))
+			case "LOGIN":
+				attrs["ok"] = event.Bool(true)
+			case "EXFIL":
+				attrs["bytes"] = event.Int(rng.Int63n(1 << 10))
+			}
+			events = append(events, event.New(typ, t0+event.Time(rng.Int63n(int64(cfg.AttackSpan))), attrs))
+		}
+	}
+	event.SortByTime(events)
+	return assignSeqs(events)
+}
+
+// StockConfig configures the stock tick workload: TRADE events per symbol
+// with a random-walk price, for V-shape (rebound) pattern queries like
+// SEQ(TRADE a, TRADE b, TRADE c) WHERE a.sym = b.sym AND b.sym = c.sym AND
+// b.price < a.price AND c.price > b.price.
+type StockConfig struct {
+	// Ticks is the number of trades.
+	Ticks int
+	// Symbols is the number of distinct instruments.
+	Symbols int
+	// TickGap is the mean inter-trade gap.
+	TickGap event.Time
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultStock is the configuration the experiment tables use.
+func DefaultStock(ticks int, seed int64) StockConfig {
+	return StockConfig{Ticks: ticks, Symbols: 8, TickGap: 10, Seed: seed}
+}
+
+// Stock generates the workload, sorted with sequence numbers assigned.
+func Stock(cfg StockConfig) []event.Event {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prices := make([]float64, cfg.Symbols)
+	for i := range prices {
+		prices[i] = 50 + rng.Float64()*100
+	}
+	events := make([]event.Event, 0, cfg.Ticks)
+	ts := event.Time(0)
+	for i := 0; i < cfg.Ticks; i++ {
+		ts += event.Time(rng.Int63n(int64(cfg.TickGap)*2) + 1)
+		sym := rng.Intn(cfg.Symbols)
+		prices[sym] += rng.NormFloat64()
+		if prices[sym] < 1 {
+			prices[sym] = 1
+		}
+		events = append(events, event.New("TRADE", ts, event.Attrs{
+			"sym":   event.Int(int64(sym)),
+			"price": event.Float(prices[sym]),
+			"vol":   event.Int(rng.Int63n(1000) + 1),
+		}))
+	}
+	return assignSeqs(events)
+}
+
+// Uniform generates n events drawn uniformly from the given types, with an
+// integer "id" attribute in [0, idRange), mean inter-arrival gap, sorted
+// and sequence-numbered. Used by the pattern-length scaling experiment.
+func Uniform(n int, types []string, idRange int, gap event.Time, seed int64) []event.Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]event.Event, 0, n)
+	ts := event.Time(0)
+	for i := 0; i < n; i++ {
+		ts += event.Time(rng.Int63n(int64(gap)*2) + 1)
+		events = append(events, event.New(types[rng.Intn(len(types))], ts, event.Attrs{
+			"id": event.Int(int64(rng.Intn(idRange))),
+		}))
+	}
+	return assignSeqs(events)
+}

@@ -1,0 +1,118 @@
+// Package kslack implements the K-slack reorder buffer: the classic
+// "levee" defense against out-of-order arrival that the paper contrasts
+// with its native approach. Events are buffered in a min-heap on
+// (timestamp, sequence) and released in timestamp order once the watermark
+// maxSeen − K passes them. Under the disorder bound (no event delayed more
+// than K time units) the released stream is perfectly sorted, so an
+// unmodified in-order engine downstream produces exact results — at the
+// price of buffering memory and up to K added latency on every result.
+package kslack
+
+import (
+	"container/heap"
+
+	"oostream/internal/event"
+)
+
+// Buffer is a K-slack reorder buffer. The zero value is not usable; use
+// NewBuffer.
+type Buffer struct {
+	k       event.Time
+	heap    eventHeap
+	maxSeen event.Time
+	started bool
+	dropped uint64
+}
+
+// NewBuffer creates a reorder buffer with slack k (logical milliseconds).
+func NewBuffer(k event.Time) *Buffer {
+	return &Buffer{k: k}
+}
+
+// K returns the configured slack.
+func (b *Buffer) K() event.Time { return b.k }
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.heap) }
+
+// Dropped returns how many events were discarded for violating the bound.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Watermark returns the current release watermark maxSeen − K. Events at or
+// below the watermark have been released (or dropped).
+func (b *Buffer) Watermark() event.Time {
+	if !b.started {
+		// Nothing seen: nothing is releasable yet.
+		return minTime
+	}
+	return b.maxSeen - b.k
+}
+
+const minTime = event.Time(-1 << 62)
+
+// Push inserts an event and returns the events that become releasable, in
+// nondecreasing timestamp order. An event arriving strictly below the
+// current watermark violates the disorder bound and is dropped (counted
+// via Dropped); an event exactly at the watermark (delay exactly K) is
+// still safe — everything already released has a timestamp at or below it,
+// so it is accepted and released immediately, matching the native engine's
+// inclusive interpretation of the bound.
+func (b *Buffer) Push(e event.Event) []event.Event {
+	if b.started && e.TS < b.Watermark() {
+		b.dropped++
+		return nil
+	}
+	heap.Push(&b.heap, e)
+	if !b.started || e.TS > b.maxSeen {
+		b.maxSeen = e.TS
+		b.started = true
+	}
+	return b.release()
+}
+
+// Advance moves the watermark as if an event with timestamp ts had been
+// seen, releasing everything at or below ts − K. Sources use this to
+// propagate heartbeats/punctuation through silent periods.
+func (b *Buffer) Advance(ts event.Time) []event.Event {
+	if !b.started || ts > b.maxSeen {
+		b.maxSeen = ts
+		b.started = true
+	}
+	return b.release()
+}
+
+// Flush releases everything regardless of the watermark (end of stream).
+func (b *Buffer) Flush() []event.Event {
+	out := make([]event.Event, 0, len(b.heap))
+	for len(b.heap) > 0 {
+		out = append(out, heap.Pop(&b.heap).(event.Event))
+	}
+	return out
+}
+
+func (b *Buffer) release() []event.Event {
+	var out []event.Event
+	wm := b.Watermark()
+	for len(b.heap) > 0 && b.heap[0].TS <= wm {
+		out = append(out, heap.Pop(&b.heap).(event.Event))
+	}
+	return out
+}
+
+// eventHeap is a min-heap of events on (TS, Seq).
+type eventHeap []event.Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].Before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event.Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	old[n-1] = event.Event{}
+	*h = old[:n-1]
+	return out
+}

@@ -1,0 +1,235 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// CPU cost (throughput is derived by the harness from wall time), memory
+// consumption (live and peak instance counts), result latency (in logical
+// time and in arrival distance), output counts, and correctness counters.
+//
+// A Collector is owned by one engine instance. Engines are single-writer;
+// the mutex makes snapshots safe from other goroutines (harness, monitors).
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"oostream/internal/event"
+)
+
+// Collector accumulates engine measurements.
+type Collector struct {
+	mu sync.Mutex
+
+	eventsIn    uint64
+	eventsLate  uint64 // beyond the disorder bound K
+	eventsOOO   uint64 // out of timestamp order (but within K)
+	irrelevant  uint64 // type not in the pattern
+	matches     uint64
+	retractions uint64
+	predErrors  uint64
+	purged      uint64
+	purgeCalls  uint64
+	probes      uint64
+	emptyProbes uint64
+	liveState   int
+	peakState   int
+	logicalLat  Histogram
+	arrivalLat  Histogram
+}
+
+// Snapshot is a consistent copy of all counters.
+type Snapshot struct {
+	EventsIn    uint64
+	EventsLate  uint64
+	EventsOOO   uint64
+	Irrelevant  uint64
+	Matches     uint64
+	Retractions uint64
+	PredErrors  uint64
+	Purged      uint64
+	PurgeCalls  uint64
+	Probes      uint64
+	EmptyProbes uint64
+	LiveState   int
+	PeakState   int
+	LogicalLat  Histogram
+	ArrivalLat  Histogram
+}
+
+// IncIn counts an ingested event; ooo marks it out of timestamp order.
+func (c *Collector) IncIn(ooo bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eventsIn++
+	if ooo {
+		c.eventsOOO++
+	}
+}
+
+// IncLate counts an event rejected for violating the disorder bound.
+func (c *Collector) IncLate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eventsLate++
+}
+
+// IncIrrelevant counts an event whose type the pattern does not mention.
+func (c *Collector) IncIrrelevant() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.irrelevant++
+}
+
+// IncPredError counts a predicate evaluation error (treated as non-match).
+func (c *Collector) IncPredError(error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.predErrors++
+}
+
+// AddMatch records an emitted match with its latencies: logical is
+// emission clock minus the match's last event timestamp; arrival is the
+// number of arrivals between the match's completion and its emission.
+func (c *Collector) AddMatch(retract bool, logical event.Time, arrival uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if retract {
+		c.retractions++
+		return
+	}
+	c.matches++
+	if logical < 0 {
+		logical = 0
+	}
+	c.logicalLat.Observe(uint64(logical))
+	c.arrivalLat.Observe(arrival)
+}
+
+// ObserveProbe records a construction probe; empty marks one that
+// enumerated no match (the waste the scan optimization avoids).
+func (c *Collector) ObserveProbe(empty bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probes++
+	if empty {
+		c.emptyProbes++
+	}
+}
+
+// ObservePurge records a purge pass that removed n instances.
+func (c *Collector) ObservePurge(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeCalls++
+	c.purged += uint64(n)
+}
+
+// SetLiveState records the current total state size (stack instances plus
+// any auxiliary buffers) and updates the peak.
+func (c *Collector) SetLiveState(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.liveState = n
+	if n > c.peakState {
+		c.peakState = n
+	}
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		EventsIn:    c.eventsIn,
+		EventsLate:  c.eventsLate,
+		EventsOOO:   c.eventsOOO,
+		Irrelevant:  c.irrelevant,
+		Matches:     c.matches,
+		Retractions: c.retractions,
+		PredErrors:  c.predErrors,
+		Purged:      c.purged,
+		PurgeCalls:  c.purgeCalls,
+		Probes:      c.probes,
+		EmptyProbes: c.emptyProbes,
+		LiveState:   c.liveState,
+		PeakState:   c.peakState,
+		LogicalLat:  c.logicalLat,
+		ArrivalLat:  c.arrivalLat,
+	}
+}
+
+// String summarizes the snapshot on one line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("in=%d ooo=%d late=%d matches=%d retract=%d peak=%d lat(mean=%.1f p99=%d)",
+		s.EventsIn, s.EventsOOO, s.EventsLate, s.Matches, s.Retractions,
+		s.PeakState, s.LogicalLat.Mean(), s.LogicalLat.Quantile(0.99))
+}
+
+// Histogram is a fixed power-of-two-bucket histogram of uint64 observations.
+// Bucket i counts values whose bit length is i (bucket 0: value 0). It is a
+// value type: copying it snapshots it.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observation.
+func (h Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average observation, or 0 with no observations.
+func (h Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper edge of the bucket containing it. Returns 0 with no observations.
+func (h Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			upper := uint64(1)<<uint(i) - 1
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}

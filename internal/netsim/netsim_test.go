@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oostream/internal/core"
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/gen"
+	"oostream/internal/oracle"
+	"oostream/internal/plan"
+)
+
+func baseConfig(seed int64) Config {
+	return Config{Sources: 4, Link: DefaultLink(), Seed: seed}
+}
+
+func TestDeliverPreservesMultiset(t *testing.T) {
+	events := gen.Uniform(500, []string{"A", "B"}, 4, 10, 1)
+	out, delays, prof, err := Deliver(events, baseConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(events) || len(delays) != len(events) {
+		t.Fatalf("lengths: %d %d", len(out), len(delays))
+	}
+	seen := map[event.Seq]bool{}
+	for _, e := range out {
+		if seen[e.Seq] {
+			t.Fatal("duplicate delivery")
+		}
+		seen[e.Seq] = true
+	}
+	if prof.Events != len(events) {
+		t.Errorf("profile events = %d", prof.Events)
+	}
+}
+
+func TestDeliverDeterministic(t *testing.T) {
+	events := gen.Uniform(300, []string{"A"}, 4, 10, 1)
+	a, _, _, err := Deliver(events, baseConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, _ := Deliver(events, baseConfig(3))
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			t.Fatal("nondeterministic delivery")
+		}
+	}
+}
+
+func TestDeliverProducesRealisticDisorder(t *testing.T) {
+	events := gen.Uniform(5_000, []string{"A", "B"}, 4, 5, 1)
+	_, delays, prof, err := Deliver(events, baseConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.OOORatio <= 0 {
+		t.Fatal("link jitter should cause disorder")
+	}
+	if prof.DelayP99 <= prof.DelayP50 {
+		t.Errorf("heavy tail missing: p50=%d p99=%d", prof.DelayP50, prof.DelayP99)
+	}
+	if prof.MaxDelay < prof.DelayP99 {
+		t.Error("max below p99")
+	}
+	// ExceedingK is monotone in K and consistent with MaxDelay.
+	if ExceedingK(delays, prof.MaxDelay) != 0 {
+		t.Error("nothing may exceed the realized max delay")
+	}
+	if ExceedingK(delays, prof.DelayP50) < ExceedingK(delays, prof.DelayP99) {
+		t.Error("ExceedingK must be antitone in K")
+	}
+}
+
+func TestFailureBurstsIncreaseTail(t *testing.T) {
+	events := gen.Uniform(5_000, []string{"A", "B"}, 4, 5, 1)
+	_, _, calm, err := Deliver(events, baseConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(5)
+	cfg.Failure = FailureConfig{MTBF: 3_000, OutageMean: 800}
+	_, _, stormy, err := Deliver(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy.Failures == 0 {
+		t.Fatal("no failures simulated")
+	}
+	if stormy.MaxDelay <= calm.MaxDelay {
+		t.Errorf("outages should lengthen the tail: %d vs %d", stormy.MaxDelay, calm.MaxDelay)
+	}
+}
+
+func TestPartitionAttrKeepsPerKeyOrder(t *testing.T) {
+	// With per-key routing and no failures, one key's events share a link;
+	// they can still reorder via jitter, but routing must be stable.
+	events := gen.Uniform(200, []string{"A"}, 3, 10, 7)
+	cfg := baseConfig(8)
+	cfg.PartitionAttr = "id"
+	out, _, _, err := Deliver(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(events) {
+		t.Fatal("loss")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, _, _, err := Deliver(nil, Config{Sources: 0}); err == nil {
+		t.Error("zero sources accepted")
+	}
+	bad := Config{Sources: 1, Link: LinkConfig{HeavyTailP: 2}}
+	if _, _, _, err := Deliver(nil, bad); err == nil {
+		t.Error("bad tail probability accepted")
+	}
+	if _, _, prof, err := Deliver(nil, baseConfig(1)); err != nil || prof.Events != 0 {
+		t.Error("empty stream should be fine")
+	}
+}
+
+// TestEngineExactUnderSimulatedNetwork is the end-to-end substitution
+// check: the native engine with K = realized max delay reproduces the
+// oracle on a network-delivered stream, including failure bursts.
+func TestEngineExactUnderSimulatedNetwork(t *testing.T) {
+	p, err := plan.ParseAndCompile(
+		"PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 60", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := gen.Uniform(1_000, []string{"A", "B"}, 4, 5, 9)
+	cfg := baseConfig(10)
+	cfg.Failure = FailureConfig{MTBF: 2_000, OutageMean: 400}
+	delivered, _, prof, err := Deliver(events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Matches(p, events)
+	got := engine.Drain(core.MustNew(p, core.Options{K: prof.MaxDelay}), delivered)
+	if ok, diff := plan.SameResults(want, got); !ok {
+		t.Fatalf("native under simulated network (profile %v):\n%s", prof, diff)
+	}
+}
+
+func TestUnderProvisionedKDropsExactlyTheTail(t *testing.T) {
+	events := gen.Uniform(2_000, []string{"A", "B"}, 4, 5, 11)
+	delivered, delays, prof, err := Deliver(events, baseConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prof.DelayP50 + 1
+	p, err := plan.ParseAndCompile("PATTERN SEQ(A a, B b) WITHIN 60", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := core.MustNew(p, core.Options{K: k})
+	engine.Drain(en, delivered)
+	wantLate := uint64(ExceedingK(delays, k))
+	if got := en.Metrics().EventsLate; got != wantLate {
+		t.Errorf("late count = %d, want %d", got, wantLate)
+	}
+}
+
+func TestDeliverProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		events := gen.Uniform(int(n)+10, []string{"A", "B"}, 3, 6, seed)
+		out, delays, prof, err := Deliver(events, baseConfig(seed+1))
+		if err != nil || len(out) != len(events) {
+			return false
+		}
+		// Profile consistency: MaxDelay matches the delays slice.
+		var maxD event.Time
+		for _, d := range delays {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		return prof.MaxDelay == maxD && gen.MaxDelay(out) == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

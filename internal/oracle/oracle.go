@@ -1,0 +1,104 @@
+// Package oracle implements a brute-force pattern matcher used as ground
+// truth in tests and correctness experiments. It enumerates candidate
+// bindings by direct recursion over the (sorted) event slice, with none of
+// the stack machinery, incremental triggering, or purging the real engines
+// use — so a bug in those mechanisms cannot hide here. It is exponential in
+// the pattern length and must only be run on bounded inputs.
+package oracle
+
+import (
+	"oostream/internal/event"
+	"oostream/internal/plan"
+)
+
+// Matches computes the complete, exact result set of the plan over the
+// finite event slice, in no particular order. The input is not mutated.
+func Matches(p *plan.Plan, events []event.Event) []plan.Match {
+	if p.ConstFalse {
+		return nil
+	}
+	sorted := make([]event.Event, len(events))
+	copy(sorted, events)
+	event.SortByTime(sorted)
+
+	// Candidate lists per positive position, local predicates pre-applied.
+	n := p.Len()
+	candidates := make([][]event.Event, n)
+	for pos := 0; pos < n; pos++ {
+		step := p.Positives[pos]
+		for _, e := range sorted {
+			if e.Type == step.Type && plan.EvalLocal(step.Local, e, nil) {
+				candidates[pos] = append(candidates[pos], e)
+			}
+		}
+	}
+
+	var out []plan.Match
+	binding := make([]event.Event, n)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			if !crossOK(p, binding) {
+				return
+			}
+			if violatedByNegation(p, binding, sorted) {
+				return
+			}
+			events := make([]event.Event, n)
+			copy(events, binding)
+			fields, err := p.Project(events)
+			if err != nil {
+				return
+			}
+			out = append(out, plan.Match{Kind: plan.Insert, Events: events, Fields: fields})
+			return
+		}
+		for _, e := range candidates[pos] {
+			if pos > 0 {
+				if e.TS <= binding[pos-1].TS {
+					continue
+				}
+				if e.TS-binding[0].TS > p.Window {
+					break // candidates sorted: all later ones overflow too
+				}
+			}
+			binding[pos] = e
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// crossOK evaluates every cross predicate on the full binding.
+func crossOK(p *plan.Plan, binding []event.Event) bool {
+	for _, cp := range p.Cross {
+		ok, err := cp.Pred.EvalBool(binding)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// violatedByNegation reports whether any negative event invalidates the
+// binding: type match, local and cross predicates hold, and the timestamp
+// falls strictly inside the negation's gap interval.
+func violatedByNegation(p *plan.Plan, binding []event.Event, sorted []event.Event) bool {
+	for negIdx := range p.Negatives {
+		lo, hi := p.GapBounds(negIdx, binding)
+		typ := p.Negatives[negIdx].Type
+		for _, t := range sorted {
+			if t.TS >= hi {
+				break
+			}
+			if t.TS <= lo || t.Type != typ {
+				continue
+			}
+			if p.NegMatches(negIdx, t, binding, nil) {
+				return true
+			}
+		}
+	}
+	return false
+}

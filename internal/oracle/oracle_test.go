@@ -1,0 +1,194 @@
+package oracle
+
+import (
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/plan"
+)
+
+func compile(t *testing.T, src string) *plan.Plan {
+	t.Helper()
+	p, err := plan.ParseAndCompile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var nextSeq event.Seq
+
+func ev(typ string, ts event.Time, attrs event.Attrs) event.Event {
+	nextSeq++
+	e := event.New(typ, ts, attrs)
+	e.Seq = nextSeq
+	return e
+}
+
+func keys(ms []plan.Match) map[string]int { return plan.KeySet(ms) }
+
+func TestSimpleSequence(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100")
+	a1 := ev("A", 10, nil)
+	a2 := ev("A", 20, nil)
+	b1 := ev("B", 30, nil)
+	ms := Matches(p, []event.Event{a1, a2, b1})
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d: %v", len(ms), ms)
+	}
+	ks := keys(ms)
+	if ks[key(a1, b1)] != 1 || ks[key(a2, b1)] != 1 {
+		t.Errorf("keys = %v", ks)
+	}
+}
+
+// key builds a match key from events for test readability.
+func key(events ...event.Event) string {
+	return plan.Match{Kind: plan.Insert, Events: events}.Key()
+}
+
+func TestWindowBoundary(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 20")
+	a := ev("A", 10, nil)
+	bIn := ev("B", 30, nil)  // span 20 == W: inside (<=)
+	bOut := ev("B", 31, nil) // span 21 > W: outside
+	ms := Matches(p, []event.Event{a, bIn, bOut})
+	if len(ms) != 1 || ms[0].Last().Seq != bIn.Seq {
+		t.Fatalf("matches = %v", ms)
+	}
+}
+
+func TestStrictTimestampOrder(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100")
+	a := ev("A", 10, nil)
+	bTie := ev("B", 10, nil) // same timestamp: not a successor
+	ms := Matches(p, []event.Event{a, bTie})
+	if len(ms) != 0 {
+		t.Fatalf("tie should not match: %v", ms)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WHERE a.id = b.id AND a.x > 5 WITHIN 100")
+	events := []event.Event{
+		ev("A", 1, event.Attrs{"id": event.Int(1), "x": event.Int(10)}),
+		ev("A", 2, event.Attrs{"id": event.Int(2), "x": event.Int(10)}),
+		ev("A", 3, event.Attrs{"id": event.Int(1), "x": event.Int(3)}), // fails local
+		ev("B", 5, event.Attrs{"id": event.Int(1)}),
+		ev("B", 6, event.Attrs{"id": event.Int(3)}),
+	}
+	ms := Matches(p, events)
+	if len(ms) != 1 {
+		t.Fatalf("matches = %v", ms)
+	}
+	if ms[0].Events[0].Seq != events[0].Seq || ms[0].Events[1].Seq != events[3].Seq {
+		t.Errorf("wrong match: %v", ms[0])
+	}
+}
+
+func TestThreeStepAllCombinations(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b, C c) WITHIN 100")
+	events := []event.Event{
+		ev("A", 1, nil), ev("A", 2, nil),
+		ev("B", 3, nil), ev("B", 4, nil),
+		ev("C", 5, nil),
+	}
+	ms := Matches(p, events)
+	if len(ms) != 4 { // 2 A x 2 B x 1 C
+		t.Fatalf("matches = %d, want 4", len(ms))
+	}
+}
+
+func TestNegationMiddle(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, !(N n), B b) WHERE a.id = n.id WITHIN 100")
+	a := ev("A", 10, event.Attrs{"id": event.Int(1)})
+	n := ev("N", 20, event.Attrs{"id": event.Int(1)})
+	b := ev("B", 30, nil)
+	if ms := Matches(p, []event.Event{a, n, b}); len(ms) != 0 {
+		t.Fatalf("negation should suppress: %v", ms)
+	}
+	// Different id: negation does not apply.
+	n2 := ev("N", 20, event.Attrs{"id": event.Int(2)})
+	if ms := Matches(p, []event.Event{a, n2, b}); len(ms) != 1 {
+		t.Fatalf("non-matching negative suppressed: %v", ms)
+	}
+	// Negative outside the gap (after b): no suppression.
+	n3 := ev("N", 40, event.Attrs{"id": event.Int(1)})
+	if ms := Matches(p, []event.Event{a, n3, b}); len(ms) != 1 {
+		t.Fatalf("out-of-gap negative suppressed: %v", ms)
+	}
+	// Negative at exactly a's or b's timestamp: exclusive bounds.
+	nEdge1 := ev("N", 10, event.Attrs{"id": event.Int(1)})
+	nEdge2 := ev("N", 30, event.Attrs{"id": event.Int(1)})
+	if ms := Matches(p, []event.Event{a, nEdge1, nEdge2, b}); len(ms) != 1 {
+		t.Fatalf("edge negatives should not suppress: %v", ms)
+	}
+}
+
+func TestNegationLeadingAndTrailing(t *testing.T) {
+	lead := compile(t, "PATTERN SEQ(!(N n), A a) WITHIN 50")
+	a := ev("A", 100, nil)
+	nIn := ev("N", 60, nil)  // within (50, 100): suppresses
+	nOut := ev("N", 50, nil) // at window edge: exclusive, no suppression
+	if ms := Matches(lead, []event.Event{nIn, a}); len(ms) != 0 {
+		t.Errorf("leading negation failed: %v", ms)
+	}
+	if ms := Matches(lead, []event.Event{nOut, a}); len(ms) != 1 {
+		t.Errorf("leading negation edge: %v", ms)
+	}
+	trail := compile(t, "PATTERN SEQ(A a, !(N n)) WITHIN 50")
+	nTrail := ev("N", 120, nil) // within (100, 150): suppresses
+	if ms := Matches(trail, []event.Event{a, nTrail}); len(ms) != 0 {
+		t.Errorf("trailing negation failed: %v", ms)
+	}
+	nFar := ev("N", 150, nil) // at first+W: exclusive, no suppression
+	if ms := Matches(trail, []event.Event{a, nFar}); len(ms) != 1 {
+		t.Errorf("trailing negation edge: %v", ms)
+	}
+}
+
+func TestRepeatedType(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(T a, T b) WHERE b.x > a.x WITHIN 100")
+	events := []event.Event{
+		ev("T", 1, event.Attrs{"x": event.Int(5)}),
+		ev("T", 2, event.Attrs{"x": event.Int(3)}),
+		ev("T", 3, event.Attrs{"x": event.Int(7)}),
+	}
+	ms := Matches(p, events)
+	// (1,3): 7>5 yes; (2,3): 7>3 yes; (1,2): 3>5 no.
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d: %v", len(ms), ms)
+	}
+}
+
+func TestConstFalse(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a) WHERE 1 = 2 WITHIN 10")
+	if ms := Matches(p, []event.Event{ev("A", 1, nil)}); len(ms) != 0 {
+		t.Fatal("ConstFalse plan must match nothing")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100 RETURN a.x + b.x AS s")
+	events := []event.Event{
+		ev("A", 1, event.Attrs{"x": event.Int(2)}),
+		ev("B", 2, event.Attrs{"x": event.Int(3)}),
+	}
+	ms := Matches(p, events)
+	if len(ms) != 1 || len(ms[0].Fields) != 1 || !ms[0].Fields[0].Equal(event.Int(5)) {
+		t.Fatalf("projection: %v", ms)
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100")
+	events := []event.Event{ev("B", 9, nil), ev("A", 1, nil)}
+	cp := make([]event.Event, len(events))
+	copy(cp, events)
+	Matches(p, events)
+	for i := range events {
+		if events[i].Seq != cp[i].Seq || events[i].TS != cp[i].TS {
+			t.Fatal("input slice was reordered")
+		}
+	}
+}

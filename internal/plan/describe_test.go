@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeFullQuery(t *testing.T) {
+	p := compile(t, `
+		PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e)
+		WHERE s.id = e.id AND s.id = c.id AND s.price > 100
+		WITHIN 6s
+		RETURN s.id AS item`)
+	out := p.Describe()
+	for _, want := range []string{
+		"window: 6000ms",
+		"[0] SHELF AS s",
+		"[1] EXIT AS e",
+		"local: (s.price > 100)",
+		"slots {0,1}: (s.id = e.id)",
+		"negation !COUNTER AS c in gap after position 1",
+		"vs binding: (s.id = c.id)",
+		"item := s.id",
+		"partitionable by: id",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeConstFalse(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a) WHERE 1 = 2 WITHIN 5")
+	if !strings.Contains(p.Describe(), "matches nothing") {
+		t.Error("ConstFalse not described")
+	}
+}
+
+func TestDescribeLeadingTrailingNegation(t *testing.T) {
+	lead := compile(t, "PATTERN SEQ(!(N n), A a) WHERE n.x > 0 WITHIN 5")
+	if !strings.Contains(lead.Describe(), "leading") {
+		t.Error("leading negation not annotated")
+	}
+	if !strings.Contains(lead.Describe(), "local: (n.x > 0)") {
+		t.Error("negation local predicate missing")
+	}
+	trail := compile(t, "PATTERN SEQ(A a, !(N n)) WITHIN 5")
+	if !strings.Contains(trail.Describe(), "trailing") {
+		t.Error("trailing negation not annotated")
+	}
+}
+
+func TestDescribeNotPartitionable(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b, C c) WHERE a.id = b.id WITHIN 5")
+	if strings.Contains(p.Describe(), "partitionable by") {
+		t.Error("partially linked query reported partitionable")
+	}
+}

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"strconv"
+	"strings"
+
+	"oostream/internal/event"
+)
+
+// MatchKind distinguishes normal results from speculative revisions.
+type MatchKind int
+
+// Match kinds. Insert is the ordinary (and default) kind; Retract is only
+// produced by the speculative engine to compensate premature output.
+const (
+	Insert MatchKind = iota + 1
+	Retract
+)
+
+// String names the kind.
+func (k MatchKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Retract:
+		return "retract"
+	default:
+		return "matchkind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Match is one pattern occurrence: one event per positive component, in
+// sequence order.
+type Match struct {
+	// Kind is Insert for results, Retract for compensations.
+	Kind MatchKind
+	// Events holds the matched events, one per positive position.
+	Events []event.Event
+	// Fields holds the projected RETURN values, aligned with the plan's
+	// Return columns; nil when the query has no RETURN clause.
+	Fields []event.Value
+	// EmitSeq is the arrival sequence number of the event whose processing
+	// emitted this match, used for latency accounting.
+	EmitSeq event.Seq
+	// EmitClock is the engine's max-seen timestamp at emission.
+	EmitClock event.Time
+}
+
+// Key is a canonical identity for the match: the arrival sequence numbers of
+// its events. Two matches over the same events have equal keys regardless of
+// arrival interleaving, so keys implement exactly-once checks and multiset
+// comparison between engines.
+func (m Match) Key() string {
+	var b strings.Builder
+	for i, e := range m.Events {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.FormatUint(e.Seq, 10))
+	}
+	return b.String()
+}
+
+// First returns the earliest event of the match.
+func (m Match) First() event.Event { return m.Events[0] }
+
+// Last returns the latest event of the match.
+func (m Match) Last() event.Event { return m.Events[len(m.Events)-1] }
+
+// Span is the time extent Last.TS − First.TS.
+func (m Match) Span() event.Time { return m.Last().TS - m.First().TS }
+
+// String renders the match for logs and test failures.
+func (m Match) String() string {
+	var b strings.Builder
+	if m.Kind == Retract {
+		b.WriteString("-")
+	}
+	b.WriteString("[")
+	for i, e := range m.Events {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// KeySet collects the keys of a slice of matches into a multiset
+// (key -> count). Retractions subtract.
+func KeySet(matches []Match) map[string]int {
+	out := make(map[string]int, len(matches))
+	for _, m := range matches {
+		if m.Kind == Retract {
+			out[m.Key()]--
+			if out[m.Key()] == 0 {
+				delete(out, m.Key())
+			}
+		} else {
+			out[m.Key()]++
+			if out[m.Key()] == 0 {
+				delete(out, m.Key())
+			}
+		}
+	}
+	return out
+}
+
+// SameResults reports whether two match slices are equal as multisets of
+// keys (after applying retractions), and returns a human-readable diff of
+// up to a few divergent keys when they are not.
+func SameResults(a, b []Match) (bool, string) {
+	ka, kb := KeySet(a), KeySet(b)
+	var diff []string
+	for k, n := range ka {
+		if kb[k] != n {
+			diff = append(diff, "key "+k+": "+strconv.Itoa(n)+" vs "+strconv.Itoa(kb[k]))
+		}
+	}
+	for k, n := range kb {
+		if _, seen := ka[k]; !seen {
+			diff = append(diff, "key "+k+": 0 vs "+strconv.Itoa(n))
+		}
+	}
+	if len(diff) == 0 {
+		return true, ""
+	}
+	if len(diff) > 8 {
+		diff = append(diff[:8], "…")
+	}
+	return false, strings.Join(diff, "\n")
+}

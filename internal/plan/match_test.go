@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"oostream/internal/event"
+)
+
+func mkMatch(kind MatchKind, seqs ...event.Seq) Match {
+	events := make([]event.Event, len(seqs))
+	for i, s := range seqs {
+		events[i] = event.Event{Type: "T", TS: event.Time(10 * (i + 1)), Seq: s}
+	}
+	return Match{Kind: kind, Events: events}
+}
+
+func TestMatchKey(t *testing.T) {
+	m := mkMatch(Insert, 3, 7, 9)
+	if m.Key() != "3|7|9" {
+		t.Errorf("Key() = %q", m.Key())
+	}
+	// Key is independent of kind.
+	if mkMatch(Retract, 3, 7, 9).Key() != m.Key() {
+		t.Error("kind must not affect key")
+	}
+}
+
+func TestMatchAccessors(t *testing.T) {
+	m := mkMatch(Insert, 1, 2, 3)
+	if m.First().Seq != 1 || m.Last().Seq != 3 {
+		t.Errorf("First/Last = %v/%v", m.First(), m.Last())
+	}
+	if m.Span() != 20 {
+		t.Errorf("Span() = %d", m.Span())
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if s := mkMatch(Retract, 1).String(); !strings.HasPrefix(s, "-[") {
+		t.Errorf("retract String() = %q", s)
+	}
+	if s := mkMatch(Insert, 1).String(); strings.HasPrefix(s, "-") {
+		t.Errorf("insert String() = %q", s)
+	}
+}
+
+func TestKeySetWithRetractions(t *testing.T) {
+	matches := []Match{
+		mkMatch(Insert, 1, 2),
+		mkMatch(Insert, 3, 4),
+		mkMatch(Insert, 1, 2), // duplicate key
+		mkMatch(Retract, 3, 4),
+	}
+	ks := KeySet(matches)
+	if ks["1|2"] != 2 {
+		t.Errorf("count(1|2) = %d", ks["1|2"])
+	}
+	if _, ok := ks["3|4"]; ok {
+		t.Error("retracted key should be removed")
+	}
+}
+
+func TestSameResults(t *testing.T) {
+	a := []Match{mkMatch(Insert, 1, 2), mkMatch(Insert, 3, 4)}
+	b := []Match{mkMatch(Insert, 3, 4), mkMatch(Insert, 1, 2)}
+	if ok, diff := SameResults(a, b); !ok {
+		t.Errorf("order must not matter: %s", diff)
+	}
+	c := []Match{mkMatch(Insert, 1, 2)}
+	if ok, diff := SameResults(a, c); ok || diff == "" {
+		t.Error("missing match must be detected")
+	}
+	d := []Match{mkMatch(Insert, 1, 2), mkMatch(Insert, 3, 4), mkMatch(Insert, 5, 6)}
+	if ok, diff := SameResults(a, d); ok || !strings.Contains(diff, "5|6") {
+		t.Errorf("extra match must be detected: %s", diff)
+	}
+	// Speculative stream with retraction converges to plain stream.
+	spec := []Match{mkMatch(Insert, 1, 2), mkMatch(Insert, 9, 9), mkMatch(Retract, 9, 9), mkMatch(Insert, 3, 4)}
+	if ok, diff := SameResults(a, spec); !ok {
+		t.Errorf("retraction should cancel: %s", diff)
+	}
+}
+
+func TestMatchKindString(t *testing.T) {
+	if Insert.String() != "insert" || Retract.String() != "retract" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(MatchKind(99).String(), "99") {
+		t.Error("unknown kind should include number")
+	}
+}

@@ -1,0 +1,227 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"oostream/internal/event"
+)
+
+func compile(t *testing.T, src string) *Plan {
+	t.Helper()
+	p, err := ParseAndCompile(src, nil)
+	if err != nil {
+		t.Fatalf("ParseAndCompile(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestCompileDistributesPredicates(t *testing.T) {
+	p := compile(t, `
+		PATTERN SEQ(A a, B b, C c)
+		WHERE a.x > 1 AND b.y = 2 AND a.id = c.id AND a.id = b.id AND 1 = 1
+		WITHIN 100`)
+	if len(p.Positives) != 3 {
+		t.Fatalf("positives = %d", len(p.Positives))
+	}
+	if len(p.Positives[0].Local) != 1 || len(p.Positives[1].Local) != 1 || len(p.Positives[2].Local) != 0 {
+		t.Errorf("local counts = %d,%d,%d",
+			len(p.Positives[0].Local), len(p.Positives[1].Local), len(p.Positives[2].Local))
+	}
+	if len(p.Cross) != 2 {
+		t.Fatalf("cross = %d", len(p.Cross))
+	}
+	if p.ConstFalse {
+		t.Error("1=1 should not mark ConstFalse")
+	}
+	// a.id = c.id has mask {0,2}; a.id = b.id has mask {0,1}.
+	masks := map[uint64]bool{}
+	for _, c := range p.Cross {
+		masks[c.Mask] = true
+	}
+	if !masks[0b101] || !masks[0b011] {
+		t.Errorf("cross masks = %v", masks)
+	}
+	// CrossBySlot: slot 0 referenced by both.
+	if len(p.CrossBySlot[0]) != 2 || len(p.CrossBySlot[1]) != 1 || len(p.CrossBySlot[2]) != 1 {
+		t.Errorf("CrossBySlot = %v", p.CrossBySlot)
+	}
+}
+
+func TestCompileConstFalse(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a) WHERE 1 = 2 WITHIN 10")
+	if !p.ConstFalse {
+		t.Error("1=2 should mark ConstFalse")
+	}
+}
+
+func TestCompileNegativePredicates(t *testing.T) {
+	p := compile(t, `
+		PATTERN SEQ(A a, !(N n), B b)
+		WHERE n.x > 0 AND a.id = n.id AND a.id = b.id
+		WITHIN 100`)
+	if len(p.Negatives) != 1 {
+		t.Fatalf("negatives = %d", len(p.Negatives))
+	}
+	neg := p.Negatives[0]
+	if neg.GapAfter != 1 {
+		t.Errorf("GapAfter = %d", neg.GapAfter)
+	}
+	if len(neg.Local) != 1 || len(neg.Cross) != 1 {
+		t.Errorf("neg local=%d cross=%d", len(neg.Local), len(neg.Cross))
+	}
+	if len(p.Cross) != 1 {
+		t.Errorf("positive cross = %d", len(p.Cross))
+	}
+}
+
+func TestCompileRejectsTwoNegVarsInOnePredicate(t *testing.T) {
+	_, err := ParseAndCompile(`
+		PATTERN SEQ(A a, !(N n), !(M m), B b)
+		WHERE n.id = m.id
+		WITHIN 100`, nil)
+	if err == nil || !strings.Contains(err.Error(), "multiple negated") {
+		t.Fatalf("want multiple-negated error, got %v", err)
+	}
+}
+
+func TestTypeIndex(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(T a, U b, T c, !(V n)) WITHIN 10")
+	if got := p.PositionsForType("T"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("PositionsForType(T) = %v", got)
+	}
+	if got := p.PositionsForType("U"); len(got) != 1 || got[0] != 1 {
+		t.Errorf("PositionsForType(U) = %v", got)
+	}
+	if got := p.NegativesForType("V"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("NegativesForType(V) = %v", got)
+	}
+	if !p.Relevant("T") || !p.Relevant("V") || p.Relevant("X") {
+		t.Error("Relevant misclassifies")
+	}
+	if !p.HasNegation() {
+		t.Error("HasNegation should be true")
+	}
+}
+
+func TestEvalLocal(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WHERE a.x > 5 AND a.x < 10 WITHIN 100")
+	local := p.Positives[0].Local
+	if len(local) != 2 {
+		t.Fatalf("local = %d", len(local))
+	}
+	if !EvalLocal(local, event.New("A", 1, event.Attrs{"x": event.Int(7)}), nil) {
+		t.Error("7 should pass (5,10)")
+	}
+	if EvalLocal(local, event.New("A", 1, event.Attrs{"x": event.Int(3)}), nil) {
+		t.Error("3 should fail")
+	}
+	var errs int
+	sink := func(error) { errs++ }
+	if EvalLocal(local, event.New("A", 1, event.Attrs{}), sink) {
+		t.Error("missing attr should fail")
+	}
+	if errs != 1 {
+		t.Errorf("errSink calls = %d, want 1", errs)
+	}
+}
+
+func TestCrossSatisfiedAtExactlyOnce(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b, C c) WHERE a.id = c.id WITHIN 100")
+	binding := []event.Event{
+		event.New("A", 1, event.Attrs{"id": event.Int(1)}),
+		event.New("B", 2, event.Attrs{"id": event.Int(9)}),
+		event.New("C", 3, event.Attrs{"id": event.Int(1)}),
+	}
+	// Binding order c(2), a(0), b(1): predicate {0,2} fires when slot 0
+	// binds, not when slot 1 binds.
+	if !p.CrossSatisfiedAt(2, 1<<2, binding, nil) {
+		t.Error("binding slot 2 alone: predicate not fully bound, must pass")
+	}
+	if !p.CrossSatisfiedAt(0, 1<<2|1<<0, binding, nil) {
+		t.Error("binding slot 0 with {0,2} bound: predicate should hold")
+	}
+	if !p.CrossSatisfiedAt(1, 1<<2|1<<0|1<<1, binding, nil) {
+		t.Error("binding slot 1: predicate already fired, must be skipped")
+	}
+	// Now a failing binding, detected exactly when the last referenced
+	// slot binds.
+	binding[2] = event.New("C", 3, event.Attrs{"id": event.Int(5)})
+	if p.CrossSatisfiedAt(0, 1<<2|1<<0, binding, nil) {
+		t.Error("mismatched ids must fail when slot 0 completes the mask")
+	}
+}
+
+func TestNegMatches(t *testing.T) {
+	p := compile(t, `
+		PATTERN SEQ(A a, !(N n), B b)
+		WHERE n.x > 0 AND a.id = n.id
+		WITHIN 100`)
+	positives := []event.Event{
+		event.New("A", 1, event.Attrs{"id": event.Int(7)}),
+		event.New("B", 50, event.Attrs{"id": event.Int(7)}),
+	}
+	tests := []struct {
+		name string
+		neg  event.Event
+		want bool
+	}{
+		{"matches", event.New("N", 10, event.Attrs{"id": event.Int(7), "x": event.Int(1)}), true},
+		{"wrong id", event.New("N", 10, event.Attrs{"id": event.Int(8), "x": event.Int(1)}), false},
+		{"fails local", event.New("N", 10, event.Attrs{"id": event.Int(7), "x": event.Int(0)}), false},
+	}
+	for _, tt := range tests {
+		if got := p.NegMatches(0, tt.neg, positives, nil); got != tt.want {
+			t.Errorf("%s: NegMatches = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestGapBounds(t *testing.T) {
+	mk := func(ts ...event.Time) []event.Event {
+		out := make([]event.Event, len(ts))
+		for i, v := range ts {
+			out[i] = event.Event{TS: v}
+		}
+		return out
+	}
+	p := compile(t, "PATTERN SEQ(A a, !(N n), B b) WITHIN 100")
+	lo, hi := p.GapBounds(0, mk(10, 60))
+	if lo != 10 || hi != 60 {
+		t.Errorf("middle gap = (%d,%d), want (10,60)", lo, hi)
+	}
+	p = compile(t, "PATTERN SEQ(!(N n), A a, B b) WITHIN 100")
+	lo, hi = p.GapBounds(0, mk(10, 60))
+	if lo != -90 || hi != 10 {
+		t.Errorf("leading gap = (%d,%d), want (-90,10)", lo, hi)
+	}
+	p = compile(t, "PATTERN SEQ(A a, B b, !(N n)) WITHIN 100")
+	lo, hi = p.GapBounds(0, mk(10, 60))
+	if lo != 60 || hi != 110 {
+		t.Errorf("trailing gap = (%d,%d), want (60,110)", lo, hi)
+	}
+}
+
+func TestProject(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 100 RETURN a.x + b.x AS sum, a.x AS ax")
+	binding := []event.Event{
+		event.New("A", 1, event.Attrs{"x": event.Int(2)}),
+		event.New("B", 2, event.Attrs{"x": event.Int(3)}),
+	}
+	vals, err := p.Project(binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || !vals[0].Equal(event.Int(5)) || !vals[1].Equal(event.Int(2)) {
+		t.Errorf("Project = %v", vals)
+	}
+	p2 := compile(t, "PATTERN SEQ(A a) WITHIN 100")
+	if vals, err := p2.Project(binding[:1]); err != nil || vals != nil {
+		t.Errorf("no RETURN: %v, %v", vals, err)
+	}
+	// Projection error propagates.
+	p3 := compile(t, "PATTERN SEQ(A a) WITHIN 100 RETURN a.nope")
+	if _, err := p3.Project(binding[:1]); err == nil {
+		t.Error("missing attr in RETURN should error")
+	}
+}

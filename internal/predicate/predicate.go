@@ -1,0 +1,332 @@
+// Package predicate compiles query expression trees into evaluators over
+// event bindings. A binding is a slice of events indexed by slot; the
+// compiler is handed a resolver that maps pattern variable names to slots,
+// so the same expression machinery serves positive sequence predicates,
+// negation predicates, and RETURN projections.
+//
+// Evaluation is dynamically typed with the same coercion rules the analyzer
+// enforces statically: ints and floats mix in arithmetic and comparisons,
+// everything else must match kinds. Errors (missing attribute, type
+// mismatch, division by zero) are reported to the caller, which typically
+// treats a failed predicate as "no match" while counting the error.
+package predicate
+
+import (
+	"errors"
+	"fmt"
+
+	"oostream/internal/event"
+	"oostream/internal/query"
+)
+
+// TSAttr is the pseudo-attribute resolving to an event's timestamp when the
+// payload does not define an attribute of the same name.
+const TSAttr = "ts"
+
+// Eval errors.
+var (
+	// ErrMissingAttr is wrapped when an event lacks a referenced attribute.
+	ErrMissingAttr = errors.New("missing attribute")
+	// ErrType is wrapped on dynamic type mismatches.
+	ErrType = errors.New("type error")
+	// ErrDivZero is wrapped on integer division or modulo by zero.
+	ErrDivZero = errors.New("division by zero")
+	// ErrUnboundSlot is wrapped when a binding slot holds no event.
+	ErrUnboundSlot = errors.New("unbound slot")
+)
+
+// SlotResolver maps a pattern variable name to its binding slot.
+type SlotResolver func(varName string) (slot int, ok bool)
+
+// Compiled is an executable expression.
+type Compiled struct {
+	eval func(binding []event.Event) (event.Value, error)
+	// refs is the set of slots the expression reads.
+	refs []int
+	// mask is the slot set as a bitmask (slots < 64).
+	mask uint64
+	src  string
+}
+
+// Refs returns the slots the expression reads, in ascending order.
+func (c *Compiled) Refs() []int { return c.refs }
+
+// Mask returns the referenced slots as a bitmask.
+func (c *Compiled) Mask() uint64 { return c.mask }
+
+// String returns the source form of the compiled expression.
+func (c *Compiled) String() string { return c.src }
+
+// Eval computes the expression value under the binding.
+func (c *Compiled) Eval(binding []event.Event) (event.Value, error) {
+	return c.eval(binding)
+}
+
+// EvalBool evaluates and requires a boolean result.
+func (c *Compiled) EvalBool(binding []event.Event) (bool, error) {
+	v, err := c.eval(binding)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, fmt.Errorf("predicate %s yielded %s, want bool: %w", c.src, v.Kind(), ErrType)
+	}
+	return b, nil
+}
+
+// Compile builds an evaluator for the expression. Variable references are
+// resolved through the resolver; unknown variables are compile errors.
+// Slots must be below 64 (patterns are far shorter in practice).
+func Compile(e query.Expr, resolve SlotResolver) (*Compiled, error) {
+	c := &compiler{resolve: resolve, refSet: make(map[int]bool)}
+	fn, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]int, 0, len(c.refSet))
+	var mask uint64
+	for s := range c.refSet {
+		refs = append(refs, s)
+		mask |= 1 << uint(s)
+	}
+	sortInts(refs)
+	return &Compiled{eval: fn, refs: refs, mask: mask, src: e.String()}, nil
+}
+
+type compiler struct {
+	resolve SlotResolver
+	refSet  map[int]bool
+}
+
+type evalFn func(binding []event.Event) (event.Value, error)
+
+func (c *compiler) compile(e query.Expr) (evalFn, error) {
+	switch n := e.(type) {
+	case *query.Literal:
+		v := n.Val
+		return func([]event.Event) (event.Value, error) { return v, nil }, nil
+	case *query.AttrRef:
+		return c.compileAttrRef(n)
+	case *query.UnaryExpr:
+		return c.compileUnary(n)
+	case *query.BinaryExpr:
+		return c.compileBinary(n)
+	default:
+		return nil, fmt.Errorf("unsupported expression node %T at %s", e, e.Pos())
+	}
+}
+
+func (c *compiler) compileAttrRef(n *query.AttrRef) (evalFn, error) {
+	slot, ok := c.resolve(n.Var)
+	if !ok {
+		return nil, fmt.Errorf("unknown variable %q at %s", n.Var, n.At)
+	}
+	if slot < 0 || slot >= 64 {
+		return nil, fmt.Errorf("slot %d out of range for %q", slot, n.Var)
+	}
+	c.refSet[slot] = true
+	attr := n.Attr
+	ref := n.String()
+	return func(binding []event.Event) (event.Value, error) {
+		if slot >= len(binding) {
+			return event.Value{}, fmt.Errorf("%s: slot %d: %w", ref, slot, ErrUnboundSlot)
+		}
+		ev := binding[slot]
+		if v, ok := ev.Attr(attr); ok {
+			return v, nil
+		}
+		if attr == TSAttr {
+			return event.Int(ev.TS), nil
+		}
+		return event.Value{}, fmt.Errorf("%s on %s: %w", ref, ev.Type, ErrMissingAttr)
+	}, nil
+}
+
+func (c *compiler) compileUnary(n *query.UnaryExpr) (evalFn, error) {
+	x, err := c.compile(n.X)
+	if err != nil {
+		return nil, err
+	}
+	if n.Not {
+		return func(binding []event.Event) (event.Value, error) {
+			v, err := x(binding)
+			if err != nil {
+				return event.Value{}, err
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return event.Value{}, fmt.Errorf("NOT on %s: %w", v.Kind(), ErrType)
+			}
+			return event.Bool(!b), nil
+		}, nil
+	}
+	return func(binding []event.Event) (event.Value, error) {
+		v, err := x(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		switch v.Kind() {
+		case event.KindInt:
+			i, _ := v.AsInt()
+			return event.Int(-i), nil
+		case event.KindFloat:
+			f, _ := v.AsFloat()
+			return event.Float(-f), nil
+		default:
+			return event.Value{}, fmt.Errorf("negation on %s: %w", v.Kind(), ErrType)
+		}
+	}, nil
+}
+
+func (c *compiler) compileBinary(n *query.BinaryExpr) (evalFn, error) {
+	left, err := c.compile(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.compile(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	op := n.Op
+	switch {
+	case op.IsLogical():
+		return compileLogical(op, left, right), nil
+	case op.IsComparison():
+		return compileComparison(op, left, right), nil
+	case op.IsArithmetic():
+		return compileArithmetic(op, left, right), nil
+	default:
+		return nil, fmt.Errorf("unknown operator %s at %s", op, n.At)
+	}
+}
+
+func compileLogical(op query.BinaryOp, left, right evalFn) evalFn {
+	// AND/OR short-circuit: the right operand is not evaluated (and cannot
+	// error) when the left operand decides the result.
+	return func(binding []event.Event) (event.Value, error) {
+		lv, err := left(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return event.Value{}, fmt.Errorf("%s on %s: %w", op, lv.Kind(), ErrType)
+		}
+		if op == query.OpAnd && !lb {
+			return event.Bool(false), nil
+		}
+		if op == query.OpOr && lb {
+			return event.Bool(true), nil
+		}
+		rv, err := right(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		rb, ok := rv.AsBool()
+		if !ok {
+			return event.Value{}, fmt.Errorf("%s on %s: %w", op, rv.Kind(), ErrType)
+		}
+		return event.Bool(rb), nil
+	}
+}
+
+func compileComparison(op query.BinaryOp, left, right evalFn) evalFn {
+	return func(binding []event.Event) (event.Value, error) {
+		lv, err := left(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		rv, err := right(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		switch op {
+		case query.OpEq:
+			return event.Bool(lv.Equal(rv)), nil
+		case query.OpNeq:
+			return event.Bool(!lv.Equal(rv)), nil
+		}
+		cmp, err := lv.Compare(rv)
+		if err != nil {
+			return event.Value{}, fmt.Errorf("%s: %w", op, err)
+		}
+		switch op {
+		case query.OpLt:
+			return event.Bool(cmp < 0), nil
+		case query.OpLte:
+			return event.Bool(cmp <= 0), nil
+		case query.OpGt:
+			return event.Bool(cmp > 0), nil
+		default: // OpGte
+			return event.Bool(cmp >= 0), nil
+		}
+	}
+}
+
+func compileArithmetic(op query.BinaryOp, left, right evalFn) evalFn {
+	return func(binding []event.Event) (event.Value, error) {
+		lv, err := left(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		rv, err := right(binding)
+		if err != nil {
+			return event.Value{}, err
+		}
+		if !lv.IsNumeric() || !rv.IsNumeric() {
+			return event.Value{}, fmt.Errorf("%s on %s and %s: %w", op, lv.Kind(), rv.Kind(), ErrType)
+		}
+		if op == query.OpMod {
+			li, lok := lv.AsInt()
+			ri, rok := rv.AsInt()
+			if !lok || !rok {
+				return event.Value{}, fmt.Errorf("%% needs integers, got %s and %s: %w", lv.Kind(), rv.Kind(), ErrType)
+			}
+			if ri == 0 {
+				return event.Value{}, fmt.Errorf("%%: %w", ErrDivZero)
+			}
+			return event.Int(li % ri), nil
+		}
+		if lv.Kind() == event.KindInt && rv.Kind() == event.KindInt {
+			li, _ := lv.AsInt()
+			ri, _ := rv.AsInt()
+			switch op {
+			case query.OpAdd:
+				return event.Int(li + ri), nil
+			case query.OpSub:
+				return event.Int(li - ri), nil
+			case query.OpMul:
+				return event.Int(li * ri), nil
+			default: // OpDiv
+				if ri == 0 {
+					return event.Value{}, fmt.Errorf("/: %w", ErrDivZero)
+				}
+				return event.Int(li / ri), nil
+			}
+		}
+		lf, _ := lv.AsFloat()
+		rf, _ := rv.AsFloat()
+		switch op {
+		case query.OpAdd:
+			return event.Float(lf + rf), nil
+		case query.OpSub:
+			return event.Float(lf - rf), nil
+		case query.OpMul:
+			return event.Float(lf * rf), nil
+		default: // OpDiv
+			if rf == 0 {
+				return event.Value{}, fmt.Errorf("/: %w", ErrDivZero)
+			}
+			return event.Float(lf / rf), nil
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"oostream/internal/event"
+)
+
+// Query is the parsed form of a pattern query.
+type Query struct {
+	// Components are the SEQ components in source order, positive and
+	// negative interleaved.
+	Components []Component
+	// Where is the predicate expression, or nil if absent.
+	Where Expr
+	// Within is the window length in logical milliseconds; 0 means the
+	// WITHIN clause was absent (engines treat that as an error at plan
+	// time: unbounded sequence queries need unbounded state).
+	Within event.Time
+	// Return lists the projection items; empty means "return the events".
+	Return []ReturnItem
+}
+
+// Component is one element of the SEQ pattern.
+type Component struct {
+	// Type is the event type name to match.
+	Type string
+	// Var is the variable bound to the matched event.
+	Var string
+	// Negated marks a !() component.
+	Negated bool
+	// Pos is the source position of the component.
+	Pos Pos
+}
+
+// ReturnItem is one projection in the RETURN clause.
+type ReturnItem struct {
+	// Expr computes the output value.
+	Expr Expr
+	// Name is the output column name (from AS, or synthesized).
+	Name string
+}
+
+// String reconstructs a canonical query text (normalized keywords/spacing).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("PATTERN SEQ(")
+	for i, c := range q.Components {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c.Negated {
+			fmt.Fprintf(&b, "!(%s %s)", c.Type, c.Var)
+		} else {
+			fmt.Fprintf(&b, "%s %s", c.Type, c.Var)
+		}
+	}
+	b.WriteString(")")
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if q.Within > 0 {
+		fmt.Fprintf(&b, " WITHIN %dms", q.Within)
+	}
+	if len(q.Return) > 0 {
+		b.WriteString(" RETURN ")
+		for i, r := range q.Return {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s AS %s", r.Expr.String(), r.Name)
+		}
+	}
+	return b.String()
+}
+
+// Expr is a node of the predicate/projection expression tree.
+type Expr interface {
+	fmt.Stringer
+	// Pos returns the source position of the expression.
+	Pos() Pos
+	exprNode()
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpInvalid BinaryOp = iota
+	OpAnd
+	OpOr
+	OpEq
+	OpNeq
+	OpLt
+	OpLte
+	OpGt
+	OpGte
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var binaryOpNames = map[BinaryOp]string{
+	OpAnd: "AND", OpOr: "OR",
+	OpEq: "=", OpNeq: "!=", OpLt: "<", OpLte: "<=", OpGt: ">", OpGte: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+}
+
+// String returns the operator's source spelling.
+func (op BinaryOp) String() string {
+	if s, ok := binaryOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// comparable operands.
+func (op BinaryOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNeq, OpLt, OpLte, OpGt, OpGte:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsArithmetic reports whether the operator is numeric.
+func (op BinaryOp) IsArithmetic() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsLogical reports whether the operator combines booleans.
+func (op BinaryOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+	At          Pos
+}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	// Op is OpSub for negation or OpAnd is never used; Not distinguishes.
+	Not bool // true: logical NOT; false: arithmetic negation
+	X   Expr
+	At  Pos
+}
+
+// AttrRef is a variable.attribute reference.
+type AttrRef struct {
+	Var  string
+	Attr string
+	At   Pos
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val event.Value
+	At  Pos
+}
+
+func (e *BinaryExpr) exprNode() {}
+func (e *UnaryExpr) exprNode()  {}
+func (e *AttrRef) exprNode()    {}
+func (e *Literal) exprNode()    {}
+
+// Pos returns the operator position.
+func (e *BinaryExpr) Pos() Pos { return e.At }
+
+// Pos returns the operator position.
+func (e *UnaryExpr) Pos() Pos { return e.At }
+
+// Pos returns the reference position.
+func (e *AttrRef) Pos() Pos { return e.At }
+
+// Pos returns the literal position.
+func (e *Literal) Pos() Pos { return e.At }
+
+// String renders the expression with full parenthesization.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// String renders the expression.
+func (e *UnaryExpr) String() string {
+	if e.Not {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(-%s)", e.X)
+}
+
+// String renders var.attr.
+func (e *AttrRef) String() string { return e.Var + "." + e.Attr }
+
+// String renders the constant.
+func (e *Literal) String() string { return e.Val.String() }
+
+// Vars returns the set of pattern variables an expression references.
+func Vars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectVars(e, out)
+	return out
+}
+
+func collectVars(e Expr, out map[string]bool) {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		collectVars(n.Left, out)
+		collectVars(n.Right, out)
+	case *UnaryExpr:
+		collectVars(n.X, out)
+	case *AttrRef:
+		out[n.Var] = true
+	case *Literal:
+	}
+}
+
+// Conjuncts splits an expression on top-level ANDs into its conjuncts.
+// For a nil expression it returns nil.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.Left), Conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}

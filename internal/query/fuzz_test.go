@@ -1,0 +1,55 @@
+package query
+
+import "testing"
+
+// Native fuzz targets (run the seed corpus in ordinary `go test`; explore
+// with `go test -fuzz=FuzzParse ./internal/query`).
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"PATTERN SEQ(A a, B b) WITHIN 100",
+		"PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e) WHERE s.id = e.id AND s.id = c.id WITHIN 12h RETURN s.id AS item",
+		"PATTERN SEQ(T a, T b) WHERE b.x > a.x + 1 * 2 WITHIN 5s",
+		"PATTERN SEQ(!(N n), A a) WHERE NOT (a.ok = TRUE OR n.x != 0.5) WITHIN 3m",
+		"PATTERN SEQ(A a) WHERE a.s = 'quo\\'te' WITHIN 1d -- comment",
+		"pattern seq(a a) within 1",
+		"PATTERN SEQ(A a) WITHIN 100 garbage",
+		"PATTERN SEQ(",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the canonical form.
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("canonical form of %q unparseable: %v", src, err)
+		}
+		if q.String() != again.String() {
+			t.Fatalf("canonical form unstable:\n%q\n%q", q.String(), again.String())
+		}
+	})
+}
+
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"a.x = 1", "a.x + b.y * 2 <= 3.5", "NOT (a.b = 'x') AND c.d != FALSE",
+		"-a.x % 2 = 0", "((a.x))", "1 = ", ". .", "5s + 1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseExpr(e.String()); err != nil {
+			t.Fatalf("canonical expr %q unparseable: %v", e.String(), err)
+		}
+	})
+}

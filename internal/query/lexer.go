@@ -1,0 +1,264 @@
+package query
+
+import (
+	"strings"
+	"unicode"
+)
+
+// durationUnits maps suffixes to their length in logical milliseconds.
+var durationUnits = map[string]int64{
+	"ms": 1,
+	"s":  1000,
+	"m":  60 * 1000,
+	"h":  60 * 60 * 1000,
+	"d":  24 * 60 * 60 * 1000,
+}
+
+// lexer produces tokens from query source text.
+type lexer struct {
+	src  []rune
+	pos  int // index into src
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token list ending in a
+// TokenEOF, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var tokens []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		tokens = append(tokens, tok)
+		if tok.Kind == TokenEOF {
+			return tokens, nil
+		}
+	}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) rune {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '-' && lx.peekAt(1) == '-':
+			// SQL-style line comment.
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peekAt(1) == '*':
+			start := lx.here()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return syntaxErrorf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.here()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokenEOF, Pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case isIdentStart(r):
+		return lx.lexIdent(pos), nil
+	case unicode.IsDigit(r):
+		return lx.lexNumber(pos)
+	case r == '\'' || r == '"':
+		return lx.lexString(pos)
+	}
+
+	lx.advance()
+	simple := func(kind TokenKind, text string) (Token, error) {
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	}
+	switch r {
+	case '(':
+		return simple(TokenLParen, "(")
+	case ')':
+		return simple(TokenRParen, ")")
+	case ',':
+		return simple(TokenComma, ",")
+	case '.':
+		return simple(TokenDot, ".")
+	case '+':
+		return simple(TokenPlus, "+")
+	case '-':
+		return simple(TokenMinus, "-")
+	case '*':
+		return simple(TokenStar, "*")
+	case '/':
+		return simple(TokenSlash, "/")
+	case '%':
+		return simple(TokenPercent, "%")
+	case '!':
+		if lx.peek() == '=' {
+			lx.advance()
+			return simple(TokenNeq, "!=")
+		}
+		return simple(TokenBang, "!")
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return simple(TokenEq, "==")
+		}
+		return simple(TokenEq, "=")
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return simple(TokenLte, "<=")
+		}
+		if lx.peek() == '>' {
+			lx.advance()
+			return simple(TokenNeq, "<>")
+		}
+		return simple(TokenLt, "<")
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return simple(TokenGte, ">=")
+		}
+		return simple(TokenGt, ">")
+	}
+	return Token{}, syntaxErrorf(pos, "unexpected character %q", r)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) lexIdent(pos Pos) Token {
+	var sb strings.Builder
+	for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+		sb.WriteRune(lx.advance())
+	}
+	text := sb.String()
+	if kind, ok := keywords[strings.ToUpper(text)]; ok {
+		return Token{Kind: kind, Text: text, Pos: pos}
+	}
+	return Token{Kind: TokenIdent, Text: text, Pos: pos}
+}
+
+func (lx *lexer) lexNumber(pos Pos) (Token, error) {
+	var sb strings.Builder
+	for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+		sb.WriteRune(lx.advance())
+	}
+	isFloat := false
+	if lx.peek() == '.' && unicode.IsDigit(lx.peekAt(1)) {
+		isFloat = true
+		sb.WriteRune(lx.advance())
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			sb.WriteRune(lx.advance())
+		}
+	}
+	// Duration suffix: ms, s, m, h, d directly after the digits.
+	if !isFloat && isIdentStart(lx.peek()) {
+		var suffix strings.Builder
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			suffix.WriteRune(lx.advance())
+		}
+		sfx := strings.ToLower(suffix.String())
+		if _, ok := durationUnits[sfx]; !ok {
+			return Token{}, syntaxErrorf(pos, "invalid duration unit %q (want ms, s, m, h, or d)", suffix.String())
+		}
+		return Token{Kind: TokenDur, Text: sb.String() + sfx, Pos: pos}, nil
+	}
+	kind := TokenInt
+	if isFloat {
+		kind = TokenFloat
+	}
+	return Token{Kind: kind, Text: sb.String(), Pos: pos}, nil
+}
+
+func (lx *lexer) lexString(pos Pos) (Token, error) {
+	quote := lx.advance()
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, syntaxErrorf(pos, "unterminated string literal")
+		}
+		r := lx.advance()
+		if r == quote {
+			return Token{Kind: TokenString, Text: sb.String(), Pos: pos}, nil
+		}
+		if r == '\\' {
+			if lx.pos >= len(lx.src) {
+				return Token{}, syntaxErrorf(pos, "unterminated string escape")
+			}
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteRune(esc)
+			default:
+				return Token{}, syntaxErrorf(pos, "invalid string escape \\%c", esc)
+			}
+			continue
+		}
+		sb.WriteRune(r)
+	}
+}

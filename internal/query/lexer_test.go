@@ -1,0 +1,179 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(tokens []Token) []TokenKind {
+	out := make([]TokenKind, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicQuery(t *testing.T) {
+	tokens, err := Lex("PATTERN SEQ(A a, B b) WHERE a.x = b.y WITHIN 100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokenPattern, TokenSeq, TokenLParen, TokenIdent, TokenIdent, TokenComma,
+		TokenIdent, TokenIdent, TokenRParen, TokenWhere, TokenIdent, TokenDot,
+		TokenIdent, TokenEq, TokenIdent, TokenDot, TokenIdent, TokenWithin,
+		TokenDur, TokenEOF,
+	}
+	got := kinds(tokens)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	tokens, err := Lex("pattern Seq wHeRe and OR not true FALSE within return as")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokenPattern, TokenSeq, TokenWhere, TokenAnd, TokenOr, TokenNot,
+		TokenTrue, TokenFalse, TokenWithin, TokenReturn, TokenAs, TokenEOF,
+	}
+	got := kinds(tokens)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	tokens, err := Lex("= == != <> < <= > >= + - * / % ! ( ) , .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokenEq, TokenEq, TokenNeq, TokenNeq, TokenLt, TokenLte, TokenGt,
+		TokenGte, TokenPlus, TokenMinus, TokenStar, TokenSlash, TokenPercent,
+		TokenBang, TokenLParen, TokenRParen, TokenComma, TokenDot, TokenEOF,
+	}
+	got := kinds(tokens)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind TokenKind
+		text string
+	}{
+		{"42", TokenInt, "42"},
+		{"3.14", TokenFloat, "3.14"},
+		{"0", TokenInt, "0"},
+		{"100ms", TokenDur, "100ms"},
+		{"5s", TokenDur, "5s"},
+		{"12H", TokenDur, "12h"},
+		{"7d", TokenDur, "7d"},
+		{"3m", TokenDur, "3m"},
+	}
+	for _, tt := range tests {
+		tokens, err := Lex(tt.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", tt.src, err)
+			continue
+		}
+		if tokens[0].Kind != tt.kind || tokens[0].Text != tt.text {
+			t.Errorf("Lex(%q) = %s %q, want %s %q", tt.src, tokens[0].Kind, tokens[0].Text, tt.kind, tt.text)
+		}
+	}
+}
+
+func TestLexBadDurationUnit(t *testing.T) {
+	if _, err := Lex("100q"); err == nil || !strings.Contains(err.Error(), "duration unit") {
+		t.Errorf("want duration unit error, got %v", err)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`'hello'`, "hello"},
+		{`"hello"`, "hello"},
+		{`'it\'s'`, "it's"},
+		{`"tab\there"`, "tab\there"},
+		{`"line\nbreak"`, "line\nbreak"},
+		{`"back\\slash"`, `back\slash`},
+		{`''`, ""},
+	}
+	for _, tt := range tests {
+		tokens, err := Lex(tt.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", tt.src, err)
+			continue
+		}
+		if tokens[0].Kind != TokenString || tokens[0].Text != tt.want {
+			t.Errorf("Lex(%q) = %q, want %q", tt.src, tokens[0].Text, tt.want)
+		}
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`'unterminated`, `'bad \q escape'`, `'trailing \`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	tokens, err := Lex("a -- line comment\n b /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens: %v", len(tokens), tokens)
+	}
+	if tokens[2].Text != "c" {
+		t.Errorf("third token = %q, want c", tokens[2].Text)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex("a /* never closed"); err == nil {
+		t.Fatal("want error for unterminated block comment")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	tokens, err := Lex("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens[0].Pos != (Pos{1, 1}) {
+		t.Errorf("ab at %v, want 1:1", tokens[0].Pos)
+	}
+	if tokens[1].Pos != (Pos{2, 3}) {
+		t.Errorf("cd at %v, want 2:3", tokens[1].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	_, err := Lex("a @ b")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("want unexpected character error, got %v", err)
+	}
+}

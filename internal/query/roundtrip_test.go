@@ -1,0 +1,128 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomQuerySrc builds a random but valid query text.
+func randomQuerySrc(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("PATTERN SEQ(")
+	n := rng.Intn(4) + 1
+	vars := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		v := fmt.Sprintf("v%d", i)
+		vars = append(vars, v)
+		if rng.Intn(4) == 0 && i > 0 {
+			fmt.Fprintf(&b, "!(T%d %s)", rng.Intn(3), v)
+		} else {
+			fmt.Fprintf(&b, "T%d %s", rng.Intn(3), v)
+		}
+	}
+	b.WriteString(")")
+	if rng.Intn(2) == 0 {
+		b.WriteString(" WHERE ")
+		conjuncts := rng.Intn(3) + 1
+		for i := 0; i < conjuncts; i++ {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			v1 := vars[rng.Intn(len(vars))]
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&b, "%s.x = %d", v1, rng.Intn(100))
+			case 1:
+				v2 := vars[rng.Intn(len(vars))]
+				fmt.Fprintf(&b, "%s.id = %s.id", v1, v2)
+			case 2:
+				fmt.Fprintf(&b, "%s.p > %d.%d", v1, rng.Intn(10), rng.Intn(10))
+			default:
+				fmt.Fprintf(&b, "(%s.a + %d) * 2 <= %s.b", v1, rng.Intn(5), v1)
+			}
+		}
+	}
+	fmt.Fprintf(&b, " WITHIN %d", rng.Intn(1000)+1)
+	if rng.Intn(3) == 0 {
+		fmt.Fprintf(&b, " RETURN %s.out AS o1", vars[0])
+	}
+	return b.String()
+}
+
+// TestParseStringRoundTripProperty: parsing a query's canonical String()
+// reproduces the same canonical form (parse ∘ print is idempotent).
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomQuerySrc(rng)
+		q1, err := Parse(src)
+		if err != nil {
+			t.Logf("generator produced invalid query %q: %v", src, err)
+			return false
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Logf("canonical form unparseable %q: %v", q1.String(), err)
+			return false
+		}
+		return q1.String() == q2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerNeverPanicsOnGarbage: arbitrary byte soup must produce a token
+// stream or an error, never a panic or an infinite loop.
+func TestLexerNeverPanicsOnGarbage(t *testing.T) {
+	f := func(src string) bool {
+		tokens, err := Lex(src)
+		if err != nil {
+			return true
+		}
+		return len(tokens) > 0 && tokens[len(tokens)-1].Kind == TokenEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnGarbage: same for the parser.
+func TestParserNeverPanicsOnGarbage(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse(src)
+		_, _ = ParseExpr(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup: sequences of VALID tokens in random
+// order exercise deeper parser paths than byte soup.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	words := []string{
+		"PATTERN", "SEQ", "WHERE", "WITHIN", "RETURN", "AS", "AND", "OR",
+		"NOT", "TRUE", "FALSE", "(", ")", ",", ".", "!", "=", "!=", "<",
+		"<=", ">", ">=", "+", "-", "*", "/", "%", "ident", "42", "2.5",
+		"'str'", "5s",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(20) + 1
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		_, _ = Parse(src)
+		_, _ = ParseExpr(src)
+	}
+}

@@ -1,0 +1,149 @@
+// Package query implements the event pattern query language: lexer, parser,
+// abstract syntax tree, and semantic analysis. The language follows the
+// SASE-style surface syntax used by the paper:
+//
+//	PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e)
+//	WHERE   s.id = e.id AND s.id = c.id
+//	WITHIN  12h
+//	RETURN  s.id AS item, e.ts AS leftAt
+//
+// Timestamps and windows are logical milliseconds; duration literals accept
+// the suffixes ms, s, m, h, d (no suffix means milliseconds).
+package query
+
+import "fmt"
+
+// TokenKind identifies a lexical token class.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenInvalid TokenKind = iota
+	TokenEOF
+	TokenIdent   // names: event types, variables, attributes
+	TokenInt     // integer literal
+	TokenFloat   // float literal
+	TokenString  // 'single' or "double" quoted
+	TokenDur     // duration literal with suffix, e.g. 12h
+	TokenLParen  // (
+	TokenRParen  // )
+	TokenComma   // ,
+	TokenDot     // .
+	TokenBang    // !
+	TokenEq      // = or ==
+	TokenNeq     // !=
+	TokenLt      // <
+	TokenLte     // <=
+	TokenGt      // >
+	TokenGte     // >=
+	TokenPlus    // +
+	TokenMinus   // -
+	TokenStar    // *
+	TokenSlash   // /
+	TokenPercent // %
+	// Keywords (case-insensitive in source).
+	TokenPattern
+	TokenSeq
+	TokenWhere
+	TokenWithin
+	TokenReturn
+	TokenAs
+	TokenAnd
+	TokenOr
+	TokenNot
+	TokenTrue
+	TokenFalse
+)
+
+var tokenNames = map[TokenKind]string{
+	TokenInvalid: "invalid",
+	TokenEOF:     "end of input",
+	TokenIdent:   "identifier",
+	TokenInt:     "integer",
+	TokenFloat:   "float",
+	TokenString:  "string",
+	TokenDur:     "duration",
+	TokenLParen:  "'('",
+	TokenRParen:  "')'",
+	TokenComma:   "','",
+	TokenDot:     "'.'",
+	TokenBang:    "'!'",
+	TokenEq:      "'='",
+	TokenNeq:     "'!='",
+	TokenLt:      "'<'",
+	TokenLte:     "'<='",
+	TokenGt:      "'>'",
+	TokenGte:     "'>='",
+	TokenPlus:    "'+'",
+	TokenMinus:   "'-'",
+	TokenStar:    "'*'",
+	TokenSlash:   "'/'",
+	TokenPercent: "'%'",
+	TokenPattern: "PATTERN",
+	TokenSeq:     "SEQ",
+	TokenWhere:   "WHERE",
+	TokenWithin:  "WITHIN",
+	TokenReturn:  "RETURN",
+	TokenAs:      "AS",
+	TokenAnd:     "AND",
+	TokenOr:      "OR",
+	TokenNot:     "NOT",
+	TokenTrue:    "TRUE",
+	TokenFalse:   "FALSE",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	// Text is the raw source text; for strings it is the unquoted content,
+	// for durations the full literal including the suffix.
+	Text string
+	Pos  Pos
+}
+
+// keywords maps upper-cased identifier text to keyword kinds.
+var keywords = map[string]TokenKind{
+	"PATTERN": TokenPattern,
+	"SEQ":     TokenSeq,
+	"WHERE":   TokenWhere,
+	"WITHIN":  TokenWithin,
+	"RETURN":  TokenReturn,
+	"AS":      TokenAs,
+	"AND":     TokenAnd,
+	"OR":      TokenOr,
+	"NOT":     TokenNot,
+	"TRUE":    TokenTrue,
+	"FALSE":   TokenFalse,
+}
+
+// SyntaxError describes a lexical or parse failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+func syntaxErrorf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

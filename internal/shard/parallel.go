@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/plan"
+)
+
+// Parallel runs each shard's engine on its own goroutine, connected by
+// one-slot channels. Output order across shards is nondeterministic but
+// the match multiset equals the sequential Engine's.
+type Parallel struct {
+	router *Router
+	parts  []engine.Engine
+}
+
+// NewParallel wraps per-shard engines for concurrent execution.
+func NewParallel(router *Router, factory func(shard int) (engine.Engine, error)) (*Parallel, error) {
+	parts := make([]engine.Engine, router.Shards())
+	for i := range parts {
+		en, err := factory(i)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = en
+	}
+	return &Parallel{router: router, parts: parts}, nil
+}
+
+// Run consumes events from in until closed or cancelled, routing each to
+// its shard's goroutine, and forwards all matches to out (closed before
+// returning). Route errors (missing key attribute) drop the event.
+func (p *Parallel) Run(ctx context.Context, in <-chan event.Event, out chan<- plan.Match) error {
+	defer close(out)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	feeds := make([]chan event.Event, len(p.parts))
+	merged := make(chan plan.Match, 1)
+	errs := make(chan error, len(p.parts))
+	var wg sync.WaitGroup
+	for i, part := range p.parts {
+		feeds[i] = make(chan event.Event, 1)
+		wg.Add(1)
+		go func(en engine.Engine, feed <-chan event.Event) {
+			defer wg.Done()
+			errs <- p.runShard(ctx, en, feed, merged)
+		}(part, feeds[i])
+	}
+	// Closer: ends the merge loop when every shard is done.
+	mergeDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(mergeDone)
+	}()
+
+	forwardErr := make(chan error, 1)
+	go func() {
+		defer close(forwardErr)
+		for {
+			select {
+			case m := <-merged:
+				select {
+				case out <- m:
+				case <-ctx.Done():
+					forwardErr <- ctx.Err()
+					return
+				}
+			case <-mergeDone:
+				for {
+					select {
+					case m := <-merged:
+						select {
+						case out <- m:
+						case <-ctx.Done():
+							forwardErr <- ctx.Err()
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	var runErr error
+feed:
+	for {
+		select {
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break feed
+		case e, ok := <-in:
+			if !ok {
+				break feed
+			}
+			shard, err := p.router.Route(e)
+			if err != nil {
+				continue // drop: cannot belong to any partitioned match
+			}
+			select {
+			case feeds[shard] <- e:
+			case <-ctx.Done():
+				runErr = ctx.Err()
+				break feed
+			}
+		}
+	}
+	for _, feed := range feeds {
+		close(feed)
+	}
+	for range p.parts {
+		if err := <-errs; err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if err := <-forwardErr; err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+func (p *Parallel) runShard(ctx context.Context, en engine.Engine, feed <-chan event.Event, merged chan<- plan.Match) error {
+	send := func(matches []plan.Match) error {
+		for _, m := range matches {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case merged <- m:
+			}
+		}
+		return nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case e, ok := <-feed:
+			if !ok {
+				return send(en.Flush())
+			}
+			if err := send(en.Process(e)); err != nil {
+				return err
+			}
+		}
+	}
+}

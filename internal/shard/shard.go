@@ -1,0 +1,200 @@
+// Package shard scales pattern matching across key partitions: when every
+// component of a query is linked by equality on one attribute (checked by
+// plan.PartitionableBy), the stream can be hash-partitioned on that
+// attribute and each partition matched independently — the classic
+// scale-out for CEP engines, here applied to the out-of-order setting
+// (each shard keeps its own stacks, clock, and purge horizon; disorder
+// bounds hold per shard because each shard sees a subsequence of the
+// arrival order, which can only shrink delays... see note on Clock below).
+//
+// Two execution modes are provided: Engine (sequential routing, implements
+// engine.Engine, deterministic output order) and Parallel (one goroutine
+// per shard over channels, multiset-equal output).
+//
+// Clock note: a shard only observes its own partition's max timestamp, so
+// its safe clock lags the global one — pending negation output seals later
+// than a single engine would, but never incorrectly. Routing heartbeats
+// (Advance) to every shard, as both modes do on Flush, re-synchronizes
+// them.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/metrics"
+	"oostream/internal/plan"
+)
+
+// Router assigns events to shards by hashing a key attribute.
+type Router struct {
+	attr   string
+	shards int
+}
+
+// NewRouter builds a router over n shards keyed on attr.
+func NewRouter(attr string, n int) (*Router, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard count must be positive, got %d", n)
+	}
+	if attr == "" {
+		return nil, fmt.Errorf("partition attribute must not be empty")
+	}
+	return &Router{attr: attr, shards: n}, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Route returns the shard for an event, or an error when the event lacks
+// the key attribute.
+func (r *Router) Route(e event.Event) (int, error) {
+	v, ok := e.Attr(r.attr)
+	if !ok {
+		return 0, fmt.Errorf("event %s lacks partition attribute %q", e.Type, r.attr)
+	}
+	return int(hashValue(v) % uint64(r.shards)), nil
+}
+
+// hashValue hashes an attribute value. Int(k) and Float(k) hash equal for
+// integral k, matching Value.Equal's cross-kind semantics.
+func hashValue(v event.Value) uint64 {
+	h := fnv.New64a()
+	switch v.Kind() {
+	case event.KindInt:
+		i, _ := v.AsInt()
+		writeU64(h, uint64(i))
+	case event.KindFloat:
+		f, _ := v.AsFloat()
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			writeU64(h, uint64(int64(f)))
+		} else {
+			writeU64(h, math.Float64bits(f))
+		}
+	case event.KindString:
+		s, _ := v.AsString()
+		h.Write([]byte(s))
+	case event.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// Engine partitions a stream across sub-engines, sequentially. It
+// implements engine.Engine and, when the sub-engines support heartbeats,
+// engine.Advancer.
+type Engine struct {
+	router *Router
+	parts  []engine.Engine
+	met    metrics.Collector
+	// routeErrors counts events lacking the key attribute (dropped).
+	routeErrors uint64
+}
+
+var _ engine.Engine = (*Engine)(nil)
+var _ engine.Advancer = (*Engine)(nil)
+
+// New builds a partitioned engine. The factory is called once per shard;
+// p must be PartitionableBy the router's attribute — callers (the facade)
+// validate that.
+func New(router *Router, factory func(shard int) (engine.Engine, error)) (*Engine, error) {
+	parts := make([]engine.Engine, router.Shards())
+	for i := range parts {
+		en, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		parts[i] = en
+	}
+	return &Engine{router: router, parts: parts}, nil
+}
+
+// Name implements engine.Engine.
+func (en *Engine) Name() string { return "shard(" + en.parts[0].Name() + ")" }
+
+// Process implements engine.Engine: routes to one shard. Events without
+// the key attribute are counted and dropped (they cannot participate in
+// any match of a partitionable query).
+func (en *Engine) Process(e event.Event) []plan.Match {
+	shard, err := en.router.Route(e)
+	if err != nil {
+		en.routeErrors++
+		en.met.IncPredError(err)
+		return nil
+	}
+	return en.parts[shard].Process(e)
+}
+
+// Advance implements engine.Advancer: heartbeats go to every shard,
+// re-synchronizing their clocks.
+func (en *Engine) Advance(ts event.Time) []plan.Match {
+	var out []plan.Match
+	for _, p := range en.parts {
+		if adv, ok := p.(engine.Advancer); ok {
+			out = append(out, adv.Advance(ts)...)
+		}
+	}
+	return out
+}
+
+// Flush implements engine.Engine.
+func (en *Engine) Flush() []plan.Match {
+	var out []plan.Match
+	for _, p := range en.parts {
+		out = append(out, p.Flush()...)
+	}
+	return out
+}
+
+// RouteErrors returns how many events lacked the partition attribute.
+func (en *Engine) RouteErrors() uint64 { return en.routeErrors }
+
+// StateSize implements engine.Engine: the sum over shards.
+func (en *Engine) StateSize() int {
+	total := 0
+	for _, p := range en.parts {
+		total += p.StateSize()
+	}
+	return total
+}
+
+// Metrics implements engine.Engine by summing shard counters. PeakState is
+// the sum of per-shard peaks (an upper bound on the true simultaneous
+// peak); latency histograms are merged exactly.
+func (en *Engine) Metrics() metrics.Snapshot {
+	var agg metrics.Snapshot
+	for _, p := range en.parts {
+		s := p.Metrics()
+		agg.EventsIn += s.EventsIn
+		agg.EventsLate += s.EventsLate
+		agg.EventsOOO += s.EventsOOO
+		agg.Irrelevant += s.Irrelevant
+		agg.Matches += s.Matches
+		agg.Retractions += s.Retractions
+		agg.PredErrors += s.PredErrors
+		agg.Purged += s.Purged
+		agg.PurgeCalls += s.PurgeCalls
+		agg.Probes += s.Probes
+		agg.EmptyProbes += s.EmptyProbes
+		agg.LiveState += s.LiveState
+		agg.PeakState += s.PeakState
+	}
+	agg.PredErrors += en.routeErrors
+	return agg
+}

@@ -1,0 +1,408 @@
+// Package speculate implements the aggressive/speculative output strategy
+// sketched as the alternative design point to the paper's conservative
+// negation handling (and developed fully in the authors' ICDE'09 follow-up):
+// matches are emitted the moment their positive binding completes, without
+// waiting for negation gaps to seal; if a qualifying negative event later
+// arrives, a compensating Retract match is emitted for each invalidated
+// result.
+//
+// For queries without negation the speculative engine behaves exactly like
+// the native engine (which already emits eagerly). With negation it trades
+// output finality for latency: downstream consumers must handle revisions.
+// Invariant I7: the insert stream minus the retract stream converges to the
+// exact result set once the stream is sealed.
+package speculate
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"oostream/internal/ais"
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/metrics"
+	"oostream/internal/plan"
+)
+
+// Options configure the speculative engine.
+type Options struct {
+	// K is the disorder bound, as in the native engine. It controls purge
+	// horizons and when an emitted match stops being retractable.
+	K event.Time
+	// PurgeEvery runs a purge pass every PurgeEvery events (0 = default
+	// 64, negative = never).
+	PurgeEvery int
+}
+
+const defaultPurgeEvery = 64
+
+// Engine is the aggressive out-of-order SSC engine with compensation.
+type Engine struct {
+	plan      *plan.Plan
+	opts      Options
+	stacks    *ais.Stacks
+	negStores []*negStore
+	// vulnerable tracks emitted matches that can still be retracted,
+	// keyed by match key, with a heap for sealing-time expiry.
+	vulnerable map[string]*vulnEntry
+	expiry     vulnHeap
+	clock      event.Time
+	started    bool
+	arrival    uint64
+	since      int
+	met        metrics.Collector
+}
+
+type vulnEntry struct {
+	events []event.Event
+	key    string
+	sealTS event.Time
+	// retracted marks entries already compensated (lazily removed from
+	// the expiry heap).
+	retracted bool
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// New builds a speculative engine.
+func New(p *plan.Plan, opts Options) (*Engine, error) {
+	if opts.K < 0 {
+		return nil, fmt.Errorf("K must be >= 0, got %d", opts.K)
+	}
+	if opts.PurgeEvery == 0 {
+		opts.PurgeEvery = defaultPurgeEvery
+	}
+	en := &Engine{
+		plan:       p,
+		opts:       opts,
+		stacks:     ais.New(p.Len()),
+		negStores:  make([]*negStore, len(p.Negatives)),
+		vulnerable: make(map[string]*vulnEntry),
+	}
+	for i := range en.negStores {
+		en.negStores[i] = &negStore{}
+	}
+	return en, nil
+}
+
+// MustNew is New for known-good options.
+func MustNew(p *plan.Plan, opts Options) *Engine {
+	en, err := New(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return en
+}
+
+// Name implements engine.Engine.
+func (en *Engine) Name() string { return "speculate" }
+
+// Metrics implements engine.Engine.
+func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
+
+// StateSize implements engine.Engine.
+func (en *Engine) StateSize() int {
+	total := en.stacks.Size() + len(en.vulnerable)
+	for _, ns := range en.negStores {
+		total += ns.len()
+	}
+	return total
+}
+
+const minTime = event.Time(-1 << 62)
+
+func (en *Engine) safe() event.Time {
+	if !en.started {
+		return minTime
+	}
+	return en.clock - en.opts.K
+}
+
+// Process implements engine.Engine.
+func (en *Engine) Process(e event.Event) []plan.Match {
+	en.arrival++
+	if !en.plan.Relevant(e.Type) {
+		en.met.IncIrrelevant()
+		return nil
+	}
+	isOOO := en.started && e.TS < en.clock
+	en.met.IncIn(isOOO)
+	if en.started && e.TS < en.safe() {
+		en.met.IncLate()
+		return nil
+	}
+	if e.TS > en.clock || !en.started {
+		en.clock = e.TS
+		en.started = true
+	}
+	var out []plan.Match
+	if !en.plan.ConstFalse {
+		for _, negIdx := range en.plan.NegativesForType(e.Type) {
+			if plan.EvalLocal(en.plan.Negatives[negIdx].Local, e, en.met.IncPredError) {
+				en.negStores[negIdx].insert(e)
+				out = en.retractInvalidated(negIdx, e, out)
+			}
+		}
+		last := en.plan.Len() - 1
+		for _, pos := range en.plan.PositionsForType(e.Type) {
+			if !plan.EvalLocal(en.plan.Positives[pos].Local, e, en.met.IncPredError) {
+				continue
+			}
+			inst := en.stacks.Insert(pos, e)
+			if pos == last || isOOO {
+				out = en.construct(inst, pos, out)
+			}
+		}
+	}
+	en.expireVulnerable()
+	en.maybePurge()
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// Advance implements engine.Advancer: a heartbeat moves the clock forward,
+// finalizing (expiring) vulnerable matches whose gaps it seals and purging
+// state. Speculative output was already emitted, so no matches result.
+func (en *Engine) Advance(ts event.Time) []plan.Match {
+	if !en.started || ts > en.clock {
+		en.clock = ts
+		en.started = true
+	}
+	en.expireVulnerable()
+	en.since = en.opts.PurgeEvery
+	en.maybePurge()
+	en.met.SetLiveState(en.StateSize())
+	return nil
+}
+
+// Flush implements engine.Engine: everything was already emitted eagerly;
+// remaining vulnerable entries simply become final.
+func (en *Engine) Flush() []plan.Match {
+	en.vulnerable = make(map[string]*vulnEntry)
+	en.expiry = nil
+	en.met.SetLiveState(en.StateSize())
+	return nil
+}
+
+// retractInvalidated compensates emitted matches whose gap the new negative
+// event falls into.
+func (en *Engine) retractInvalidated(negIdx int, neg event.Event, out []plan.Match) []plan.Match {
+	for _, v := range en.vulnerable {
+		if v.retracted {
+			continue
+		}
+		lo, hi := en.plan.GapBounds(negIdx, v.events)
+		if neg.TS <= lo || neg.TS >= hi {
+			continue
+		}
+		if !en.plan.NegMatches(negIdx, neg, v.events, en.met.IncPredError) {
+			continue
+		}
+		v.retracted = true
+		delete(en.vulnerable, v.key)
+		m := plan.Match{
+			Kind:      plan.Retract,
+			Events:    v.events,
+			EmitSeq:   event.Seq(en.arrival),
+			EmitClock: en.clock,
+		}
+		en.met.AddMatch(true, 0, 0)
+		out = append(out, m)
+	}
+	return out
+}
+
+// construct is the same middle-out enumeration as the native engine's.
+func (en *Engine) construct(trigger *ais.Instance, pos int, out []plan.Match) []plan.Match {
+	n := en.plan.Len()
+	binding := make([]event.Event, n)
+	binding[pos] = trigger.Event
+	mask := uint64(1) << uint(pos)
+	if !en.plan.CrossSatisfiedAt(pos, mask, binding, en.met.IncPredError) {
+		return out
+	}
+	var down func(p int, mask uint64)
+	var up func(p int, mask uint64)
+	down = func(p int, mask uint64) {
+		if p < 0 {
+			up(pos+1, mask)
+			return
+		}
+		s := en.stacks.Stack(p)
+		lowTS := trigger.Event.TS - en.plan.Window
+		for i := s.UpperBound(binding[p+1].TS) - 1; i >= 0; i-- {
+			cand := s.At(i)
+			if cand.Event.TS < lowTS {
+				break
+			}
+			binding[p] = cand.Event
+			m := mask | 1<<uint(p)
+			if en.plan.CrossSatisfiedAt(p, m, binding, en.met.IncPredError) {
+				down(p-1, m)
+			}
+		}
+	}
+	up = func(p int, mask uint64) {
+		if p >= n {
+			out = en.emit(binding, out)
+			return
+		}
+		s := en.stacks.Stack(p)
+		highTS := binding[0].TS + en.plan.Window
+		for i := s.FirstAfter(binding[p-1].TS); i < s.Len(); i++ {
+			cand := s.At(i)
+			if cand.Event.TS > highTS {
+				break
+			}
+			binding[p] = cand.Event
+			m := mask | 1<<uint(p)
+			if en.plan.CrossSatisfiedAt(p, m, binding, en.met.IncPredError) {
+				up(p+1, m)
+			}
+		}
+	}
+	down(pos-1, mask)
+	return out
+}
+
+// emit checks the negatives known so far and, if none invalidates the
+// binding, emits immediately — registering the match as vulnerable while
+// any of its gaps is still unsealed.
+func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
+	events := make([]event.Event, len(binding))
+	copy(events, binding)
+	sealTS := minTime
+	for negIdx := range en.plan.Negatives {
+		lo, hi := en.plan.GapBounds(negIdx, events)
+		if en.negStores[negIdx].anyInGap(lo, hi, func(t event.Event) bool {
+			return en.plan.NegMatches(negIdx, t, events, en.met.IncPredError)
+		}) {
+			return out
+		}
+		if hi > sealTS {
+			sealTS = hi
+		}
+	}
+	fields, err := en.plan.Project(events)
+	if err != nil {
+		en.met.IncPredError(err)
+		return out
+	}
+	m := plan.Match{
+		Kind:      plan.Insert,
+		Events:    events,
+		Fields:    fields,
+		EmitSeq:   event.Seq(en.arrival),
+		EmitClock: en.clock,
+	}
+	en.met.AddMatch(false, en.clock-m.Last().TS, 0)
+	out = append(out, m)
+	if sealTS > en.safe() {
+		v := &vulnEntry{events: events, key: m.Key(), sealTS: sealTS}
+		en.vulnerable[v.key] = v
+		heap.Push(&en.expiry, v)
+	}
+	return out
+}
+
+// expireVulnerable drops entries whose gaps the safe clock sealed: they can
+// no longer be invalidated.
+func (en *Engine) expireVulnerable() {
+	safe := en.safe()
+	for en.expiry.Len() > 0 {
+		top := en.expiry[0]
+		if !top.retracted && top.sealTS > safe {
+			break
+		}
+		heap.Pop(&en.expiry)
+		if !top.retracted {
+			delete(en.vulnerable, top.key)
+		}
+	}
+}
+
+func (en *Engine) maybePurge() {
+	if en.opts.PurgeEvery < 0 {
+		return
+	}
+	en.since++
+	if en.since < en.opts.PurgeEvery {
+		return
+	}
+	en.since = 0
+	safe := en.safe()
+	last := en.plan.Len() - 1
+	purged := en.stacks.PurgeBefore(func(pos int) event.Time {
+		if pos == last {
+			return safe
+		}
+		return safe - en.plan.Window
+	})
+	for _, ns := range en.negStores {
+		purged += ns.purgeBefore(safe - 2*en.plan.Window)
+	}
+	if purged > 0 {
+		en.met.ObservePurge(purged)
+	}
+}
+
+// vulnHeap is a min-heap of vulnerable entries on sealTS.
+type vulnHeap []*vulnEntry
+
+func (h vulnHeap) Len() int           { return len(h) }
+func (h vulnHeap) Less(i, j int) bool { return h[i].sealTS < h[j].sealTS }
+func (h vulnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *vulnHeap) Push(x any)        { *h = append(*h, x.(*vulnEntry)) }
+func (h *vulnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return out
+}
+
+// negStore is a sorted buffer of negative events (same structure as the
+// native engine's; kept package-local so each engine stays self-contained).
+type negStore struct {
+	items []event.Event
+}
+
+func (s *negStore) len() int { return len(s.items) }
+
+func (s *negStore) insert(e event.Event) {
+	idx := sort.Search(len(s.items), func(i int) bool {
+		return e.Before(s.items[i])
+	})
+	s.items = append(s.items, event.Event{})
+	copy(s.items[idx+1:], s.items[idx:])
+	s.items[idx] = e
+}
+
+func (s *negStore) anyInGap(lo, hi event.Time, check func(event.Event) bool) bool {
+	start := sort.Search(len(s.items), func(i int) bool {
+		return s.items[i].TS > lo
+	})
+	for i := start; i < len(s.items) && s.items[i].TS < hi; i++ {
+		if check(s.items[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *negStore) purgeBefore(horizon event.Time) int {
+	cut := sort.Search(len(s.items), func(i int) bool {
+		return s.items[i].TS >= horizon
+	})
+	if cut == 0 {
+		return 0
+	}
+	n := copy(s.items, s.items[cut:])
+	for i := n; i < len(s.items); i++ {
+		s.items[i] = event.Event{}
+	}
+	s.items = s.items[:n]
+	return cut
+}

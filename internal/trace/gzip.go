@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// gzipMagic is the two-byte gzip header.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// NewAutoReader wraps r, transparently decompressing gzip input (detected
+// by its magic bytes); plain JSONL passes through. The returned closer is
+// non-nil only for gzip input and must be closed after reading.
+func NewAutoReader(r io.Reader) (*Reader, io.Closer, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, nil, err
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewReader(zr), zr, nil
+	}
+	return NewReader(br), nil, nil
+}
+
+// GzipWriter is a trace writer that compresses its output. Close flushes
+// both layers.
+type GzipWriter struct {
+	*Writer
+	zw *gzip.Writer
+}
+
+// NewGzipWriter wraps w with gzip compression.
+func NewGzipWriter(w io.Writer) *GzipWriter {
+	zw := gzip.NewWriter(w)
+	return &GzipWriter{Writer: NewWriter(zw), zw: zw}
+}
+
+// Close flushes the JSONL buffer and finalizes the gzip stream.
+func (w *GzipWriter) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return w.zw.Close()
+}

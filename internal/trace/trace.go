@@ -1,0 +1,190 @@
+// Package trace serializes event streams as JSON Lines, one event per
+// line, for the command-line tools (espgen writes traces, esprun replays
+// them). The format keeps arrival order — a shuffled trace replayed from a
+// file reproduces the disorder exactly — and round-trips every value kind.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oostream/internal/event"
+)
+
+// wireEvent is the serialized event shape.
+type wireEvent struct {
+	Type  string               `json:"type"`
+	TS    int64                `json:"ts"`
+	Seq   uint64               `json:"seq"`
+	Attrs map[string]wireValue `json:"attrs,omitempty"`
+}
+
+// wireValue is a tagged union; exactly one pointer field is set.
+type wireValue struct {
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+}
+
+func toWire(e event.Event) (wireEvent, error) {
+	w := wireEvent{Type: e.Type, TS: e.TS, Seq: e.Seq}
+	if len(e.Attrs) > 0 {
+		w.Attrs = make(map[string]wireValue, len(e.Attrs))
+		for k, v := range e.Attrs {
+			wv, err := valueToWire(v)
+			if err != nil {
+				return wireEvent{}, fmt.Errorf("attribute %q: %w", k, err)
+			}
+			w.Attrs[k] = wv
+		}
+	}
+	return w, nil
+}
+
+func valueToWire(v event.Value) (wireValue, error) {
+	switch v.Kind() {
+	case event.KindInt:
+		i, _ := v.AsInt()
+		return wireValue{Int: &i}, nil
+	case event.KindFloat:
+		f, _ := v.AsFloat()
+		return wireValue{Float: &f}, nil
+	case event.KindString:
+		s, _ := v.AsString()
+		return wireValue{Str: &s}, nil
+	case event.KindBool:
+		b, _ := v.AsBool()
+		return wireValue{Bool: &b}, nil
+	default:
+		return wireValue{}, fmt.Errorf("cannot serialize %s value", v.Kind())
+	}
+}
+
+func fromWire(w wireEvent) (event.Event, error) {
+	e := event.Event{Type: w.Type, TS: w.TS, Seq: w.Seq}
+	if len(w.Attrs) > 0 {
+		e.Attrs = make(event.Attrs, len(w.Attrs))
+		for k, wv := range w.Attrs {
+			v, err := valueFromWire(wv)
+			if err != nil {
+				return event.Event{}, fmt.Errorf("attribute %q: %w", k, err)
+			}
+			e.Attrs[k] = v
+		}
+	}
+	return e, nil
+}
+
+func valueFromWire(w wireValue) (event.Value, error) {
+	set := 0
+	var v event.Value
+	if w.Int != nil {
+		set++
+		v = event.Int(*w.Int)
+	}
+	if w.Float != nil {
+		set++
+		v = event.Float(*w.Float)
+	}
+	if w.Str != nil {
+		set++
+		v = event.Str(*w.Str)
+	}
+	if w.Bool != nil {
+		set++
+		v = event.Bool(*w.Bool)
+	}
+	if set != 1 {
+		return event.Value{}, fmt.Errorf("value must set exactly one field, got %d", set)
+	}
+	return v, nil
+}
+
+// Writer encodes events to a stream.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event.
+func (w *Writer) Write(e event.Event) error {
+	we, err := toWire(e)
+	if err != nil {
+		return err
+	}
+	return w.enc.Encode(we)
+}
+
+// WriteAll appends a slice of events.
+func (w *Writer) WriteAll(events []event.Event) error {
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output; call before closing the underlying file.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader decodes events from a stream.
+type Reader struct {
+	scanner *bufio.Scanner
+	line    int
+}
+
+// NewReader wraps r. Lines up to 16 MiB are accepted.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scanner: sc}
+}
+
+// Read returns the next event, or io.EOF at end of stream.
+func (r *Reader) Read() (event.Event, error) {
+	for r.scanner.Scan() {
+		r.line++
+		raw := r.scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var w wireEvent
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return event.Event{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		e, err := fromWire(w)
+		if err != nil {
+			return event.Event{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return e, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return event.Event{}, err
+	}
+	return event.Event{}, io.EOF
+}
+
+// ReadAll consumes the remaining events.
+func (r *Reader) ReadAll() ([]event.Event, error) {
+	var out []event.Event
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/gen"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	in := []event.Event{
+		{Type: "A", TS: 10, Seq: 1, Attrs: event.Attrs{
+			"i": event.Int(-42),
+			"f": event.Float(2.5),
+			"s": event.Str("hé\"llo\n"),
+			"b": event.Bool(true),
+		}},
+		{Type: "B", TS: -5, Seq: 2},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("count = %d", len(out))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Type != b.Type || a.TS != b.TS || a.Seq != b.Seq || len(a.Attrs) != len(b.Attrs) {
+			t.Fatalf("event %d header mismatch: %v vs %v", i, a, b)
+		}
+		for k, v := range a.Attrs {
+			if !b.Attrs[k].Equal(v) || b.Attrs[k].Kind() != v.Kind() {
+				t.Fatalf("event %d attr %s: %v vs %v", i, k, v, b.Attrs[k])
+			}
+		}
+	}
+}
+
+func TestRoundTripWorkloadPreservesArrivalOrder(t *testing.T) {
+	events := gen.Shuffle(gen.RFID(gen.DefaultRFID(50, 3)), gen.Disorder{Ratio: 0.3, MaxDelay: 500, Seed: 4})
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if out[i].Seq != events[i].Seq {
+			t.Fatalf("arrival order changed at %d", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name, input string
+	}{
+		{"bad json", "{not json}\n"},
+		{"no value fields", `{"type":"A","ts":1,"seq":1,"attrs":{"x":{}}}` + "\n"},
+		{"two value fields", `{"type":"A","ts":1,"seq":1,"attrs":{"x":{"int":1,"str":"s"}}}` + "\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(tt.input)).ReadAll()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), "line 1") {
+				t.Errorf("error should cite the line: %v", err)
+			}
+		})
+	}
+}
+
+func TestEmptyLinesSkipped(t *testing.T) {
+	input := "\n" + `{"type":"A","ts":1,"seq":1}` + "\n\n" + `{"type":"B","ts":2,"seq":2}` + "\n"
+	out, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil || len(out) != 2 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestWriteInvalidValue(t *testing.T) {
+	w := NewWriter(io.Discard)
+	err := w.Write(event.Event{Type: "A", Attrs: event.Attrs{"x": {}}})
+	if err == nil {
+		t.Fatal("invalid value should not serialize")
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	events := gen.Uniform(200, []string{"A", "B"}, 4, 10, 5)
+	var buf bytes.Buffer
+	w := NewGzipWriter(&buf)
+	if err := w.WriteAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, closer, err := NewAutoReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer == nil {
+		t.Fatal("gzip input should return a closer")
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(out), len(events))
+	}
+	for i := range out {
+		if out[i].Seq != events[i].Seq {
+			t.Fatal("order changed")
+		}
+	}
+}
+
+func TestAutoReaderPlainInput(t *testing.T) {
+	input := `{"type":"A","ts":1,"seq":1}` + "\n"
+	r, closer, err := NewAutoReader(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer != nil {
+		t.Fatal("plain input should not return a closer")
+	}
+	out, err := r.ReadAll()
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestAutoReaderEmptyAndShortInput(t *testing.T) {
+	for _, input := range []string{"", "{"} {
+		if _, _, err := NewAutoReader(strings.NewReader(input)); err != nil {
+			t.Errorf("input %q: %v", input, err)
+		}
+	}
+	// Corrupt gzip header after magic fails cleanly.
+	if _, _, err := NewAutoReader(strings.NewReader("\x1f\x8bgarbage")); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,326 @@
+// Package oostream is a complex event processing library for event streams
+// with out-of-order data arrival, reproducing Li, Liu, Ding, Rundensteiner,
+// and Mani, "Event Stream Processing with Out-of-Order Data Arrival"
+// (ICDCS Workshops 2007).
+//
+// It evaluates SASE-style sequence pattern queries
+//
+//	PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e)
+//	WHERE   s.id = e.id AND s.id = c.id
+//	WITHIN  12h
+//
+// over unbounded event streams whose events may arrive out of timestamp
+// order, under a bounded-disorder (K-slack) assumption. Four interchangeable
+// strategies implement the same query semantics:
+//
+//   - StrategyNative — the paper's contribution: timestamp-sorted active
+//     instance stacks with out-of-order insertion and predecessor repair,
+//     construction triggered by the out-of-order event itself, safe-clock
+//     state purging, and deferred (exact) negation output.
+//   - StrategyInOrder — the classic SASE engine. Exact on sorted input;
+//     misses matches and emits premature negation results under disorder
+//     (the paper's problem analysis).
+//   - StrategyKSlack — a K-slack reorder buffer in front of the in-order
+//     engine. Exact under the bound, but every result pays up to K latency
+//     and the buffer holds the whole recent stream.
+//   - StrategySpeculate — the aggressive extension: emits eagerly and
+//     compensates wrong negation output with Retract matches.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package oostream
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"oostream/internal/core"
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/inorder"
+	"oostream/internal/kslack"
+	"oostream/internal/metrics"
+	"oostream/internal/ordered"
+	"oostream/internal/plan"
+	"oostream/internal/runtime"
+	"oostream/internal/shard"
+	"oostream/internal/speculate"
+)
+
+// Re-exported event model types. Events carry an application timestamp in
+// logical milliseconds and an arrival-independent sequence number used for
+// identity and tie-breaking.
+type (
+	// Event is a single stream occurrence.
+	Event = event.Event
+	// Attrs is an event payload.
+	Attrs = event.Attrs
+	// Value is a dynamically typed attribute value.
+	Value = event.Value
+	// Time is a logical timestamp (milliseconds).
+	Time = event.Time
+	// Seq is an event sequence number.
+	Seq = event.Seq
+	// Schema declares event types for query checking.
+	Schema = event.Schema
+	// Kind enumerates value kinds.
+	Kind = event.Kind
+	// Match is one pattern occurrence (or a Retract compensation).
+	Match = plan.Match
+	// MatchKind distinguishes Insert results from Retract compensations.
+	MatchKind = plan.MatchKind
+	// Metrics is a snapshot of an engine's counters.
+	Metrics = metrics.Snapshot
+)
+
+// Value constructors and kinds, re-exported.
+var (
+	// Int wraps an int64 attribute value.
+	Int = event.Int
+	// Float wraps a float64 attribute value.
+	Float = event.Float
+	// Str wraps a string attribute value.
+	Str = event.Str
+	// Bool wraps a bool attribute value.
+	Bool = event.Bool
+	// NewSchema creates an empty schema.
+	NewSchema = event.NewSchema
+	// NewEvent constructs an event with a copied attribute map.
+	NewEvent = event.New
+)
+
+// Value kind constants, re-exported.
+const (
+	KindInt    = event.KindInt
+	KindFloat  = event.KindFloat
+	KindString = event.KindString
+	KindBool   = event.KindBool
+)
+
+// Match kinds, re-exported.
+const (
+	Insert  = plan.Insert
+	Retract = plan.Retract
+)
+
+// Query is a compiled pattern query, safe for use by multiple engines.
+type Query struct {
+	plan *plan.Plan
+}
+
+// Compile parses, analyzes, and plans a query. A non-nil schema enables
+// attribute existence and kind checking at compile time.
+func Compile(src string, schema *Schema) (*Query, error) {
+	p, err := plan.ParseAndCompile(src, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{plan: p}, nil
+}
+
+// MustCompile is Compile for known-good query text; it panics on error.
+func MustCompile(src string, schema *Schema) *Query {
+	q, err := Compile(src, schema)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Source returns the canonical text of the compiled query.
+func (q *Query) Source() string { return q.plan.Source }
+
+// Window returns the query's WITHIN length.
+func (q *Query) Window() Time { return q.plan.Window }
+
+// PatternLen returns the number of positive components.
+func (q *Query) PatternLen() int { return q.plan.Len() }
+
+// HasNegation reports whether the query has negated components.
+func (q *Query) HasNegation() bool { return q.plan.HasNegation() }
+
+// Explain renders a human-readable description of the compiled plan:
+// sequence steps, predicate placement, negation gaps, projection, and the
+// attributes the query can be partitioned by.
+func (q *Query) Explain() string { return q.plan.Describe() }
+
+// PartitionableBy reports whether hash-partitioning the stream on attr
+// preserves the result set (see NewPartitionedEngine).
+func (q *Query) PartitionableBy(attr string) bool { return q.plan.PartitionableBy(attr) }
+
+// SameResults compares two match slices as multisets (applying Retract
+// compensations) and describes the difference when they diverge.
+func SameResults(a, b []Match) (bool, string) { return plan.SameResults(a, b) }
+
+// Engine evaluates one compiled query under a chosen strategy.
+//
+// Engines are not safe for concurrent Process calls; use Run (or the
+// fan-out helpers) for channel-based concurrent plumbing.
+type Engine struct {
+	inner   engine.Engine
+	nextSeq event.Seq
+}
+
+// NewEngine builds an engine for the query. See Config for the strategy
+// and disorder-bound knobs.
+func NewEngine(q *Query, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var inner engine.Engine
+	switch cfg.Strategy {
+	case StrategyNative:
+		en, err := core.New(q.plan, core.Options{
+			K:                 cfg.K,
+			LatePolicy:        cfg.corePolicy(),
+			DisableTriggerOpt: cfg.DisableTriggerOpt,
+			PurgeEvery:        cfg.PurgeEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inner = en
+	case StrategyInOrder:
+		inner = inorder.New(q.plan)
+	case StrategyKSlack:
+		inner = kslack.NewEngine(cfg.K, inorder.New(q.plan))
+	case StrategySpeculate:
+		en, err := speculate.New(q.plan, speculate.Options{K: cfg.K, PurgeEvery: cfg.PurgeEvery})
+		if err != nil {
+			return nil, err
+		}
+		inner = en
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", cfg.Strategy)
+	}
+	if cfg.OrderedOutput {
+		wrapped, err := ordered.New(inner, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		inner = wrapped
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// MustNewEngine is NewEngine for known-good configuration.
+func MustNewEngine(q *Query, cfg Config) *Engine {
+	en, err := NewEngine(q, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return en
+}
+
+// Strategy returns the engine's strategy name.
+func (e *Engine) Strategy() string { return e.inner.Name() }
+
+// Process ingests one event and returns the matches it emits. Events with
+// Seq zero are assigned the next arrival sequence number automatically;
+// events carrying a Seq keep it (useful when the caller needs stable match
+// identity across strategies).
+func (e *Engine) Process(ev Event) []Match {
+	if ev.Seq == 0 {
+		e.nextSeq++
+		ev.Seq = e.nextSeq
+	} else if ev.Seq > e.nextSeq {
+		e.nextSeq = ev.Seq
+	}
+	return e.inner.Process(ev)
+}
+
+// ProcessAll ingests a finite slice and returns all matches, including the
+// end-of-stream flush.
+func (e *Engine) ProcessAll(events []Event) []Match {
+	var out []Match
+	for _, ev := range events {
+		out = append(out, e.Process(ev)...)
+	}
+	return append(out, e.Flush()...)
+}
+
+// Flush seals the stream: pending negation output is finalized. Process
+// must not be called afterwards.
+func (e *Engine) Flush() []Match { return e.inner.Flush() }
+
+// Advance sends a heartbeat (punctuation): the source promises that stream
+// time has reached ts, even if no event carries that timestamp. Engines use
+// it to seal pending negation output and purge state through silent
+// periods. Every built-in strategy supports it.
+func (e *Engine) Advance(ts Time) []Match {
+	if adv, ok := e.inner.(engine.Advancer); ok {
+		return adv.Advance(ts)
+	}
+	return nil
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics { return e.inner.Metrics() }
+
+// StateSize returns the engine's current buffered-item count.
+func (e *Engine) StateSize() int { return e.inner.StateSize() }
+
+// Checkpoint serializes the engine's state for crash recovery. Only the
+// native strategy supports checkpointing; other strategies return an
+// error. A RestoreEngine'd engine continues the stream exactly where this
+// one stopped. When combined with auto-assigned sequence numbers, feed
+// events with explicit Seq values across the restore boundary (the
+// auto-assign counter is not part of the checkpoint).
+func (e *Engine) Checkpoint(w io.Writer) error {
+	ce, ok := e.inner.(*core.Engine)
+	if !ok {
+		return fmt.Errorf("strategy %q does not support checkpointing", e.inner.Name())
+	}
+	return ce.Checkpoint(w)
+}
+
+// RestoreEngine rebuilds a native engine from a Checkpoint. The query must
+// be compiled from the same text the checkpointed engine ran.
+func RestoreEngine(q *Query, r io.Reader) (*Engine, error) {
+	ce, err := core.Restore(q.plan, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: ce}, nil
+}
+
+// NewPartitionedEngine builds an engine that hash-partitions the stream on
+// the given attribute across shard sub-engines (each configured by cfg) —
+// the scale-out deployment for queries whose components are all linked by
+// equality on one attribute, e.g. `s.id = e.id AND s.id = c.id` partitions
+// by "id". Compilation fails when the query is not partitionable by the
+// attribute: matches could then span partitions and results would be lost.
+//
+// The partitioned engine processes sequentially (deterministic); for
+// goroutine-per-shard execution see internal/shard.Parallel via Run on a
+// per-shard basis, or simply run one partitioned engine per core upstream.
+func NewPartitionedEngine(q *Query, cfg Config, byAttr string, shards int) (*Engine, error) {
+	if !q.plan.PartitionableBy(byAttr) {
+		return nil, fmt.Errorf("query is not partitionable by %q: every component must be linked by equality on it", byAttr)
+	}
+	router, err := shard.NewRouter(byAttr, shards)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.New(router, func(int) (engine.Engine, error) {
+		sub, err := NewEngine(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sub.inner, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Run consumes events from in until it closes or ctx is cancelled,
+// forwarding matches to out; it flushes on end-of-stream and closes out
+// before returning. Auto-assignment of Seq is NOT applied on this path —
+// feed events with sequence numbers (generators assign them).
+func (e *Engine) Run(ctx context.Context, in <-chan Event, out chan<- Match) error {
+	return runtime.NewPipeline(e.inner).Run(ctx, in, out)
+}

@@ -1,0 +1,185 @@
+package oostream
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"oostream/internal/gen"
+)
+
+func rfidQuery(t *testing.T) *Query {
+	t.Helper()
+	q, err := Compile(`
+		PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e)
+		WHERE s.id = e.id AND s.id = c.id
+		WITHIN 10s`, gen.RFIDSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestCompileWithSchema(t *testing.T) {
+	q := rfidQuery(t)
+	if q.PatternLen() != 2 || !q.HasNegation() || q.Window() != 10_000 {
+		t.Errorf("query accessors: len=%d neg=%v win=%d", q.PatternLen(), q.HasNegation(), q.Window())
+	}
+	if !strings.Contains(q.Source(), "SEQ(SHELF s") {
+		t.Errorf("Source() = %q", q.Source())
+	}
+	// Schema violations are compile errors.
+	if _, err := Compile("PATTERN SEQ(SHELF s) WHERE s.nope = 1 WITHIN 5", gen.RFIDSchema()); err == nil {
+		t.Error("bad attribute should fail compilation")
+	}
+	if _, err := Compile("PATTERN SEQ(", nil); err == nil {
+		t.Error("syntax error should fail compilation")
+	}
+}
+
+func TestAllStrategiesAgreeOnSortedInput(t *testing.T) {
+	q := rfidQuery(t)
+	events := gen.RFID(gen.DefaultRFID(200, 5))
+	var ref []Match
+	for i, s := range Strategies() {
+		en, err := NewEngine(q, Config{Strategy: s, K: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := en.ProcessAll(events)
+		if i == 0 {
+			ref = got
+			if len(ref) == 0 {
+				t.Fatal("no shoplifting matches in sanity workload")
+			}
+			continue
+		}
+		if ok, diff := SameResults(ref, got); !ok {
+			t.Errorf("strategy %s differs on sorted input:\n%s", s, diff)
+		}
+	}
+}
+
+func TestExactStrategiesAgreeUnderDisorder(t *testing.T) {
+	q := rfidQuery(t)
+	sorted := gen.RFID(gen.DefaultRFID(200, 6))
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.2, MaxDelay: 2000, Seed: 7})
+
+	want := MustNewEngine(q, Config{Strategy: StrategyInOrder}).ProcessAll(sorted)
+	for _, s := range []Strategy{StrategyNative, StrategyKSlack, StrategySpeculate} {
+		got := MustNewEngine(q, Config{Strategy: s, K: 2000}).ProcessAll(shuffled)
+		if ok, diff := SameResults(want, got); !ok {
+			t.Errorf("strategy %s wrong under disorder:\n%s", s, diff)
+		}
+	}
+	// And the naive engine is NOT exact under disorder (sanity that the
+	// experiment's premise holds).
+	naive := MustNewEngine(q, Config{Strategy: StrategyInOrder}).ProcessAll(shuffled)
+	if ok, _ := SameResults(want, naive); ok {
+		t.Log("note: naive engine happened to be correct on this shuffle")
+	}
+}
+
+func TestAutoSeqAssignment(t *testing.T) {
+	q := MustCompile("PATTERN SEQ(A a, B b) WITHIN 100", nil)
+	en := MustNewEngine(q, Config{K: 10})
+	en.Process(Event{Type: "A", TS: 1})
+	out := en.Process(Event{Type: "B", TS: 2})
+	if len(out) != 1 {
+		t.Fatalf("matches = %v", out)
+	}
+	if out[0].Events[0].Seq == 0 || out[0].Events[1].Seq == 0 {
+		t.Error("auto seq not assigned")
+	}
+	if out[0].Events[0].Seq == out[0].Events[1].Seq {
+		t.Error("seqs must be unique")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	q := MustCompile("PATTERN SEQ(A a) WITHIN 10", nil)
+	if _, err := NewEngine(q, Config{K: -1}); err == nil {
+		t.Error("negative K accepted")
+	}
+	if _, err := NewEngine(q, Config{Strategy: "bogus"}); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if _, err := NewEngine(q, Config{Strategy: StrategyKSlack, BestEffortLate: true}); err == nil {
+		t.Error("BestEffortLate outside native accepted")
+	}
+	if _, err := NewEngine(q, Config{Strategy: StrategyKSlack, DisableTriggerOpt: true}); err == nil {
+		t.Error("DisableTriggerOpt outside native accepted")
+	}
+	en, err := NewEngine(q, Config{})
+	if err != nil || en.Strategy() != "native" {
+		t.Errorf("default strategy: %v %v", en, err)
+	}
+}
+
+func TestEngineRunPipeline(t *testing.T) {
+	q := rfidQuery(t)
+	sorted := gen.RFID(gen.DefaultRFID(100, 8))
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.2, MaxDelay: 1000, Seed: 9})
+	want := MustNewEngine(q, Config{K: 1000}).ProcessAll(shuffled)
+
+	en := MustNewEngine(q, Config{K: 1000})
+	in := make(chan Event)
+	out := make(chan Match, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- en.Run(context.Background(), in, out) }()
+	go func() {
+		for _, e := range shuffled {
+			in <- e
+		}
+		close(in)
+	}()
+	var got []Match
+	for m := range out {
+		got = append(got, m)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := SameResults(want, got); !ok {
+		t.Fatalf("pipeline output differs:\n%s", diff)
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	q := rfidQuery(t)
+	sorted := gen.RFID(gen.DefaultRFID(100, 1))
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.3, MaxDelay: 1000, Seed: 2})
+	en := MustNewEngine(q, Config{K: 1000})
+	en.ProcessAll(shuffled)
+	m := en.Metrics()
+	if m.EventsIn == 0 || m.EventsOOO == 0 || m.PeakState == 0 {
+		t.Errorf("metrics look empty: %+v", m)
+	}
+	if en.StateSize() < 0 {
+		t.Error("state size negative")
+	}
+}
+
+func TestOrderedOutputConfig(t *testing.T) {
+	q := MustCompile("PATTERN SEQ(A a, B b) WITHIN 50", nil)
+	sorted := gen.Uniform(200, []string{"A", "B"}, 3, 5, 61)
+	shuffled := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.4, MaxDelay: 40, Seed: 62})
+
+	plain := MustNewEngine(q, Config{K: 40}).ProcessAll(shuffled)
+	en := MustNewEngine(q, Config{K: 40, OrderedOutput: true})
+	got := en.ProcessAll(shuffled)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Last().TS > got[i].Last().TS {
+			t.Fatalf("output not ordered at %d", i)
+		}
+	}
+	if ok, diff := SameResults(plain, got); !ok {
+		t.Fatalf("ordered output changed results:\n%s", diff)
+	}
+	if en.Strategy() != "ordered(native)" {
+		t.Errorf("Strategy = %q", en.Strategy())
+	}
+	if _, err := NewEngine(q, Config{Strategy: StrategySpeculate, K: 40, OrderedOutput: true}); err == nil {
+		t.Fatal("speculate + ordered accepted")
+	}
+}
