@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSoakSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-budget", "2s", "-seed", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if s.Trials < 50 {
+		t.Fatalf("only %d trials in 2s; harness slowed drastically", s.Trials)
+	}
+	if s.Failures != 0 {
+		t.Fatalf("%d failures on clean seeds: %s", s.Failures, errOut.String())
+	}
+	if s.LastSeed < s.FirstSeed {
+		t.Fatalf("bad seed accounting: %+v", s)
+	}
+}
+
+func TestTrialCap(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-budget", "30s", "-trials", "7"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 7 {
+		t.Fatalf("trials = %d, want 7", s.Trials)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -132,7 +132,7 @@ func TestFanoutAllStrategies(t *testing.T) {
 	for _, strat := range oostream.Strategies() {
 		cfg := oostream.Config{Strategy: strat, K: tc.k}
 		sequential[string(strat)] = oostream.MustNewEngine(q, cfg).ProcessAll(shuffled)
-		engines = append(engines, newInnerEngine(t, q, cfg))
+		engines = append(engines, oostream.MustNewEngine(q, cfg).Inner())
 	}
 
 	f := runtime.NewFanout(engines...)
@@ -155,24 +155,6 @@ func TestFanoutAllStrategies(t *testing.T) {
 		}
 	}
 }
-
-// newInnerEngine builds a raw engine.Engine for the runtime fan-out (the
-// facade Engine wraps one; the fan-out wants the interface directly).
-func newInnerEngine(t *testing.T, q *oostream.Query, cfg oostream.Config) engine.Engine {
-	t.Helper()
-	return facadeAdapter{oostream.MustNewEngine(q, cfg)}
-}
-
-// facadeAdapter exposes a facade Engine as an engine.Engine.
-type facadeAdapter struct {
-	en *oostream.Engine
-}
-
-func (a facadeAdapter) Name() string                              { return a.en.Strategy() }
-func (a facadeAdapter) Process(e oostream.Event) []oostream.Match { return a.en.Process(e) }
-func (a facadeAdapter) Flush() []oostream.Match                   { return a.en.Flush() }
-func (a facadeAdapter) Metrics() oostream.Metrics                 { return a.en.Metrics() }
-func (a facadeAdapter) StateSize() int                            { return a.en.StateSize() }
 
 // TestLateDropAccounting checks that when the true disorder exceeds the
 // configured K, the native engine reports the violations rather than

@@ -1,0 +1,244 @@
+// Package difftest is the randomized differential-testing harness that
+// guards the library's central claim: every strategy computes the same
+// match multiset. For a generated (query, stream, disorder) triple it runs
+// all four strategies, the ordered-output wrapper, both shard execution
+// modes, and a mid-stream checkpoint/restore round-trip, and compares
+// every result multiset against the brute-force oracle on the sorted
+// stream — which is, by I1, the normative semantics.
+//
+// The harness is deterministic: a trial is a pure function of its seed
+// (Generate), and a trial's verdict is a pure function of its Case (Run),
+// so any failure reproduces from a single printed seed or, after
+// Shrink, from a minimized Go-source literal suitable for checking in as
+// a regression test (see regress_test.go).
+//
+// Properties checked per trial, beyond plain oracle equality:
+//
+//   - arrival-permutation invariance: truth is computed once from the
+//     sorted stream; the engines see an arbitrary K-bounded arrival order
+//     (none, Shuffle, or netsim delivery), so agreement with truth is
+//     agreement across permutations;
+//   - heartbeat-insertion invariance (I9): interleaving safe Advance calls
+//     between events never changes the final multiset;
+//   - speculation convergence (I7): the speculative engine's inserts minus
+//     retracts equal the exact result set after sealing;
+//   - partitioning soundness (I8): sequential and goroutine-per-shard
+//     partitioned execution equal the single engine, as multisets;
+//   - checkpoint transparency: native state serialized and restored
+//     mid-stream continues to the identical result set.
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"oostream"
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/oracle"
+	"oostream/internal/plan"
+	"oostream/internal/shard"
+)
+
+// PartitionAttr is the attribute every generated event carries and
+// partitionable generated queries link on; the shard checks route by it.
+const PartitionAttr = "id"
+
+// shardCount is the shard fan-out used by the partitioned checks. Three
+// shards with small id ranges guarantees both co-located and separated
+// keys occur.
+const shardCount = 3
+
+// Case is one differential trial: a query, a disorder bound, and a
+// concrete arrival order. Sorted truth is derived, not stored — the
+// arrival order IS the test input. Event Seq numbers give events identity
+// across orders and must be unique; Generate assigns them in sorted order.
+type Case struct {
+	// Seed reproduces the case via Generate; 0 for hand-written cases.
+	Seed int64
+	// Query is the pattern query source text.
+	Query string
+	// K is the disorder bound configured on every bounded strategy. It
+	// must dominate the arrival order's real disorder (gen.MaxDelay).
+	K event.Time
+	// Arrival is the stream in arrival order.
+	Arrival []event.Event
+}
+
+// Failure describes a divergence found by Run.
+type Failure struct {
+	// Case is the failing trial (possibly shrunk).
+	Case Case
+	// Check names the property that failed, e.g. "native" or "shard-parallel".
+	Check string
+	// Diff is the multiset diff (oracle vs engine) or error text.
+	Diff string
+	// Truth is the oracle's match count, for the report.
+	Truth int
+}
+
+// Error renders the failure on one line.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("seed %d: check %q diverged (%d truth matches): %s", f.Case.Seed, f.Check, f.Truth, f.Diff)
+}
+
+// Run executes every engine configuration over the case and returns the
+// first divergence from the oracle, or nil when all agree. It is a pure
+// function of the case, which is what makes shrinking sound.
+func Run(c Case) *Failure {
+	p, err := plan.ParseAndCompile(c.Query, Schema())
+	if err != nil {
+		return &Failure{Case: c, Check: "compile", Diff: err.Error()}
+	}
+	q, err := oostream.Compile(c.Query, Schema())
+	if err != nil {
+		return &Failure{Case: c, Check: "compile", Diff: err.Error()}
+	}
+
+	sorted := make([]event.Event, len(c.Arrival))
+	copy(sorted, c.Arrival)
+	event.SortByTime(sorted)
+	truth := oracle.Matches(p, sorted)
+
+	fail := func(check string, got []plan.Match) *Failure {
+		if ok, diff := plan.SameResults(truth, got); !ok {
+			return &Failure{Case: c, Check: check, Diff: diff, Truth: len(truth)}
+		}
+		return nil
+	}
+	errf := func(check string, err error) *Failure {
+		return &Failure{Case: c, Check: check, Diff: err.Error(), Truth: len(truth)}
+	}
+
+	// The in-order engine is exact only on sorted input: cross-check the
+	// engine lineage against the oracle lineage.
+	if f := fail("inorder-sorted", run(q, oostream.Config{Strategy: oostream.StrategyInOrder}, sorted)); f != nil {
+		return f
+	}
+
+	// The three disorder-tolerant strategies on the arrival order.
+	native := oostream.Config{Strategy: oostream.StrategyNative, K: c.K}
+	if f := fail("native", run(q, native, c.Arrival)); f != nil {
+		return f
+	}
+	if f := fail("kslack", run(q, oostream.Config{Strategy: oostream.StrategyKSlack, K: c.K}, c.Arrival)); f != nil {
+		return f
+	}
+	if f := fail("speculate", run(q, oostream.Config{Strategy: oostream.StrategySpeculate, K: c.K}, c.Arrival)); f != nil {
+		return f
+	}
+
+	// Ordered-output wrapper must reorder, never drop or duplicate.
+	if f := fail("native-ordered", run(q, oostream.Config{Strategy: oostream.StrategyNative, K: c.K, OrderedOutput: true}, c.Arrival)); f != nil {
+		return f
+	}
+
+	// Heartbeat-insertion invariance (I9): interleave the strongest safe
+	// Advance between events.
+	if f := fail("native-heartbeat", runWithHeartbeats(q, native, c.Arrival, c.K)); f != nil {
+		return f
+	}
+
+	// Checkpoint/restore round-trip at mid-stream.
+	got, err := runCheckpointed(q, native, c.Arrival)
+	if err != nil {
+		return errf("checkpoint", err)
+	}
+	if f := fail("checkpoint", got); f != nil {
+		return f
+	}
+
+	// Partitioning soundness (I8), both execution modes, when the query
+	// confines matches to one key.
+	if q.PartitionableBy(PartitionAttr) {
+		sharded, err := oostream.NewPartitionedEngine(q, native, PartitionAttr, shardCount)
+		if err != nil {
+			return errf("shard-seq", err)
+		}
+		if f := fail("shard-seq", sharded.ProcessAll(c.Arrival)); f != nil {
+			return f
+		}
+		pgot, err := runParallel(q, native, c.Arrival)
+		if err != nil {
+			return errf("shard-parallel", err)
+		}
+		if f := fail("shard-parallel", pgot); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// run drives a fresh facade engine over the events.
+func run(q *oostream.Query, cfg oostream.Config, events []event.Event) []plan.Match {
+	return oostream.MustNewEngine(q, cfg).ProcessAll(events)
+}
+
+// runWithHeartbeats interleaves the strongest safe Advance between events:
+// after event i, the source can promise time min(future timestamps) + K —
+// anything higher could make a future arrival late. Heartbeats below the
+// engine's clock are exercised too (they must be no-ops).
+func runWithHeartbeats(q *oostream.Query, cfg oostream.Config, events []event.Event, k event.Time) []plan.Match {
+	// minFuture[i] is the smallest timestamp at or after arrival i.
+	minFuture := make([]event.Time, len(events)+1)
+	const maxTime = event.Time(1<<62 - 1)
+	minFuture[len(events)] = maxTime
+	for i := len(events) - 1; i >= 0; i-- {
+		minFuture[i] = minFuture[i+1]
+		if events[i].TS < minFuture[i] {
+			minFuture[i] = events[i].TS
+		}
+	}
+	en := oostream.MustNewEngine(q, cfg)
+	var out []plan.Match
+	for i, e := range events {
+		out = append(out, en.Process(e)...)
+		if minFuture[i+1] != maxTime {
+			out = append(out, en.Advance(minFuture[i+1]+k)...)
+		}
+	}
+	return append(out, en.Flush()...)
+}
+
+// runCheckpointed processes half the arrival order, serializes the native
+// engine, restores it, and finishes the stream on the restored engine.
+func runCheckpointed(q *oostream.Query, cfg oostream.Config, events []event.Event) ([]plan.Match, error) {
+	en := oostream.MustNewEngine(q, cfg)
+	half := len(events) / 2
+	var out []plan.Match
+	for _, e := range events[:half] {
+		out = append(out, en.Process(e)...)
+	}
+	var buf bytes.Buffer
+	if err := en.Checkpoint(&buf); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	restored, err := oostream.RestoreEngine(q, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	for _, e := range events[half:] {
+		out = append(out, restored.Process(e)...)
+	}
+	return append(out, restored.Flush()...), nil
+}
+
+// runParallel drives the goroutine-per-shard execution mode.
+func runParallel(q *oostream.Query, cfg oostream.Config, events []event.Event) ([]plan.Match, error) {
+	router, err := shard.NewRouter(PartitionAttr, shardCount)
+	if err != nil {
+		return nil, err
+	}
+	par, err := shard.NewParallel(router, func(int) (engine.Engine, error) {
+		sub, err := oostream.NewEngine(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sub.Inner(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return par.Drain(context.Background(), events)
+}

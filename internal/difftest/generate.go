@@ -1,0 +1,247 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"oostream/internal/event"
+	"oostream/internal/gen"
+	"oostream/internal/netsim"
+)
+
+// types is the event-type universe trials draw from. Four types keeps
+// candidate lists dense (collisions and repeated-type patterns are the
+// hard cases) while leaving room for irrelevant-type noise.
+var types = [...]string{"A", "B", "C", "D"}
+
+// Attribute ranges. Small domains force key collisions, which is where
+// predicate and partition bugs live.
+const (
+	maxIDRange = 4 // ids drawn from [0, 1+rng.Intn(maxIDRange))
+	valRange   = 8 // "v" drawn from [0, valRange)
+)
+
+// Schema declares the trial universe: every type carries an integer
+// partition key "id" and an integer value "v".
+func Schema() *event.Schema {
+	s := event.NewSchema()
+	for _, t := range types {
+		s.Declare(t, map[string]event.Kind{
+			"id": event.KindInt,
+			"v":  event.KindInt,
+		})
+	}
+	return s
+}
+
+// Ev builds a trial-universe event; regression fixtures and repro output
+// use it to keep checked-in cases one line per event.
+func Ev(typ string, ts event.Time, seq event.Seq, id, v int64) event.Event {
+	e := event.New(typ, ts, event.Attrs{"id": event.Int(id), "v": event.Int(v)})
+	e.Seq = seq
+	return e
+}
+
+// Generate derives a complete trial — query, sorted stream, disorder — from
+// a single seed. Every random choice flows through one *rand.Rand, so the
+// seed alone reproduces the case bit-for-bit.
+func Generate(seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	query, qtypes := genQuery(rng)
+	sorted := genStream(rng, qtypes)
+	arrival, k := genDisorder(rng, sorted)
+	return Case{Seed: seed, Query: query, K: k, Arrival: arrival}
+}
+
+// GeneratePermuted derives query and sorted stream from the seed but takes
+// the arrival order from an arbitrary byte string (a Fisher–Yates drive),
+// with K measured from the realized disorder. This is the adversarial
+// entry the FuzzArrival target uses: the coverage engine explores
+// permutations no stochastic disorder model would produce.
+func GeneratePermuted(seed int64, perm []byte) Case {
+	rng := rand.New(rand.NewSource(seed))
+	query, qtypes := genQuery(rng)
+	sorted := genStream(rng, qtypes)
+	arrival := make([]event.Event, len(sorted))
+	copy(arrival, sorted)
+	for i, b := len(arrival)-1, 0; i > 0; i-- {
+		if len(perm) == 0 {
+			break
+		}
+		j := int(perm[b%len(perm)]) % (i + 1)
+		b++
+		arrival[i], arrival[j] = arrival[j], arrival[i]
+	}
+	k := gen.MaxDelay(arrival)
+	if k == 0 {
+		k = 1
+	}
+	return Case{Seed: seed, Query: query, K: k, Arrival: arrival}
+}
+
+// genQuery builds a random SEQ query: 2–4 positive components, optional
+// negation at a random gap, an id-equality chain most of the time (so the
+// shard checks run), and occasional value predicates. It returns the query
+// text and the set of types the pattern references (stream generation
+// biases toward them).
+func genQuery(rng *rand.Rand) (string, map[string]bool) {
+	n := 2 + rng.Intn(3)
+	comps := make([]string, n) // component types
+	used := make(map[string]bool)
+	for i := range comps {
+		comps[i] = types[rng.Intn(len(types))]
+		used[comps[i]] = true
+	}
+	vars := make([]string, n)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+	}
+
+	negated := rng.Float64() < 0.5
+	negType, negVar := "", ""
+	negGap := 0
+	if negated {
+		negType = types[rng.Intn(len(types))]
+		used[negType] = true
+		negVar = "n0"
+		negGap = rng.Intn(n + 1)
+	}
+
+	var parts []string
+	for i := 0; i < n; i++ {
+		if negated && negGap == i {
+			parts = append(parts, fmt.Sprintf("!(%s %s)", negType, negVar))
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", comps[i], vars[i]))
+	}
+	if negated && negGap == n {
+		parts = append(parts, fmt.Sprintf("!(%s %s)", negType, negVar))
+	}
+	pattern := strings.Join(parts, ", ")
+
+	var conjuncts []string
+	// Partition chain on id: links every component (incl. the negation) to
+	// x0, making the query PartitionableBy("id"). High probability — the
+	// shard checks only run on these.
+	if rng.Float64() < 0.8 {
+		for i := 1; i < n; i++ {
+			conjuncts = append(conjuncts, fmt.Sprintf("x0.id = x%d.id", i))
+		}
+		if negated {
+			conjuncts = append(conjuncts, fmt.Sprintf("x0.id = %s.id", negVar))
+		}
+	} else if rng.Float64() < 0.5 && n >= 2 {
+		// A partial link or an id-inequality: not partitionable, exercises
+		// the non-sharded lineage with cross predicates.
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			op := "="
+			if rng.Float64() < 0.4 {
+				op = "!="
+			}
+			conjuncts = append(conjuncts, fmt.Sprintf("x%d.id %s x%d.id", a, op, b))
+		}
+	}
+	// Value predicates: variable-vs-variable comparisons and literal bounds.
+	if rng.Float64() < 0.45 && n >= 2 {
+		a := rng.Intn(n - 1)
+		b := a + 1 + rng.Intn(n-a-1)
+		op := [...]string{"<", "<=", ">", ">=", "!="}[rng.Intn(5)]
+		conjuncts = append(conjuncts, fmt.Sprintf("x%d.v %s x%d.v", a, op, b))
+	}
+	if rng.Float64() < 0.35 {
+		i := rng.Intn(n)
+		op := [...]string{"<", ">", "=", "!="}[rng.Intn(4)]
+		conjuncts = append(conjuncts, fmt.Sprintf("x%d.v %s %d", i, op, rng.Intn(valRange)))
+	}
+	if negated && rng.Float64() < 0.3 {
+		op := [...]string{"!=", "<", ">"}[rng.Intn(3)]
+		conjuncts = append(conjuncts, fmt.Sprintf("%s.v %s %d", negVar, op, rng.Intn(valRange)))
+	}
+
+	window := 4 + rng.Intn(80)
+	var q strings.Builder
+	fmt.Fprintf(&q, "PATTERN SEQ(%s)", pattern)
+	if len(conjuncts) > 0 {
+		fmt.Fprintf(&q, " WHERE %s", strings.Join(conjuncts, " AND "))
+	}
+	fmt.Fprintf(&q, " WITHIN %d", window)
+	return q.String(), used
+}
+
+// genStream builds a sorted, sequence-numbered stream of 12–48 events with
+// small timestamp gaps (including zero gaps: equal-timestamp ties are a
+// historic bug class) and small id/v domains.
+func genStream(rng *rand.Rand, qtypes map[string]bool) []event.Event {
+	biased := make([]string, 0, len(qtypes))
+	for _, t := range types {
+		if qtypes[t] {
+			biased = append(biased, t)
+		}
+	}
+	nEv := 12 + rng.Intn(37)
+	idRange := 1 + rng.Intn(maxIDRange)
+	events := make([]event.Event, 0, nEv)
+	ts := event.Time(0)
+	for i := 0; i < nEv; i++ {
+		ts += event.Time(rng.Intn(5)) // 0..4: zero gaps make TS ties
+		typ := types[rng.Intn(len(types))]
+		if len(biased) > 0 && rng.Float64() < 0.7 {
+			typ = biased[rng.Intn(len(biased))]
+		}
+		events = append(events, Ev(typ, ts, 0, int64(rng.Intn(idRange)), int64(rng.Intn(valRange))))
+	}
+	event.SortByTime(events)
+	for i := range events {
+		events[i].Seq = event.Seq(i + 1)
+	}
+	return events
+}
+
+// genDisorder picks an arrival order: sorted, synthetic bounded shuffle, or
+// network-delivery simulation, all driven by the trial's rng. K is the
+// measured realized disorder (so the bound always holds), occasionally
+// padded (engines must tolerate a slack K above the true disorder).
+func genDisorder(rng *rand.Rand, sorted []event.Event) ([]event.Event, event.Time) {
+	var arrival []event.Event
+	switch rng.Intn(4) {
+	case 0: // in-order arrival: disorder-handling must be transparent
+		arrival = make([]event.Event, len(sorted))
+		copy(arrival, sorted)
+	case 1, 2:
+		arrival = gen.ShuffleRand(sorted, gen.Disorder{
+			Ratio:    0.15 + 0.6*rng.Float64(),
+			MaxDelay: 1 + event.Time(rng.Intn(30)),
+		}, rng)
+	default:
+		cfg := netsim.Config{
+			Sources: 1 + rng.Intn(3),
+			Link: netsim.LinkConfig{
+				BaseDelay:  event.Time(rng.Intn(3)),
+				JitterMean: 1 + 6*rng.Float64(),
+				HeavyTailP: 0.1,
+				HeavyTailX: 4,
+			},
+		}
+		if rng.Float64() < 0.3 {
+			cfg.Failure = netsim.FailureConfig{MTBF: 40, OutageMean: 15}
+		}
+		if rng.Float64() < 0.5 {
+			cfg.PartitionAttr = PartitionAttr
+		}
+		var err error
+		arrival, _, _, err = netsim.DeliverRand(sorted, cfg, rng)
+		if err != nil { // unreachable for the configs above
+			panic(err)
+		}
+	}
+	k := gen.MaxDelay(arrival)
+	if k == 0 {
+		k = 1
+	}
+	if rng.Float64() < 0.3 {
+		k += event.Time(rng.Intn(6))
+	}
+	return arrival, k
+}

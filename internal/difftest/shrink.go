@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"oostream/internal/event"
+)
+
+// maxShrinkRuns bounds the number of Run invocations one Shrink may spend.
+// Streams are ≤ ~50 events, so ddmin converges far below this; the bound
+// is a backstop against pathological oscillation.
+const maxShrinkRuns = 4000
+
+// Shrink minimizes a failing case's arrival list while preserving failure
+// (of any check, not necessarily the original one — a smaller stream often
+// shifts which comparison trips first, and any divergence is a bug). The
+// arrival order of surviving events is preserved, as are their Seq
+// numbers, so the disorder pattern that provoked the failure survives
+// minimization; K is left untouched (removing events can only shrink
+// realized delays, so the bound keeps holding). Returns the smallest
+// failure found.
+func Shrink(f *Failure) *Failure {
+	best := f
+	runs := 0
+	minimize(best.Case.Arrival, func(sub []event.Event) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		runs++
+		c := best.Case
+		c.Arrival = sub
+		if fail := Run(c); fail != nil {
+			best = fail
+			return true
+		}
+		return false
+	})
+	return best
+}
+
+// minimize is a ddmin-style list minimizer: it removes contiguous chunks
+// of halving size while pred keeps holding, then single elements, until a
+// fixpoint. pred must hold for the input list; the returned list is
+// 1-minimal with respect to single-element removal (bounded by the
+// caller's budget via pred returning false).
+func minimize(list []event.Event, pred func([]event.Event) bool) []event.Event {
+	cur := list
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 {
+		removed := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			candidate := make([]event.Event, 0, len(cur)-(end-start))
+			candidate = append(candidate, cur[:start]...)
+			candidate = append(candidate, cur[end:]...)
+			if len(candidate) > 0 && pred(candidate) {
+				cur = candidate
+				removed = true
+				// keep start: the next chunk slid into this position
+			} else {
+				start = end
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+	}
+	return cur
+}

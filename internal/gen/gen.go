@@ -40,12 +40,19 @@ type Disorder struct {
 // arrives, every earlier arrival has timestamp at most e.TS + MaxDelay, so
 // e's delay against the max-seen clock never exceeds MaxDelay.
 func Shuffle(events []event.Event, d Disorder) []event.Event {
+	return ShuffleRand(events, d, rand.New(rand.NewSource(d.Seed)))
+}
+
+// ShuffleRand is Shuffle driven by an explicit random source instead of
+// d.Seed, so a composite experiment (query generation, stream generation,
+// disorder injection) can derive every random choice from one master seed.
+// The rand state is advanced; d.Seed is ignored.
+func ShuffleRand(events []event.Event, d Disorder, rng *rand.Rand) []event.Event {
 	out := make([]event.Event, len(events))
 	copy(out, events)
 	if d.Ratio <= 0 || d.MaxDelay <= 0 {
 		return out
 	}
-	rng := rand.New(rand.NewSource(d.Seed))
 	keys := make([]event.Time, len(out))
 	for i, e := range out {
 		keys[i] = e.TS

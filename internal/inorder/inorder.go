@@ -210,8 +210,15 @@ func (en *Engine) construct(last event.Event, rip int) []plan.Match {
 			if span > en.plan.Window {
 				break // deeper instances arrived earlier; in-order means older
 			}
-			if span <= 0 {
-				continue // disorder artifact: "predecessor" not actually earlier
+			if inst.ev.TS >= binding[pos+1].TS {
+				// Sequencing is strict on timestamps: a candidate must be
+				// strictly earlier than its successor, not merely pushed
+				// before it. Equal-timestamp ties (and, for repeated-type
+				// patterns, the successor itself, reachable through its own
+				// just-recorded RIP) land here and must be skipped; on
+				// disordered input this is also the engine's (insufficient)
+				// guard against inverted pairs.
+				continue
 			}
 			binding[pos] = inst.ev
 			m := mask | 1<<uint(pos)

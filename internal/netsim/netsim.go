@@ -121,10 +121,16 @@ func ExceedingK(delays []event.Time, k event.Time) int {
 // per-arrival delay against the running max timestamp (for bound
 // analysis), and the realized disorder profile.
 func Deliver(events []event.Event, cfg Config) ([]event.Event, []event.Time, Profile, error) {
+	return DeliverRand(events, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// DeliverRand is Deliver driven by an explicit random source instead of
+// cfg.Seed, so a composite experiment can derive every random choice from
+// one master seed. The rand state is advanced; cfg.Seed is ignored.
+func DeliverRand(events []event.Event, cfg Config, rng *rand.Rand) ([]event.Event, []event.Time, Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, Profile{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Per-source failure schedules: alternating up/down intervals.
 	outages := make([][2]event.Time, 0)

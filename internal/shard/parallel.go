@@ -30,22 +30,40 @@ func NewParallel(router *Router, factory func(shard int) (engine.Engine, error))
 	return &Parallel{router: router, parts: parts}, nil
 }
 
+// shardMsg is one item on a shard's feed: an event to process or a
+// heartbeat to broadcast.
+type shardMsg struct {
+	ev        event.Event
+	heartbeat bool
+	ts        event.Time
+}
+
 // Run consumes events from in until closed or cancelled, routing each to
 // its shard's goroutine, and forwards all matches to out (closed before
 // returning). Route errors (missing key attribute) drop the event.
 func (p *Parallel) Run(ctx context.Context, in <-chan event.Event, out chan<- plan.Match) error {
+	return p.RunWithHeartbeats(ctx, in, nil, out)
+}
+
+// RunWithHeartbeats is Run with an optional heartbeat channel: every
+// timestamp received on hb is broadcast to all shards as an Advance call,
+// interleaved with event delivery — re-synchronizing the per-shard clocks
+// through stream silence exactly as the sequential Engine's Advance does.
+// A nil hb makes it equivalent to Run. hb is never closed by the caller's
+// contract; the feed loop stops reading it once in closes.
+func (p *Parallel) RunWithHeartbeats(ctx context.Context, in <-chan event.Event, hb <-chan event.Time, out chan<- plan.Match) error {
 	defer close(out)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	feeds := make([]chan event.Event, len(p.parts))
+	feeds := make([]chan shardMsg, len(p.parts))
 	merged := make(chan plan.Match, 1)
 	errs := make(chan error, len(p.parts))
 	var wg sync.WaitGroup
 	for i, part := range p.parts {
-		feeds[i] = make(chan event.Event, 1)
+		feeds[i] = make(chan shardMsg, 1)
 		wg.Add(1)
-		go func(en engine.Engine, feed <-chan event.Event) {
+		go func(en engine.Engine, feed <-chan shardMsg) {
 			defer wg.Done()
 			errs <- p.runShard(ctx, en, feed, merged)
 		}(part, feeds[i])
@@ -94,6 +112,15 @@ feed:
 		case <-ctx.Done():
 			runErr = ctx.Err()
 			break feed
+		case ts := <-hb:
+			for _, feed := range feeds {
+				select {
+				case feed <- shardMsg{heartbeat: true, ts: ts}:
+				case <-ctx.Done():
+					runErr = ctx.Err()
+					break feed
+				}
+			}
 		case e, ok := <-in:
 			if !ok {
 				break feed
@@ -103,7 +130,7 @@ feed:
 				continue // drop: cannot belong to any partitioned match
 			}
 			select {
-			case feeds[shard] <- e:
+			case feeds[shard] <- shardMsg{ev: e}:
 			case <-ctx.Done():
 				runErr = ctx.Err()
 				break feed
@@ -124,7 +151,7 @@ feed:
 	return runErr
 }
 
-func (p *Parallel) runShard(ctx context.Context, en engine.Engine, feed <-chan event.Event, merged chan<- plan.Match) error {
+func (p *Parallel) runShard(ctx context.Context, en engine.Engine, feed <-chan shardMsg, merged chan<- plan.Match) error {
 	send := func(matches []plan.Match) error {
 		for _, m := range matches {
 			select {
@@ -139,13 +166,50 @@ func (p *Parallel) runShard(ctx context.Context, en engine.Engine, feed <-chan e
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case e, ok := <-feed:
+		case msg, ok := <-feed:
 			if !ok {
 				return send(en.Flush())
 			}
-			if err := send(en.Process(e)); err != nil {
+			if msg.heartbeat {
+				if adv, isAdv := en.(engine.Advancer); isAdv {
+					if err := send(adv.Advance(msg.ts)); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err := send(en.Process(msg.ev)); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// Drain runs a finite event slice through the parallel engine and returns
+// the complete match multiset (Process results plus the end-of-stream
+// Flush). It is the channel-free convenience entry used by tests and the
+// differential harness; output order across shards is nondeterministic.
+func (p *Parallel) Drain(ctx context.Context, events []event.Event) ([]plan.Match, error) {
+	in := make(chan event.Event)
+	out := make(chan plan.Match, 16)
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Run(ctx, in, out) }()
+	go func() {
+		defer close(in)
+		for _, e := range events {
+			select {
+			case in <- e:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var matches []plan.Match
+	for m := range out {
+		matches = append(matches, m)
+	}
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return matches, nil
 }

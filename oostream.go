@@ -217,6 +217,14 @@ func MustNewEngine(q *Query, cfg Config) *Engine {
 // Strategy returns the engine's strategy name.
 func (e *Engine) Strategy() string { return e.inner.Name() }
 
+// Inner exposes the raw engine behind the facade for harnesses that
+// compose engines directly — the runtime fan-out, shard factories, and the
+// differential test harness all program against the internal engine
+// interface. The returned value shares all state with e; use one or the
+// other, not both. The concrete type lives in an internal package, so
+// external callers can pass it around but not name it.
+func (e *Engine) Inner() engine.Engine { return e.inner }
+
 // Process ingests one event and returns the matches it emits. Events with
 // Seq zero are assigned the next arrival sequence number automatically;
 // events carrying a Seq keep it (useful when the caller needs stable match
