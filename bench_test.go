@@ -323,3 +323,24 @@ func BenchmarkE13Partitioned(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE14KeyedStacks compares the native engine with key-partitioned
+// stacks on (the default for this equality-linked query) and off across
+// key cardinalities.
+func BenchmarkE14KeyedStacks(b *testing.B) {
+	q, err := oostream.Compile(
+		"PATTERN SEQ(SHELF s, !(COUNTER c), EXIT e) WHERE s.id = e.id AND s.id = c.id WITHIN 400", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ids := range []int{1, 100, 1000} {
+		sorted := gen.Uniform(5_000, []string{"SHELF", "COUNTER", "EXIT"}, ids, 10, int64(27+ids))
+		events := gen.Shuffle(sorted, gen.Disorder{Ratio: 0.10, MaxDelay: 200, Seed: 28})
+		b.Run(fmt.Sprintf("ids=%d/keyed", ids), func(b *testing.B) {
+			run(b, q, oostream.Config{K: 200}, events)
+		})
+		b.Run(fmt.Sprintf("ids=%d/unkeyed", ids), func(b *testing.B) {
+			run(b, q, oostream.Config{K: 200, DisableKeyedStacks: true}, events)
+		})
+	}
+}

@@ -4,17 +4,27 @@
 //
 // Usage:
 //
-//	espbench                 # every experiment at smoke scale
-//	espbench -scale full     # paper-scale streams (slower)
-//	espbench -exp E2,E8      # a subset
-//	espbench -csv            # machine-readable output
+//	espbench                       # every experiment at smoke scale
+//	espbench -scale full           # paper-scale streams (slower)
+//	espbench -exp E2,E8            # a subset
+//	espbench -csv                  # machine-readable output
+//	espbench -json                 # JSON output (one array of tables)
+//	espbench -cpuprofile cpu.out   # pprof CPU profile of the run
+//	espbench -memprofile mem.out   # pprof heap profile after the run
+//
+// The committed BENCH_native.json baseline is regenerated with:
+//
+//	go run ./cmd/espbench -exp E2,E10,E14 -json > BENCH_native.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"oostream/internal/bench"
@@ -30,13 +40,19 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("espbench", flag.ContinueOnError)
 	var (
-		scaleName = fs.String("scale", "smoke", "workload scale: smoke or full")
-		expList   = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		list      = fs.Bool("list", false, "list experiments and exit")
+		scaleName  = fs.String("scale", "smoke", "workload scale: smoke or full")
+		expList    = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = fs.Bool("json", false, "emit one JSON array of tables")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *csv && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
 
 	if *list {
@@ -68,16 +84,51 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var tables []*bench.Table
 	for _, e := range experiments {
 		tbl := e.Run(scale)
 		var err error
-		if *csv {
+		switch {
+		case *jsonOut:
+			tables = append(tables, tbl) // encoded together below
+		case *csv:
 			err = tbl.RenderCSV(stdout)
-		} else {
+		default:
 			err = tbl.Render(stdout)
 		}
 		if err != nil {
 			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			return err
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
 		}
 	}
 	return nil

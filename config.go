@@ -43,6 +43,11 @@ type Config struct {
 	// DisableTriggerOpt disables the native engine's scan optimization
 	// (ablation knob; results are unchanged, CPU cost rises).
 	DisableTriggerOpt bool
+	// DisableKeyedStacks disables the native engine's key-partitioned
+	// stacks, which auto-enable when the query is provably partitionable by
+	// an equivalence attribute (see Query.AutoPartitionKey). Ablation knob;
+	// results are unchanged, construction cost rises with key cardinality.
+	DisableKeyedStacks bool
 	// PurgeEvery runs state purging every PurgeEvery events; 0 = default
 	// (64), negative = never (ablation knob; memory then grows unbounded).
 	PurgeEvery int
@@ -69,6 +74,9 @@ func (c Config) validate() error {
 	}
 	if c.DisableTriggerOpt && c.Strategy != StrategyNative {
 		return fmt.Errorf("DisableTriggerOpt applies only to %q", StrategyNative)
+	}
+	if c.DisableKeyedStacks && c.Strategy != StrategyNative {
+		return fmt.Errorf("DisableKeyedStacks applies only to %q", StrategyNative)
 	}
 	if c.OrderedOutput && c.Strategy == StrategySpeculate {
 		return fmt.Errorf("OrderedOutput cannot buffer %q retractions", StrategySpeculate)

@@ -1,0 +1,78 @@
+package ais
+
+import (
+	"oostream/internal/event"
+)
+
+// KeyedStacks partitions Active Instance Stacks by an equivalence-class
+// key, the SASE optimization for queries whose components are all linked
+// by equality on one attribute (e.g. the canonical RFID query's item id):
+// only instances sharing the trigger's key can ever bind into a match, so
+// insertion, RIP fix-up, and construction walk the trigger's key group
+// instead of every instance in the window.
+//
+// Each group is a full Stacks value with the usual sorted-stack invariants;
+// the keyed layer adds the routing map, an O(1) incrementally maintained
+// total size, and a purge sweep that drops groups once empty (bounding the
+// map at the number of keys live inside the purge horizon).
+//
+// Callers canonicalize keys (event.Value.MapKey / plan.KeyOf) before
+// routing, so Equal-comparing values share a group.
+type KeyedStacks struct {
+	n      int
+	groups map[event.Value]*Stacks
+	size   int
+}
+
+// NewKeyed creates a keyed AIS with n positions per key group.
+func NewKeyed(n int) *KeyedStacks {
+	return &KeyedStacks{n: n, groups: make(map[event.Value]*Stacks)}
+}
+
+// Positions returns the number of pattern positions per group.
+func (k *KeyedStacks) Positions() int { return k.n }
+
+// Groups returns the number of live key groups.
+func (k *KeyedStacks) Groups() int { return len(k.groups) }
+
+// Group returns the stacks for a key, or nil when the key has no live
+// instances.
+func (k *KeyedStacks) Group(key event.Value) *Stacks { return k.groups[key] }
+
+// Insert routes e to its key group (creating it on first use) and inserts
+// at position pos with the usual timestamp ordering and RIP fix-up,
+// returning the new instance and its group for construction to walk.
+func (k *KeyedStacks) Insert(key event.Value, pos int, e event.Event) (*Instance, *Stacks) {
+	st, ok := k.groups[key]
+	if !ok {
+		st = New(k.n)
+		k.groups[key] = st
+	}
+	k.size++
+	return st.Insert(pos, e), st
+}
+
+// Size returns the total number of live instances across all groups in
+// O(1): it is maintained incrementally by Insert and PurgeBefore.
+func (k *KeyedStacks) Size() int { return k.size }
+
+// PurgeBefore applies the per-position horizon to every group and drops
+// groups left empty, returning the total number of instances removed.
+func (k *KeyedStacks) PurgeBefore(horizon func(pos int) event.Time) int {
+	total := 0
+	for key, st := range k.groups {
+		total += st.PurgeBefore(horizon)
+		if st.Size() == 0 {
+			delete(k.groups, key)
+		}
+	}
+	k.size -= total
+	return total
+}
+
+// Range calls f for every live key group, in map order.
+func (k *KeyedStacks) Range(f func(key event.Value, st *Stacks)) {
+	for key, st := range k.groups {
+		f(key, st)
+	}
+}

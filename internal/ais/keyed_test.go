@@ -1,0 +1,60 @@
+package ais
+
+import (
+	"testing"
+
+	"oostream/internal/event"
+)
+
+func TestKeyedStacksRoutingAndSize(t *testing.T) {
+	k := NewKeyed(2)
+	if k.Positions() != 2 || k.Groups() != 0 || k.Size() != 0 {
+		t.Fatalf("fresh keyed stacks: %d positions, %d groups, size %d", k.Positions(), k.Groups(), k.Size())
+	}
+	a := event.Int(1)
+	b := event.Int(2)
+	k.Insert(a, 0, event.Event{Type: "A", TS: 10, Seq: 1})
+	k.Insert(a, 1, event.Event{Type: "B", TS: 20, Seq: 2})
+	k.Insert(b, 0, event.Event{Type: "A", TS: 15, Seq: 3})
+	if k.Groups() != 2 || k.Size() != 3 {
+		t.Fatalf("groups=%d size=%d, want 2/3", k.Groups(), k.Size())
+	}
+	// Routing: each group only sees its own key's instances.
+	if got := k.Group(a).Size(); got != 2 {
+		t.Fatalf("group a size = %d, want 2", got)
+	}
+	if got := k.Group(b).Size(); got != 1 {
+		t.Fatalf("group b size = %d, want 1", got)
+	}
+	if k.Group(event.Int(99)) != nil {
+		t.Fatal("unknown key should have no group")
+	}
+	// RIP stays group-local: b's stack 0 instance must not become a's
+	// stack 1 predecessor.
+	inst := k.Group(a).Stack(1).At(0)
+	if inst.RIP == nil || inst.RIP.Event.Seq != 1 {
+		t.Fatalf("group a RIP = %+v, want seq 1", inst.RIP)
+	}
+}
+
+func TestKeyedStacksPurgeDropsEmptyGroups(t *testing.T) {
+	k := NewKeyed(1)
+	for i := 0; i < 5; i++ {
+		k.Insert(event.Int(int64(i)), 0, event.Event{Type: "A", TS: event.Time(i), Seq: event.Seq(i + 1)})
+	}
+	k.Insert(event.Int(0), 0, event.Event{Type: "A", TS: 100, Seq: 10})
+	// Purge everything below TS 50: groups 1..4 empty out and are dropped;
+	// group 0 keeps its late instance.
+	purged := k.PurgeBefore(func(int) event.Time { return 50 })
+	if purged != 5 {
+		t.Fatalf("purged %d, want 5", purged)
+	}
+	if k.Groups() != 1 || k.Size() != 1 {
+		t.Fatalf("after purge: %d groups, size %d, want 1/1", k.Groups(), k.Size())
+	}
+	total := 0
+	k.Range(func(_ event.Value, st *Stacks) { total += st.Size() })
+	if total != k.Size() {
+		t.Fatalf("incremental size %d != recomputed %d", k.Size(), total)
+	}
+}

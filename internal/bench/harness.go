@@ -156,6 +156,7 @@ func All() []Experiment {
 		{"E11", "speculative output", E11Speculation},
 		{"E12", "simulated network delivery", E12NetworkSim},
 		{"E13", "partitioned scale-out", E13Partitioned},
+		{"E14", "keyed stacks vs. key cardinality", E14KeyCardinality},
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
+	"oostream/internal/ais"
 	"oostream/internal/event"
 	"oostream/internal/plan"
 )
@@ -16,12 +18,16 @@ const checkpointVersion = 1
 // checkpointFile is the serialized engine state. Stack instances are
 // stored as plain events; RIP pointers are rebuilt on restore by
 // re-insertion (the RIP invariant is a pure function of stack contents).
+// Keyed state flattens to the same shape — groups merge into one sorted
+// list per position / negation, and restore re-derives each event's key —
+// so keyed and unkeyed engines share a checkpoint format.
 type checkpointFile struct {
 	Version    int                 `json:"version"`
 	PlanSource string              `json:"planSource"`
 	K          event.Time          `json:"k"`
 	LatePolicy int                 `json:"latePolicy"`
 	NoTrigOpt  bool                `json:"noTriggerOpt"`
+	NoKeyed    bool                `json:"noKeyed,omitempty"`
 	PurgeEvery int                 `json:"purgeEvery"`
 	Clock      event.Time          `json:"clock"`
 	Started    bool                `json:"started"`
@@ -39,6 +45,56 @@ type checkpointPending struct {
 	MadeSeq uint64        `json:"madeSeq"`
 }
 
+// flatStacks returns the engine's stack contents as one (TS, Seq)-sorted
+// event list per position, merging key groups when the engine is keyed
+// (map iteration order must not leak into the serialized form).
+func (en *Engine) flatStacks() [][]event.Event {
+	out := make([][]event.Event, en.plan.Len())
+	appendStack := func(pos int, s *ais.Stack) {
+		for i := 0; i < s.Len(); i++ {
+			out[pos] = append(out[pos], s.At(i).Event)
+		}
+	}
+	if en.Keyed() {
+		en.kstacks.Range(func(_ event.Value, st *ais.Stacks) {
+			for pos := 0; pos < st.Len(); pos++ {
+				appendStack(pos, st.Stack(pos))
+			}
+		})
+		for pos := range out {
+			sortEvents(out[pos])
+		}
+		return out
+	}
+	for pos := 0; pos < en.stacks.Len(); pos++ {
+		appendStack(pos, en.stacks.Stack(pos))
+	}
+	return out
+}
+
+// flatNegStores returns the buffered negatives as one sorted list per
+// negation, merging key groups when keyed.
+func (en *Engine) flatNegStores() [][]event.Event {
+	out := make([][]event.Event, len(en.plan.Negatives))
+	if en.Keyed() {
+		for i, m := range en.knegs {
+			for _, ns := range m {
+				out[i] = append(out[i], ns.items...)
+			}
+			sortEvents(out[i])
+		}
+		return out
+	}
+	for i, ns := range en.negStores {
+		out[i] = append([]event.Event(nil), ns.items...)
+	}
+	return out
+}
+
+func sortEvents(events []event.Event) {
+	sort.Slice(events, func(i, j int) bool { return events[i].Before(events[j]) })
+}
+
 // Checkpoint serializes the engine's full state (stacks, negative stores,
 // pending matches, clocks) so that a Restore'd engine continues the stream
 // exactly where this one stopped. The engine can keep processing after a
@@ -53,25 +109,15 @@ func (en *Engine) Checkpoint(w io.Writer) error {
 		K:          en.opts.K,
 		LatePolicy: int(en.opts.LatePolicy),
 		NoTrigOpt:  en.opts.DisableTriggerOpt,
+		NoKeyed:    en.opts.DisableKeying,
 		PurgeEvery: en.opts.PurgeEvery,
 		Clock:      en.clock,
 		Started:    en.started,
 		Arrival:    en.arrival,
 		Enumerated: en.enumerated,
 		Since:      en.since,
-	}
-	for pos := 0; pos < en.stacks.Len(); pos++ {
-		s := en.stacks.Stack(pos)
-		events := make([]event.Event, s.Len())
-		for i := 0; i < s.Len(); i++ {
-			events[i] = s.At(i).Event
-		}
-		cf.Stacks = append(cf.Stacks, events)
-	}
-	for _, ns := range en.negStores {
-		events := make([]event.Event, ns.len())
-		copy(events, ns.items)
-		cf.NegStores = append(cf.NegStores, events)
+		Stacks:     en.flatStacks(),
+		NegStores:  en.flatNegStores(),
 	}
 	for _, pm := range en.pending {
 		cf.Pending = append(cf.Pending, checkpointPending{
@@ -84,9 +130,45 @@ func (en *Engine) Checkpoint(w io.Writer) error {
 	return enc.Encode(cf)
 }
 
+// restoreInsertPositive re-inserts a checkpointed stack event, routing it
+// to its key group when the engine is keyed. An event without the key
+// (possible only in checkpoints written by an unkeyed engine) is dropped:
+// it can never satisfy the key-equality predicates, so no match is lost.
+func (en *Engine) restoreInsertPositive(pos int, e event.Event) {
+	if en.Keyed() {
+		key, ok := plan.KeyOf(e, en.keyAttr)
+		if !ok {
+			en.met.IncPredError(errMissingKey)
+			return
+		}
+		en.kstacks.Insert(key, pos, e)
+	} else {
+		en.stacks.Insert(pos, e)
+	}
+	en.liveStack++
+}
+
+// restoreInsertNegative re-inserts a checkpointed negative event.
+func (en *Engine) restoreInsertNegative(negIdx int, e event.Event) {
+	if en.Keyed() {
+		key, ok := plan.KeyOf(e, en.keyAttr)
+		if !ok {
+			en.met.IncPredError(errMissingKey)
+			return
+		}
+		en.insertKeyedNeg(negIdx, key, e)
+		return
+	}
+	en.negStores[negIdx].insert(e)
+	en.liveNeg++
+}
+
 // Restore rebuilds an engine from a checkpoint. The plan must be compiled
 // from the same query text the checkpointed engine ran (verified against
 // the recorded canonical source); options are restored from the checkpoint.
+// A keyed engine restores from an unkeyed engine's checkpoint (and vice
+// versa, modulo the recorded DisableKeying option): the format carries
+// plain events and keys are recomputed on insertion.
 func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
 	var cf checkpointFile
 	if err := json.NewDecoder(r).Decode(&cf); err != nil {
@@ -105,6 +187,7 @@ func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
 		K:                 cf.K,
 		LatePolicy:        LatePolicy(cf.LatePolicy),
 		DisableTriggerOpt: cf.NoTrigOpt,
+		DisableKeying:     cf.NoKeyed,
 		PurgeEvery:        cf.PurgeEvery,
 	})
 	if err != nil {
@@ -117,17 +200,25 @@ func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
 	en.since = cf.Since
 	for pos, events := range cf.Stacks {
 		for _, e := range events {
-			en.stacks.Insert(pos, e)
+			en.restoreInsertPositive(pos, e)
 		}
 	}
 	for i, events := range cf.NegStores {
 		for _, e := range events {
-			en.negStores[i].insert(e)
+			en.restoreInsertNegative(i, e)
 		}
 	}
 	for _, pm := range cf.Pending {
+		key := event.Value{}
+		if en.Keyed() && len(pm.Events) > 0 {
+			// Every slot of a complete binding carries the partition key
+			// (the equality chain spans all positions), so slot 0 is
+			// representative.
+			key, _ = plan.KeyOf(pm.Events[0], en.keyAttr)
+		}
 		en.pending = append(en.pending, pendingMatch{
 			events:  pm.Events,
+			key:     key,
 			sealTS:  pm.SealTS,
 			madeSeq: pm.MadeSeq,
 		})
@@ -135,5 +226,8 @@ func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
 	// Restore heap order on the pending queue.
 	heap.Init(&en.pending)
 	en.met.SetLiveState(en.StateSize())
+	if en.Keyed() {
+		en.met.SetKeyGroups(en.kstacks.Groups())
+	}
 	return en, nil
 }

@@ -22,6 +22,16 @@
 //     complete through it. (The scan optimization of the paper; disable
 //     with Options.DisableTriggerOpt for the ablation experiment.)
 //
+// When the plan proves the query partitionable by an equivalence attribute
+// (plan.PartitionKey, e.g. the item id of the RFID query's
+// `s.id = e.id AND s.id = c.id` chain), the engine keys its stacks and
+// negative stores by that attribute (ais.KeyedStacks): insertion, RIP
+// fix-up, construction, and negation probes touch only the trigger's key
+// group, and the key-equality cross predicates are skipped as structurally
+// pre-satisfied. Every match binds events of one key, so the keyed engine
+// enumerates exactly the unkeyed result set while probing a fraction of
+// the state. Options.DisableKeying turns the optimization off (ablation).
+//
 // Correct output for negation cannot be produced eagerly under disorder: a
 // qualifying negative event may still be in flight. The engine relies on
 // the paper's bounded-disorder assumption — no event is delayed more than K
@@ -34,10 +44,13 @@
 // instance once safe passes it; buffered negatives once safe − 2·Window
 // passes them (a leading negation's gap reaches one window behind a match
 // whose first element can itself be one window behind the safe clock).
+// Keyed state purges by the same horizons, group by group, dropping key
+// groups that come up empty.
 package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"oostream/internal/ais"
@@ -70,6 +83,10 @@ type Options struct {
 	// DisableTriggerOpt turns off the scan optimization and probes for
 	// completions on every insertion (ablation; still exact, slower).
 	DisableTriggerOpt bool
+	// DisableKeying turns off key-partitioned stacks even when the plan
+	// proves the query partitionable (ablation; still exact, construction
+	// then scans every instance in the window).
+	DisableKeying bool
 	// PurgeEvery runs a purge pass every PurgeEvery processed events.
 	// 0 selects the default (64); negative disables purging (ablation).
 	PurgeEvery int
@@ -93,22 +110,60 @@ func (o Options) normalized() (Options, error) {
 	return o, nil
 }
 
+// errMissingKey reports an event of a pattern-relevant type that lacks the
+// partition key attribute: for a key-partitioned plan it can never satisfy
+// the key-equality predicates, so it is counted and dropped.
+var errMissingKey = errors.New("event lacks the partition key attribute")
+
 // Engine is the native out-of-order SSC engine.
 type Engine struct {
-	plan      *plan.Plan
-	opts      Options
+	plan *plan.Plan
+	opts Options
+
+	// Unkeyed state: one global AIS and one negative store per negation.
 	stacks    *ais.Stacks
 	negStores []*negStore
-	pending   pendingHeap
+
+	// Keyed state (keyAttr != ""): stacks and negative stores partitioned
+	// by the plan's equivalence attribute; key-equality predicates are
+	// excluded from cross (positives) and marked in negSkip (negations).
+	keyAttr string
+	kstacks *ais.KeyedStacks
+	knegs   []map[event.Value]*negStore
+	negSkip [][]bool
+
+	// cross is the construction-time cross-predicate view: the full set
+	// when unkeyed, the set minus pre-satisfied key equalities when keyed.
+	cross *plan.CrossView
+
+	pending pendingHeap
 	// clock is the maximum timestamp seen (not the latest arrival's).
 	clock   event.Time
 	started bool
 	arrival uint64
 	since   int
+	// liveStack and liveNeg count live stack instances and buffered
+	// negatives incrementally, making StateSize O(1) instead of a
+	// per-event recomputation.
+	liveStack int
+	liveNeg   int
 	// enumerated counts complete bindings found by construction; used to
 	// classify probes as empty (pure overhead) or productive.
 	enumerated uint64
 	met        metrics.Collector
+
+	// Construction scratch, reused across triggers so the hot path does
+	// not allocate: binding holds the partial binding (copied only on
+	// emit), negScratch the negation-probe binding, localScratch the
+	// one-slot local-predicate binding. walk* carry the current trigger's
+	// stacks/key/position through the recursive enumeration.
+	binding      []event.Event
+	negScratch   []event.Event
+	localScratch []event.Event
+	walkStacks   *ais.Stacks
+	walkKey      event.Value
+	walkPos      int
+	walkTrigTS   event.Time
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -120,13 +175,42 @@ func New(p *plan.Plan, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	en := &Engine{
-		plan:      p,
-		opts:      opts,
-		stacks:    ais.New(p.Len()),
-		negStores: make([]*negStore, len(p.Negatives)),
+		plan:         p,
+		opts:         opts,
+		binding:      make([]event.Event, p.Len()),
+		negScratch:   make([]event.Event, p.Len()+1),
+		localScratch: make([]event.Event, 1),
 	}
-	for i := range en.negStores {
-		en.negStores[i] = &negStore{}
+	if attr := p.PartitionKey; attr != "" && !opts.DisableKeying {
+		en.keyAttr = attr
+		en.kstacks = ais.NewKeyed(p.Len())
+		en.knegs = make([]map[event.Value]*negStore, len(p.Negatives))
+		for i := range en.knegs {
+			en.knegs[i] = make(map[event.Value]*negStore)
+		}
+		skip := make(map[int]bool)
+		for _, l := range p.EqLinks {
+			if l.Attr == attr {
+				skip[l.CrossIdx] = true
+			}
+		}
+		en.cross = p.CrossView(func(i int) bool { return skip[i] })
+		en.negSkip = make([][]bool, len(p.Negatives))
+		for i := range en.negSkip {
+			en.negSkip[i] = make([]bool, len(p.Negatives[i].Cross))
+		}
+		for _, l := range p.NegEqLinks {
+			if l.Attr == attr {
+				en.negSkip[l.NegIdx][l.CrossIdx] = true
+			}
+		}
+	} else {
+		en.stacks = ais.New(p.Len())
+		en.negStores = make([]*negStore, len(p.Negatives))
+		for i := range en.negStores {
+			en.negStores[i] = &negStore{}
+		}
+		en.cross = p.CrossView(nil)
 	}
 	return en, nil
 }
@@ -146,9 +230,40 @@ func (en *Engine) Name() string { return "native" }
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
 
-// StateSize implements engine.Engine.
+// Keyed reports whether the engine runs with key-partitioned stacks.
+func (en *Engine) Keyed() bool { return en.keyAttr != "" }
+
+// KeyGroups returns the number of live stack key groups (0 when unkeyed).
+func (en *Engine) KeyGroups() int {
+	if en.kstacks == nil {
+		return 0
+	}
+	return en.kstacks.Groups()
+}
+
+// StateSize implements engine.Engine in O(1): the counts are maintained
+// incrementally on insertion and purging (recomputeStateSize cross-checks
+// them in tests).
 func (en *Engine) StateSize() int {
-	total := en.stacks.Size() + en.pending.Len()
+	return en.liveStack + en.liveNeg + en.pending.Len()
+}
+
+// recomputeStateSize walks the actual structures; tests assert it equals
+// the incrementally maintained StateSize after every event.
+func (en *Engine) recomputeStateSize() int {
+	total := en.pending.Len()
+	if en.Keyed() {
+		en.kstacks.Range(func(_ event.Value, st *ais.Stacks) {
+			total += st.Size()
+		})
+		for _, m := range en.knegs {
+			for _, ns := range m {
+				total += ns.len()
+			}
+		}
+		return total
+	}
+	total += en.stacks.Size()
 	for _, ns := range en.negStores {
 		total += ns.len()
 	}
@@ -187,28 +302,85 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	}
 	var out []plan.Match
 	if !en.plan.ConstFalse {
-		for _, negIdx := range en.plan.NegativesForType(e.Type) {
-			if plan.EvalLocal(en.plan.Negatives[negIdx].Local, e, en.met.IncPredError) {
-				en.negStores[negIdx].insert(e)
-			}
-		}
-		last := en.plan.Len() - 1
-		for _, pos := range en.plan.PositionsForType(e.Type) {
-			if !plan.EvalLocal(en.plan.Positives[pos].Local, e, en.met.IncPredError) {
-				continue
-			}
-			inst := en.stacks.Insert(pos, e)
-			if pos == last || isOOO || en.opts.DisableTriggerOpt {
-				before := en.enumerated
-				out = en.construct(inst, pos, out)
-				en.met.ObserveProbe(en.enumerated == before)
-			}
+		if en.Keyed() {
+			out = en.insertKeyed(e, isOOO, out)
+		} else {
+			out = en.insertUnkeyed(e, isOOO, out)
 		}
 	}
 	out = en.drainPending(out)
 	en.maybePurge()
 	en.met.SetLiveState(en.StateSize())
+	if en.Keyed() {
+		en.met.SetKeyGroups(en.kstacks.Groups())
+	}
 	return out
+}
+
+// insertUnkeyed is the classic path: one global stack set and negative
+// store, cross predicates all evaluated during construction.
+func (en *Engine) insertUnkeyed(e event.Event, isOOO bool, out []plan.Match) []plan.Match {
+	for _, negIdx := range en.plan.NegativesForType(e.Type) {
+		if plan.EvalLocalScratch(en.plan.Negatives[negIdx].Local, e, en.localScratch, en.met.IncPredError) {
+			en.negStores[negIdx].insert(e)
+			en.liveNeg++
+		}
+	}
+	last := en.plan.Len() - 1
+	for _, pos := range en.plan.PositionsForType(e.Type) {
+		if !plan.EvalLocalScratch(en.plan.Positives[pos].Local, e, en.localScratch, en.met.IncPredError) {
+			continue
+		}
+		inst := en.stacks.Insert(pos, e)
+		en.liveStack++
+		if pos == last || isOOO || en.opts.DisableTriggerOpt {
+			before := en.enumerated
+			out = en.construct(en.stacks, event.Value{}, inst, pos, out)
+			en.met.ObserveProbe(en.enumerated == before)
+		}
+	}
+	return out
+}
+
+// insertKeyed routes the event to its key group. Events lacking the key
+// cannot satisfy the key-equality predicates and are counted and dropped,
+// mirroring the unkeyed engine's predicate-error non-match.
+func (en *Engine) insertKeyed(e event.Event, isOOO bool, out []plan.Match) []plan.Match {
+	key, ok := plan.KeyOf(e, en.keyAttr)
+	if !ok {
+		en.met.IncPredError(errMissingKey)
+		return out
+	}
+	for _, negIdx := range en.plan.NegativesForType(e.Type) {
+		if plan.EvalLocalScratch(en.plan.Negatives[negIdx].Local, e, en.localScratch, en.met.IncPredError) {
+			en.insertKeyedNeg(negIdx, key, e)
+		}
+	}
+	last := en.plan.Len() - 1
+	for _, pos := range en.plan.PositionsForType(e.Type) {
+		if !plan.EvalLocalScratch(en.plan.Positives[pos].Local, e, en.localScratch, en.met.IncPredError) {
+			continue
+		}
+		inst, st := en.kstacks.Insert(key, pos, e)
+		en.liveStack++
+		if pos == last || isOOO || en.opts.DisableTriggerOpt {
+			before := en.enumerated
+			out = en.construct(st, key, inst, pos, out)
+			en.met.ObserveProbe(en.enumerated == before)
+		}
+	}
+	return out
+}
+
+func (en *Engine) insertKeyedNeg(negIdx int, key event.Value, e event.Event) {
+	m := en.knegs[negIdx]
+	ns := m[key]
+	if ns == nil {
+		ns = &negStore{}
+		m[key] = ns
+	}
+	ns.insert(e)
+	en.liveNeg++
 }
 
 // Advance implements engine.Advancer: a heartbeat promising that no future
@@ -224,6 +396,9 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 	en.since = en.opts.PurgeEvery // force the next purge check to run
 	en.maybePurge()
 	en.met.SetLiveState(en.StateSize())
+	if en.Keyed() {
+		en.met.SetKeyGroups(en.kstacks.Groups())
+	}
 	return out
 }
 
@@ -239,65 +414,73 @@ func (en *Engine) Flush() []plan.Match {
 }
 
 // construct enumerates every match that contains the just-inserted instance
-// at position pos, using only instances already in the stacks. Earlier
-// positions are bound walking down from pos, then later positions walking
-// up; cross predicates fire as soon as their referenced slots are all bound
-// (order-independent, see plan.CrossSatisfiedAt).
-func (en *Engine) construct(trigger *ais.Instance, pos int, out []plan.Match) []plan.Match {
-	n := en.plan.Len()
-	binding := make([]event.Event, n)
-	binding[pos] = trigger.Event
+// at position pos, using only instances already in st (the global stacks,
+// or the trigger's key group). Earlier positions are bound walking down
+// from pos, then later positions walking up; cross predicates fire as soon
+// as their referenced slots are all bound (order-independent, see
+// plan.CrossView.SatisfiedAt). The binding buffer is engine scratch,
+// copied only when a complete match emits.
+func (en *Engine) construct(st *ais.Stacks, key event.Value, trigger *ais.Instance, pos int, out []plan.Match) []plan.Match {
+	en.binding[pos] = trigger.Event
 	mask := uint64(1) << uint(pos)
-	if !en.plan.CrossSatisfiedAt(pos, mask, binding, en.met.IncPredError) {
+	if !en.cross.SatisfiedAt(pos, mask, en.binding, en.met.IncPredError) {
 		return out
 	}
-	var down func(p int, mask uint64)
-	var up func(p int, mask uint64)
-	down = func(p int, mask uint64) {
-		if p < 0 {
-			up(pos+1, mask)
-			return
+	en.walkStacks = st
+	en.walkKey = key
+	en.walkPos = pos
+	en.walkTrigTS = trigger.Event.TS
+	return en.walkDown(pos-1, mask, out)
+}
+
+// walkDown binds positions pos-1 .. 0 with instances earlier than the
+// already-bound successor, then hands over to walkUp.
+func (en *Engine) walkDown(p int, mask uint64, out []plan.Match) []plan.Match {
+	if p < 0 {
+		return en.walkUp(en.walkPos+1, mask, out)
+	}
+	s := en.walkStacks.Stack(p)
+	lowTS := en.walkTrigTS - en.plan.Window
+	for i := s.UpperBound(en.binding[p+1].TS) - 1; i >= 0; i-- {
+		cand := s.At(i)
+		if cand.Event.TS < lowTS {
+			break
 		}
-		s := en.stacks.Stack(p)
-		lowTS := trigger.Event.TS - en.plan.Window
-		for i := s.UpperBound(binding[p+1].TS) - 1; i >= 0; i-- {
-			cand := s.At(i)
-			if cand.Event.TS < lowTS {
-				break
-			}
-			binding[p] = cand.Event
-			m := mask | 1<<uint(p)
-			if en.plan.CrossSatisfiedAt(p, m, binding, en.met.IncPredError) {
-				down(p-1, m)
-			}
+		en.binding[p] = cand.Event
+		m := mask | 1<<uint(p)
+		if en.cross.SatisfiedAt(p, m, en.binding, en.met.IncPredError) {
+			out = en.walkDown(p-1, m, out)
 		}
 	}
-	up = func(p int, mask uint64) {
-		if p >= n {
-			out = en.emit(binding, out)
-			return
+	return out
+}
+
+// walkUp binds positions walkPos+1 .. n-1 with instances later than the
+// already-bound predecessor, emitting when the binding completes.
+func (en *Engine) walkUp(p int, mask uint64, out []plan.Match) []plan.Match {
+	if p >= en.plan.Len() {
+		return en.emit(en.binding, out)
+	}
+	s := en.walkStacks.Stack(p)
+	highTS := en.binding[0].TS + en.plan.Window
+	for i := s.FirstAfter(en.binding[p-1].TS); i < s.Len(); i++ {
+		cand := s.At(i)
+		if cand.Event.TS > highTS {
+			break
 		}
-		s := en.stacks.Stack(p)
-		highTS := binding[0].TS + en.plan.Window
-		for i := s.FirstAfter(binding[p-1].TS); i < s.Len(); i++ {
-			cand := s.At(i)
-			if cand.Event.TS > highTS {
-				break
-			}
-			binding[p] = cand.Event
-			m := mask | 1<<uint(p)
-			if en.plan.CrossSatisfiedAt(p, m, binding, en.met.IncPredError) {
-				up(p+1, m)
-			}
+		en.binding[p] = cand.Event
+		m := mask | 1<<uint(p)
+		if en.cross.SatisfiedAt(p, m, en.binding, en.met.IncPredError) {
+			out = en.walkUp(p+1, m, out)
 		}
 	}
-	down(pos-1, mask)
 	return out
 }
 
 // emit routes a complete positive binding: sealed immediately when the safe
 // clock already passed every negation gap, otherwise parked in the pending
-// queue until it does.
+// queue until it does. The scratch binding is copied here — the single
+// allocation a match costs.
 func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 	en.enumerated++
 	events := make([]event.Event, len(binding))
@@ -309,7 +492,7 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 			sealTS = hi
 		}
 	}
-	pm := pendingMatch{events: events, sealTS: sealTS, madeSeq: en.arrival}
+	pm := pendingMatch{events: events, key: en.walkKey, sealTS: sealTS, madeSeq: en.arrival}
 	if sealTS <= en.safe() {
 		return en.finalize(pm, out)
 	}
@@ -328,14 +511,28 @@ func (en *Engine) drainPending(out []plan.Match) []plan.Match {
 	return out
 }
 
+// negStoreFor returns the store to probe for a pending match: the global
+// one when unkeyed, the match's key group otherwise (nil when the group
+// has no buffered negatives — common, and trivially no invalidator).
+func (en *Engine) negStoreFor(negIdx int, pm pendingMatch) *negStore {
+	if en.Keyed() {
+		return en.knegs[negIdx][pm.key]
+	}
+	return en.negStores[negIdx]
+}
+
 // finalize checks the (now sealed) negation gaps and emits the match.
 func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
 	for negIdx := range en.plan.Negatives {
+		ns := en.negStoreFor(negIdx, pm)
+		if ns == nil {
+			continue
+		}
 		lo, hi := en.plan.GapBounds(negIdx, pm.events)
-		if en.negStores[negIdx].anyInGap(lo, hi, func(t event.Event) bool {
-			return en.plan.NegMatches(negIdx, t, pm.events, en.met.IncPredError)
-		}) {
-			return out
+		for i := ns.firstAfter(lo); i < ns.len() && ns.items[i].TS < hi; i++ {
+			if en.plan.NegMatchesScratch(negIdx, ns.items[i], pm.events, en.negSkipFor(negIdx), en.negScratch, en.met.IncPredError) {
+				return out
+			}
 		}
 	}
 	fields, err := en.plan.Project(pm.events)
@@ -354,6 +551,15 @@ func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
 	return append(out, m)
 }
 
+// negSkipFor returns the pre-satisfied cross-predicate mask for a negation
+// (nil when unkeyed: everything evaluates).
+func (en *Engine) negSkipFor(negIdx int) []bool {
+	if en.negSkip == nil {
+		return nil
+	}
+	return en.negSkip[negIdx]
+}
+
 // maybePurge runs the paper's purge rules every opts.PurgeEvery events.
 func (en *Engine) maybePurge() {
 	if en.opts.PurgeEvery < 0 {
@@ -366,24 +572,46 @@ func (en *Engine) maybePurge() {
 	en.since = 0
 	safe := en.safe()
 	last := en.plan.Len() - 1
-	purged := en.stacks.PurgeBefore(func(pos int) event.Time {
+	horizon := func(pos int) event.Time {
 		if pos == last {
 			return safe
 		}
 		return safe - en.plan.Window
-	})
-	negHorizon := safe - 2*en.plan.Window
-	for _, ns := range en.negStores {
-		purged += ns.purgeBefore(negHorizon)
 	}
-	if purged > 0 {
-		en.met.ObservePurge(purged)
+	var purged int
+	if en.Keyed() {
+		purged = en.kstacks.PurgeBefore(horizon)
+	} else {
+		purged = en.stacks.PurgeBefore(horizon)
+	}
+	en.liveStack -= purged
+	negHorizon := safe - 2*en.plan.Window
+	negPurged := 0
+	if en.Keyed() {
+		for _, m := range en.knegs {
+			for key, ns := range m {
+				negPurged += ns.purgeBefore(negHorizon)
+				if ns.len() == 0 {
+					delete(m, key)
+				}
+			}
+		}
+	} else {
+		for _, ns := range en.negStores {
+			negPurged += ns.purgeBefore(negHorizon)
+		}
+	}
+	en.liveNeg -= negPurged
+	if purged+negPurged > 0 {
+		en.met.ObservePurge(purged + negPurged)
 	}
 }
 
-// pendingMatch is a binding awaiting negation sealing at sealTS.
+// pendingMatch is a binding awaiting negation sealing at sealTS. key is the
+// partition key of its events (zero Value when the engine is unkeyed).
 type pendingMatch struct {
 	events  []event.Event
+	key     event.Value
 	sealTS  event.Time
 	madeSeq uint64
 }

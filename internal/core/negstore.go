@@ -25,13 +25,17 @@ func (s *negStore) insert(e event.Event) {
 	s.items[idx] = e
 }
 
+// firstAfter returns the first index whose event has TS > lo.
+func (s *negStore) firstAfter(lo event.Time) int {
+	return sort.Search(len(s.items), func(i int) bool {
+		return s.items[i].TS > lo
+	})
+}
+
 // anyInGap reports whether any stored event with lo < TS < hi satisfies
 // check.
 func (s *negStore) anyInGap(lo, hi event.Time, check func(event.Event) bool) bool {
-	start := sort.Search(len(s.items), func(i int) bool {
-		return s.items[i].TS > lo
-	})
-	for i := start; i < len(s.items) && s.items[i].TS < hi; i++ {
+	for i := s.firstAfter(lo); i < len(s.items) && s.items[i].TS < hi; i++ {
 		if check(s.items[i]) {
 			return true
 		}

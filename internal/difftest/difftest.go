@@ -24,8 +24,13 @@
 //     retracts equal the exact result set after sealing;
 //   - partitioning soundness (I8): sequential and goroutine-per-shard
 //     partitioned execution equal the single engine, as multisets;
+//   - keyed-stacks soundness: on partitionable queries the native engine
+//     runs with key-partitioned stacks by default; the same engine with
+//     keying disabled must produce the identical multiset;
 //   - checkpoint transparency: native state serialized and restored
-//     mid-stream continues to the identical result set.
+//     mid-stream continues to the identical result set (through keyed
+//     stacks whenever the query is partitionable, since keying is the
+//     default).
 package difftest
 
 import (
@@ -121,6 +126,16 @@ func Run(c Case) *Failure {
 	native := oostream.Config{Strategy: oostream.StrategyNative, K: c.K}
 	if f := fail("native", run(q, native, c.Arrival)); f != nil {
 		return f
+	}
+	// Keyed vs unkeyed native: when the planner keys the stacks (any
+	// partitionable query), the ablated engine must agree. The default
+	// "native" run above exercises the keyed path; this one re-runs with
+	// key-partitioned stacks disabled.
+	if q.AutoPartitionKey() != "" {
+		unkeyed := oostream.Config{Strategy: oostream.StrategyNative, K: c.K, DisableKeyedStacks: true}
+		if f := fail("native-unkeyed", run(q, unkeyed, c.Arrival)); f != nil {
+			return f
+		}
 	}
 	if f := fail("kslack", run(q, oostream.Config{Strategy: oostream.StrategyKSlack, K: c.K}, c.Arrival)); f != nil {
 		return f

@@ -182,6 +182,17 @@ func genStream(rng *rand.Rand, qtypes map[string]bool) []event.Event {
 	}
 	nEv := 12 + rng.Intn(37)
 	idRange := 1 + rng.Intn(maxIDRange)
+	// Key-skew spectrum for the keyed-stacks checks: occasionally force one
+	// hot key (every event in one group), a medium spread, or a cardinality
+	// far above the stream length (every key group near-singleton).
+	switch rng.Intn(8) {
+	case 0:
+		idRange = 1
+	case 1:
+		idRange = 10
+	case 2:
+		idRange = 1000
+	}
 	events := make([]event.Event, 0, nEv)
 	ts := event.Time(0)
 	for i := 0; i < nEv; i++ {

@@ -3,6 +3,7 @@ package event
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -106,6 +107,20 @@ func (v Value) String() string {
 	default:
 		return "<invalid>"
 	}
+}
+
+// MapKey returns a canonical form of the value for use as a Go map key:
+// values that compare Equal canonicalize to identical keys. Integral floats
+// collapse to ints, so Int(3) and Float(3.0) land in the same key group,
+// mirroring Equal's cross-kind semantics. Floats of magnitude >= 2^63 keep
+// their float identity (Equal is not a congruence at that precision
+// boundary; such keys only ever group with bit-identical floats).
+func (v Value) MapKey() Value {
+	if v.kind == KindFloat && v.f == math.Trunc(v.f) &&
+		v.f >= math.MinInt64 && v.f < math.MaxInt64 {
+		return Value{kind: KindInt, i: int64(v.f)}
+	}
+	return v
 }
 
 // Equal reports deep equality with numeric cross-kind comparison

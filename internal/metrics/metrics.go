@@ -32,6 +32,8 @@ type Collector struct {
 	emptyProbes uint64
 	liveState   int
 	peakState   int
+	keyGroups   int
+	peakGroups  int
 	logicalLat  Histogram
 	arrivalLat  Histogram
 }
@@ -51,8 +53,12 @@ type Snapshot struct {
 	EmptyProbes uint64
 	LiveState   int
 	PeakState   int
-	LogicalLat  Histogram
-	ArrivalLat  Histogram
+	// KeyGroups and PeakKeyGroups gauge the live/peak number of key groups
+	// when the engine runs with key-partitioned stacks (0 when unkeyed).
+	KeyGroups     int
+	PeakKeyGroups int
+	LogicalLat    Histogram
+	ArrivalLat    Histogram
 }
 
 // IncIn counts an ingested event; ooo marks it out of timestamp order.
@@ -134,26 +140,39 @@ func (c *Collector) SetLiveState(n int) {
 	}
 }
 
+// SetKeyGroups records the current number of key-partitioned stack groups
+// and updates the peak.
+func (c *Collector) SetKeyGroups(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keyGroups = n
+	if n > c.peakGroups {
+		c.peakGroups = n
+	}
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Snapshot{
-		EventsIn:    c.eventsIn,
-		EventsLate:  c.eventsLate,
-		EventsOOO:   c.eventsOOO,
-		Irrelevant:  c.irrelevant,
-		Matches:     c.matches,
-		Retractions: c.retractions,
-		PredErrors:  c.predErrors,
-		Purged:      c.purged,
-		PurgeCalls:  c.purgeCalls,
-		Probes:      c.probes,
-		EmptyProbes: c.emptyProbes,
-		LiveState:   c.liveState,
-		PeakState:   c.peakState,
-		LogicalLat:  c.logicalLat,
-		ArrivalLat:  c.arrivalLat,
+		EventsIn:      c.eventsIn,
+		EventsLate:    c.eventsLate,
+		EventsOOO:     c.eventsOOO,
+		Irrelevant:    c.irrelevant,
+		Matches:       c.matches,
+		Retractions:   c.retractions,
+		PredErrors:    c.predErrors,
+		Purged:        c.purged,
+		PurgeCalls:    c.purgeCalls,
+		Probes:        c.probes,
+		EmptyProbes:   c.emptyProbes,
+		LiveState:     c.liveState,
+		PeakState:     c.peakState,
+		KeyGroups:     c.keyGroups,
+		PeakKeyGroups: c.peakGroups,
+		LogicalLat:    c.logicalLat,
+		ArrivalLat:    c.arrivalLat,
 	}
 }
 

@@ -50,6 +50,11 @@ type Plan struct {
 	// NegEqLinks records same-attribute equalities between a negation and
 	// a positive slot.
 	NegEqLinks []NegEqLink
+	// PartitionKey is the attribute engines should partition their state
+	// by, chosen automatically at compile time (see autoPartitionKey), or
+	// "" when the query is not partitionable by any equality-linked
+	// attribute.
+	PartitionKey string
 
 	typeIndex    map[string][]int
 	negTypeIndex map[string][]int
@@ -59,6 +64,10 @@ type Plan struct {
 type EqLink struct {
 	SlotA, SlotB int
 	Attr         string
+	// CrossIdx is the index into Plan.Cross of the conjunct this link was
+	// derived from; engines that partition state by Attr may skip it as
+	// structurally pre-satisfied.
+	CrossIdx int
 }
 
 // NegEqLink is an equality between a negation's variable and a positive
@@ -67,6 +76,9 @@ type NegEqLink struct {
 	NegIdx int
 	Slot   int
 	Attr   string
+	// CrossIdx is the index into Negatives[NegIdx].Cross of the conjunct
+	// this link was derived from.
+	CrossIdx int
 }
 
 // PosStep is one positive component of the sequence.
@@ -139,6 +151,7 @@ func Compile(a *query.Analyzed) (*Plan, error) {
 	if err := p.compileReturn(a); err != nil {
 		return nil, err
 	}
+	p.PartitionKey = p.autoPartitionKey()
 	return p, nil
 }
 
@@ -225,9 +238,10 @@ func (p *Plan) addCrossPred(a *query.Analyzed, conj query.Expr) error {
 	}
 	if varA, varB, attr, ok := sameAttrEquality(conj); ok {
 		p.EqLinks = append(p.EqLinks, EqLink{
-			SlotA: a.VarPosition[varA],
-			SlotB: a.VarPosition[varB],
-			Attr:  attr,
+			SlotA:    a.VarPosition[varA],
+			SlotB:    a.VarPosition[varB],
+			Attr:     attr,
+			CrossIdx: idx,
 		})
 	}
 	return nil
@@ -283,7 +297,12 @@ func (p *Plan) addNegativePred(a *query.Analyzed, conj query.Expr, negVar string
 			posVar = varB
 		}
 		if pos, isPos := a.VarPosition[posVar]; isPos {
-			p.NegEqLinks = append(p.NegEqLinks, NegEqLink{NegIdx: negIdx, Slot: pos, Attr: attr})
+			p.NegEqLinks = append(p.NegEqLinks, NegEqLink{
+				NegIdx:   negIdx,
+				Slot:     pos,
+				Attr:     attr,
+				CrossIdx: len(p.Negatives[negIdx].Cross) - 1,
+			})
 		}
 	}
 	return nil
@@ -340,6 +359,97 @@ func (p *Plan) PartitionableBy(attr string) bool {
 	return true
 }
 
+// autoPartitionKey picks the attribute the engines should key their state
+// by: among the attributes appearing in EqLinks for which the plan is
+// PartitionableBy, the one connecting the most slot pairs wins; ties break
+// lexicographically, keeping the choice deterministic. "" when no
+// equality-linked attribute partitions the plan (single-component queries
+// without equality links gain nothing from keying and stay unkeyed).
+func (p *Plan) autoPartitionKey() string {
+	counts := make(map[string]int)
+	for _, l := range p.EqLinks {
+		counts[l.Attr]++
+	}
+	best := ""
+	for attr, n := range counts {
+		if !p.PartitionableBy(attr) {
+			continue
+		}
+		if best == "" || n > counts[best] || (n == counts[best] && attr < best) {
+			best = attr
+		}
+	}
+	return best
+}
+
+// KeyOf extracts the canonical partition-key value of an event for the
+// given attribute, resolving the "ts" pseudo-attribute exactly as predicate
+// evaluation does (payload attribute first, timestamp fallback). ok is
+// false when the event carries no such key: for a plan partitioned on the
+// attribute, such an event cannot participate in any match (the key
+// equality predicate would fail on it).
+func KeyOf(e event.Event, attr string) (event.Value, bool) {
+	if v, ok := e.Attr(attr); ok {
+		return v.MapKey(), true
+	}
+	if attr == predicate.TSAttr {
+		return event.Int(e.TS), true
+	}
+	return event.Value{}, false
+}
+
+// CrossView is a slot-indexed view over a subset of the plan's cross
+// predicates. Engines that prove some predicates structurally satisfied
+// (key-partitioned state pre-satisfies the key equalities) evaluate
+// construction through a view excluding them; a nil-skip view is the full
+// predicate set and behaves exactly like Plan.CrossSatisfiedAt.
+type CrossView struct {
+	cross  []CrossPred
+	bySlot [][]int
+}
+
+// CrossView builds a view excluding the cross predicates (by index into
+// Plan.Cross) for which skip returns true. A nil skip keeps all.
+func (p *Plan) CrossView(skip func(crossIdx int) bool) *CrossView {
+	v := &CrossView{cross: p.Cross, bySlot: make([][]int, len(p.CrossBySlot))}
+	for slot, idxs := range p.CrossBySlot {
+		for _, idx := range idxs {
+			if skip != nil && skip(idx) {
+				continue
+			}
+			v.bySlot[slot] = append(v.bySlot[slot], idx)
+		}
+	}
+	return v
+}
+
+// SatisfiedAt is Plan.CrossSatisfiedAt restricted to the view's predicate
+// subset: it evaluates the retained cross predicates that become fully
+// bound by binding the given slot.
+func (v *CrossView) SatisfiedAt(slot int, boundMask uint64, binding []event.Event, errSink func(error)) bool {
+	prevMask := boundMask &^ (1 << uint(slot))
+	for _, idx := range v.bySlot[slot] {
+		cp := v.cross[idx]
+		if cp.Mask&^boundMask != 0 {
+			continue // not all referenced slots bound yet
+		}
+		if cp.Mask&^prevMask == 0 {
+			continue // was already fully bound before this slot; fired earlier
+		}
+		ok, err := cp.Pred.EvalBool(binding)
+		if err != nil {
+			if errSink != nil {
+				errSink(err)
+			}
+			return false
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 func (p *Plan) compileReturn(a *query.Analyzed) error {
 	for _, item := range a.Query.Return {
 		c, err := predicate.Compile(item.Expr, func(v string) (int, bool) {
@@ -376,7 +486,22 @@ func (p *Plan) HasNegation() bool { return len(p.Negatives) > 0 }
 // evaluation error counts as non-match; the error is reported through
 // errSink when non-nil (engines route it to metrics).
 func EvalLocal(preds []*predicate.Compiled, e event.Event, errSink func(error)) bool {
-	binding := []event.Event{e}
+	return EvalLocalScratch(preds, e, nil, errSink)
+}
+
+// EvalLocalScratch is EvalLocal reusing a caller-owned binding buffer of at
+// least one slot (slot 0 is overwritten), avoiding a per-event allocation
+// on engine hot paths. A nil scratch allocates.
+func EvalLocalScratch(preds []*predicate.Compiled, e event.Event, scratch []event.Event, errSink func(error)) bool {
+	if len(preds) == 0 {
+		return true
+	}
+	binding := scratch
+	if len(binding) == 0 {
+		binding = []event.Event{e}
+	} else {
+		binding[0] = e
+	}
 	for _, c := range preds {
 		ok, err := c.EvalBool(binding)
 		if err != nil {
@@ -426,17 +551,32 @@ func (p *Plan) CrossSatisfiedAt(slot int, boundMask uint64, binding []event.Even
 // binding, i.e. all local and cross predicates of the negation hold.
 // The time containment check (t inside the gap) is the caller's job.
 func (p *Plan) NegMatches(negIdx int, t event.Event, positives []event.Event, errSink func(error)) bool {
+	return p.NegMatchesScratch(negIdx, t, positives, nil, nil, errSink)
+}
+
+// NegMatchesScratch is NegMatches with two hot-path refinements: cross
+// predicates whose index (into Negatives[negIdx].Cross) is marked in skip
+// are treated as pre-satisfied (key-partitioned stores prove their key
+// equalities structurally), and scratch — when non-nil, len(Positives)+1
+// capacity — is reused as the evaluation binding instead of allocating.
+func (p *Plan) NegMatchesScratch(negIdx int, t event.Event, positives []event.Event, skip []bool, scratch []event.Event, errSink func(error)) bool {
 	step := p.Negatives[negIdx]
-	if !EvalLocal(step.Local, t, errSink) {
+	if !EvalLocalScratch(step.Local, t, scratch, errSink) {
 		return false
 	}
 	if len(step.Cross) == 0 {
 		return true
 	}
-	binding := make([]event.Event, len(p.Positives)+1)
+	binding := scratch
+	if len(binding) < len(p.Positives)+1 {
+		binding = make([]event.Event, len(p.Positives)+1)
+	}
 	copy(binding, positives)
 	binding[len(p.Positives)] = t
-	for _, c := range step.Cross {
+	for ci, c := range step.Cross {
+		if ci < len(skip) && skip[ci] {
+			continue
+		}
 		ok, err := c.EvalBool(binding)
 		if err != nil {
 			if errSink != nil {

@@ -225,3 +225,75 @@ func TestProject(t *testing.T) {
 		t.Error("missing attr in RETURN should error")
 	}
 }
+
+func TestAutoPartitionKey(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		// Single equality chain.
+		{"PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 100", "id"},
+		// Full chain over three slots and a negation.
+		{"PATTERN SEQ(A a, !(N n), B b) WHERE a.id = n.id AND a.id = b.id WITHIN 100", "id"},
+		// Two candidate attributes: the one in more equality predicates wins.
+		{"PATTERN SEQ(A a, B b, C c) WHERE a.id = b.id AND b.id = c.id AND a.z = c.z WITHIN 100", "id"},
+		// Chain does not reach the negation: not partitionable.
+		{"PATTERN SEQ(A a, !(N n), B b) WHERE a.id = b.id WITHIN 100", ""},
+		// No cross predicates at all.
+		{"PATTERN SEQ(A a, B b) WITHIN 100", ""},
+		// Chain does not connect all positive slots.
+		{"PATTERN SEQ(A a, B b, C c) WHERE a.id = b.id WITHIN 100", ""},
+	}
+	for _, tt := range tests {
+		if got := compile(t, tt.src).PartitionKey; got != tt.want {
+			t.Errorf("%s: PartitionKey = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	e := event.New("A", 42, event.Attrs{"id": event.Float(3.0), "s": event.Str("x")})
+	if k, ok := KeyOf(e, "id"); !ok || !k.Equal(event.Int(3)) {
+		t.Errorf("KeyOf float id = %v, %v (want canonical Int(3))", k, ok)
+	}
+	if k, ok := KeyOf(e, "s"); !ok || !k.Equal(event.Str("x")) {
+		t.Errorf("KeyOf string = %v, %v", k, ok)
+	}
+	// The "ts" pseudo-attribute falls back to the event timestamp.
+	if k, ok := KeyOf(e, "ts"); !ok || !k.Equal(event.Int(42)) {
+		t.Errorf("KeyOf ts = %v, %v", k, ok)
+	}
+	if _, ok := KeyOf(e, "missing"); ok {
+		t.Error("KeyOf missing attr should report !ok")
+	}
+}
+
+func TestCrossViewSkipsKeyEqualities(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WHERE a.id = b.id AND a.x < b.x WITHIN 100")
+	skip := make(map[int]bool)
+	for _, l := range p.EqLinks {
+		if l.Attr == "id" {
+			skip[l.CrossIdx] = true
+		}
+	}
+	v := p.CrossView(func(i int) bool { return skip[i] })
+	// Different ids but ascending x: with the id equality skipped (the keyed
+	// engine guarantees it structurally), the view must accept the binding.
+	binding := []event.Event{
+		event.New("A", 1, event.Attrs{"id": event.Int(1), "x": event.Int(1)}),
+		event.New("B", 2, event.Attrs{"id": event.Int(2), "x": event.Int(5)}),
+	}
+	if !v.SatisfiedAt(1, 1<<0|1<<1, binding, nil) {
+		t.Error("view with id skipped should accept ascending x")
+	}
+	// Descending x must still be rejected by the remaining predicate.
+	binding[1].Attrs["x"] = event.Int(0)
+	if v.SatisfiedAt(1, 1<<0|1<<1, binding, nil) {
+		t.Error("view must still evaluate non-key predicates")
+	}
+	// The unfiltered view rejects mismatched ids.
+	binding[1].Attrs["x"] = event.Int(5)
+	if p.CrossView(nil).SatisfiedAt(1, 1<<0|1<<1, binding, nil) {
+		t.Error("unfiltered view must evaluate the id equality")
+	}
+}

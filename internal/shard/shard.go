@@ -194,6 +194,8 @@ func (en *Engine) Metrics() metrics.Snapshot {
 		agg.EmptyProbes += s.EmptyProbes
 		agg.LiveState += s.LiveState
 		agg.PeakState += s.PeakState
+		agg.KeyGroups += s.KeyGroups
+		agg.PeakKeyGroups += s.PeakKeyGroups
 	}
 	agg.PredErrors += en.routeErrors
 	return agg

@@ -149,6 +149,14 @@ func (q *Query) Explain() string { return q.plan.Describe() }
 // preserves the result set (see NewPartitionedEngine).
 func (q *Query) PartitionableBy(attr string) bool { return q.plan.PartitionableBy(attr) }
 
+// AutoPartitionKey returns the equivalence attribute the planner selected
+// for key-partitioned stacks (the partitionable attribute appearing in the
+// most equality predicates), or "" when the query is not partitionable.
+// The native engine keys its active instance stacks and negation stores by
+// this attribute automatically, confining construction and negation probes
+// to one key group per trigger; Config.DisableKeyedStacks turns it off.
+func (q *Query) AutoPartitionKey() string { return q.plan.PartitionKey }
+
 // SameResults compares two match slices as multisets (applying Retract
 // compensations) and describes the difference when they diverge.
 func SameResults(a, b []Match) (bool, string) { return plan.SameResults(a, b) }
@@ -176,6 +184,7 @@ func NewEngine(q *Query, cfg Config) (*Engine, error) {
 			K:                 cfg.K,
 			LatePolicy:        cfg.corePolicy(),
 			DisableTriggerOpt: cfg.DisableTriggerOpt,
+			DisableKeying:     cfg.DisableKeyedStacks,
 			PurgeEvery:        cfg.PurgeEvery,
 		})
 		if err != nil {
