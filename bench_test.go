@@ -7,6 +7,7 @@ package oostream_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"oostream"
@@ -341,6 +342,60 @@ func BenchmarkE14KeyedStacks(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("ids=%d/unkeyed", ids), func(b *testing.B) {
 			run(b, q, oostream.Config{K: 200, DisableKeyedStacks: true}, events)
+		})
+	}
+}
+
+// BenchmarkE15RecoveryOverhead measures the fault-tolerance tax: the
+// supervised runtime (write-ahead log + admission control + periodic
+// durable checkpoints) over the native engine, swept by checkpoint
+// interval, against the unsupervised engine. "wal-only" logs events but
+// never snapshots. Fsync is disabled so the numbers isolate protocol cost
+// (serialization, CRC framing, admission bookkeeping) from disk sync
+// latency, which SyncEveryEvent would make the only visible term.
+func BenchmarkE15RecoveryOverhead(b *testing.B) {
+	q := benchNegQuery(b)
+	events := benchStream(0.10, benchK)
+	b.Run("unsupervised", func(b *testing.B) {
+		run(b, q, oostream.Config{K: benchK}, events)
+	})
+	for _, every := range []int{0, 100, 1000} {
+		name := fmt.Sprintf("ckpt-every=%d", every)
+		if every == 0 {
+			name = "wal-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var matches int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "oobench-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				en, err := oostream.NewSupervisedEngine(q, oostream.Config{K: benchK},
+					oostream.SupervisorConfig{Dir: dir, CheckpointEvery: every, DisableFsync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := en.Start(); err != nil {
+					b.Fatal(err)
+				}
+				ms, err := en.ProcessAll(events)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matches = len(ms)
+				if err := en.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(matches), "matches")
 		})
 	}
 }

@@ -6,6 +6,16 @@
 //
 //	go run ./cmd/espfuzz -budget 30s
 //	go run ./cmd/espfuzz -budget 10m -seed 1000000 -maxfail 5
+//	go run ./cmd/espfuzz -budget 30s -crash
+//
+// With -crash each trial instead runs the crash-point differential: the
+// supervised fault-tolerant runtime is killed at seed-derived offsets and
+// recovered from its durable store (checkpoints + write-ahead log), and
+// the recovered run must reproduce the uninterrupted run's exact ordered
+// match sequence across every strategy, the partitioned topology, and
+// corrupted-checkpoint fallback. Half the crash trials draw their arrival
+// stream from the fault-injecting delivery simulator (drops, duplicate
+// deliveries, source stalls).
 //
 // Unlike `go test -fuzz`, which hunts coverage, espfuzz hunts wall-clock
 // volume: tens of thousands of independent seed-reproducible trials per
@@ -51,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trials  = fs.Int("trials", 0, "max trials (0 = unlimited within budget)")
 		maxfail = fs.Int("maxfail", 3, "stop after this many failures")
 		quiet   = fs.Bool("q", false, "suppress per-failure reports (summary only)")
+		crash   = fs.Bool("crash", false, "run the crash-recovery differential instead of the strategy differential")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,11 +76,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		s.Trials++
 		s.LastSeed = next
-		if fail := difftest.Run(difftest.Generate(next)); fail != nil {
+		var fail *difftest.Failure
+		if *crash {
+			// Alternate plain and fault-injected arrival streams so both
+			// the crash machinery and the duplicate-admission path soak.
+			c := difftest.Generate(next)
+			if next%2 == 0 {
+				c = difftest.GenerateFaulty(next)
+			}
+			fail = difftest.RunCrash(c)
+		} else {
+			fail = difftest.Run(difftest.Generate(next))
+		}
+		if fail != nil {
 			s.Failures++
 			s.FailSeeds = append(s.FailSeeds, next)
 			if !*quiet {
-				fmt.Fprintf(stderr, "%s\n", difftest.Shrink(fail).Report())
+				if *crash {
+					// Crash failures are reported unshrunk: Shrink re-runs
+					// the strategy differential, not the crash one.
+					fmt.Fprintf(stderr, "%v\n", fail)
+				} else {
+					fmt.Fprintf(stderr, "%s\n", difftest.Shrink(fail).Report())
+				}
 			}
 			if s.Failures >= *maxfail {
 				break

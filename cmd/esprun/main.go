@@ -6,6 +6,17 @@
 //
 //	esprun -query 'PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN 6s' \
 //	       -strategy native -k 2000 -trace trace.jsonl
+//
+// With -checkpoint-dir the run is supervised by the fault-tolerant
+// runtime: every event is logged to a write-ahead log before processing
+// and the engine state is checkpointed every -checkpoint-every events. A
+// killed run resumes with -resume over the same trace — admission control
+// skips everything already processed, so matches are printed exactly once
+// across the two invocations:
+//
+//	esprun -query ... -trace trace.jsonl -checkpoint-dir state/
+//	^C (or crash)
+//	esprun -query ... -trace trace.jsonl -checkpoint-dir state/ -resume
 package main
 
 import (
@@ -36,6 +47,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		quiet     = fs.Bool("quiet", false, "suppress per-match output")
 		maxPrint  = fs.Int("max-print", 20, "print at most this many matches (0 = all)")
 		explain   = fs.Bool("explain", false, "print the compiled plan and exit")
+		ckptDir   = fs.String("checkpoint-dir", "", "run supervised: durable checkpoint+WAL directory")
+		ckptEvery = fs.Int("checkpoint-every", 1000, "checkpoint every N events (with -checkpoint-dir)")
+		resume    = fs.Bool("resume", false, "resume a previous run from -checkpoint-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,12 +74,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		_, err := fmt.Fprint(stdout, q.Explain())
 		return err
 	}
-	en, err := oostream.NewEngine(q, oostream.Config{
+	cfg := oostream.Config{
 		Strategy: oostream.Strategy(*strategy),
 		K:        oostream.Time(*k),
-	})
-	if err != nil {
-		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 
 	in := stdin
@@ -97,6 +111,46 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			printed++
 		}
 	}
+
+	var process func(oostream.Event) ([]oostream.Match, error)
+	var flush func() ([]oostream.Match, error)
+	var name string
+	var stats func() oostream.Metrics
+	if *ckptDir != "" {
+		if !*resume {
+			if entries, err := os.ReadDir(*ckptDir); err == nil && len(entries) > 0 {
+				return fmt.Errorf("%s already holds state; pass -resume to continue it (or point at an empty directory)", *ckptDir)
+			}
+		}
+		sen, err := oostream.NewSupervisedEngine(q, cfg, oostream.SupervisorConfig{
+			Dir:             *ckptDir,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer sen.Close()
+		recovered, err := sen.Start()
+		if err != nil {
+			return err
+		}
+		emit(recovered)
+		process, flush, name, stats = sen.Process, sen.Flush, sen.Strategy(), sen.Metrics
+	} else {
+		en, err := oostream.NewEngine(q, cfg)
+		if err != nil {
+			return err
+		}
+		process = func(e oostream.Event) ([]oostream.Match, error) { return en.Process(e), nil }
+		flush = func() ([]oostream.Match, error) { return en.Flush(), nil }
+		name, stats = en.Strategy(), en.Metrics
+	}
+
+	// The supervised path needs stable event identity across invocations:
+	// trace positions are deterministic, so events without a Seq get their
+	// 1-based trace position. On -resume, admission control then drops or
+	// deduplicates everything already processed before the crash.
+	var pos oostream.Seq
 	for {
 		e, err := r.Read()
 		if err == io.EOF {
@@ -105,12 +159,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		emit(en.Process(e))
+		pos++
+		if e.Seq == 0 {
+			e.Seq = pos
+		}
+		ms, err := process(e)
+		if err != nil {
+			return err
+		}
+		emit(ms)
 	}
-	emit(en.Flush())
+	ms, err := flush()
+	if err != nil {
+		return err
+	}
+	emit(ms)
 	if !*quiet && *maxPrint > 0 && total > printed {
 		fmt.Fprintf(stdout, "… %d more matches (raise -max-print)\n", total-printed)
 	}
-	fmt.Fprintf(stdout, "strategy=%s matches=%d %s\n", en.Strategy(), total, en.Metrics())
+	fmt.Fprintf(stdout, "strategy=%s matches=%d %s\n", name, total, stats())
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"oostream"
 	"oostream/internal/event"
 	"oostream/internal/trace"
 )
@@ -139,5 +140,67 @@ func TestRunExplain(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("explain missing %q: %s", want, out.String())
 		}
+	}
+}
+
+// TestRunResume: a supervised run killed mid-stream resumes from its
+// checkpoint directory over the same trace, printing only the matches the
+// first run never delivered — exactly-once output across invocations.
+func TestRunResume(t *testing.T) {
+	events := sampleEvents()
+	path := writeTrace(t, events)
+	dir := filepath.Join(t.TempDir(), "state")
+	const query = "PATTERN SEQ(A a, B b) WITHIN 50"
+
+	// First "invocation": drive the supervised engine over a prefix and
+	// crash it (the CLI path always flushes at EOF, which would seal the
+	// stream; a real kill leaves no flush marker, which is what Kill
+	// simulates).
+	q, err := oostream.Compile(query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sen, err := oostream.NewSupervisedEngine(q, oostream.Config{K: 100},
+		oostream.SupervisorConfig{Dir: dir, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sen.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pre := 0
+	for _, e := range events[:2] {
+		ms, err := sen.Process(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre += len(ms)
+	}
+	if pre != 1 {
+		t.Fatalf("prefix emitted %d matches, want 1", pre)
+	}
+	sen.Kill()
+
+	// Without -resume the CLI must refuse the non-empty directory.
+	var out bytes.Buffer
+	err = run([]string{"-query", query, "-trace", path, "-k", "100", "-checkpoint-dir", dir},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("non-empty dir accepted without -resume: %v", err)
+	}
+
+	// Resume over the FULL trace: already-processed events are skipped by
+	// admission control, so only the second match is printed.
+	out.Reset()
+	err = run([]string{"-query", query, "-trace", path, "-k", "100",
+		"-checkpoint-dir", dir, "-resume"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matches=1") {
+		t.Errorf("resume output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "strategy=supervised(native)") {
+		t.Errorf("resume output: %s", out.String())
 	}
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bufio"
 	"container/heap"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -12,8 +15,23 @@ import (
 	"oostream/internal/plan"
 )
 
-// checkpointVersion guards the on-disk format.
+// checkpointVersion guards the JSON payload shape.
 const checkpointVersion = 1
+
+// Checkpoint envelope: a fixed binary header protects the JSON payload
+// against truncation and bit rot. Layout:
+//
+//	magic   [6]byte  "OOCKPT"
+//	version byte     envelopeVersion
+//	length  uint32le payload byte count
+//	crc     uint32le CRC32 (IEEE) of the payload
+//	payload []byte   JSON checkpointFile
+//
+// Version 1 checkpoints (bare JSON, written before the envelope existed)
+// are still restorable: Restore sniffs the first byte.
+var checkpointMagic = [6]byte{'O', 'O', 'C', 'K', 'P', 'T'}
+
+const envelopeVersion = 2
 
 // checkpointFile is the serialized engine state. Stack instances are
 // stored as plain events; RIP pointers are rebuilt on restore by
@@ -126,8 +144,45 @@ func (en *Engine) Checkpoint(w io.Writer) error {
 			MadeSeq: pm.madeSeq,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(cf)
+	payload, err := json.Marshal(cf)
+	if err != nil {
+		return err
+	}
+	var hdr [15]byte
+	copy(hdr[:6], checkpointMagic[:])
+	hdr[6] = envelopeVersion
+	binary.LittleEndian.PutUint32(hdr[7:11], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[11:15], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readEnvelope consumes a version-2 envelope and returns the validated
+// payload. The reader must be positioned at the magic.
+func readEnvelope(r io.Reader) ([]byte, error) {
+	var hdr [15]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint header truncated: %w", err)
+	}
+	if [6]byte(hdr[:6]) != checkpointMagic {
+		return nil, fmt.Errorf("bad checkpoint magic %q", hdr[:6])
+	}
+	if hdr[6] != envelopeVersion {
+		return nil, fmt.Errorf("checkpoint envelope version %d, want %d", hdr[6], envelopeVersion)
+	}
+	size := binary.LittleEndian.Uint32(hdr[7:11])
+	want := binary.LittleEndian.Uint32(hdr[11:15])
+	payload := make([]byte, size)
+	if n, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint truncated: want %d payload bytes, got %d", size, n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("checkpoint corrupt: CRC32 %08x, want %08x", got, want)
+	}
+	return payload, nil
 }
 
 // restoreInsertPositive re-inserts a checkpointed stack event, routing it
@@ -169,10 +224,30 @@ func (en *Engine) restoreInsertNegative(negIdx int, e event.Event) {
 // A keyed engine restores from an unkeyed engine's checkpoint (and vice
 // versa, modulo the recorded DisableKeying option): the format carries
 // plain events and keys are recomputed on insertion.
+//
+// Truncated or corrupted checkpoints are rejected with a descriptive
+// error: the envelope's length and CRC32 are validated before any state is
+// deserialized, so a damaged snapshot can never restore garbage state.
 func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("read checkpoint: %w", err)
+	}
 	var cf checkpointFile
-	if err := json.NewDecoder(r).Decode(&cf); err != nil {
-		return nil, fmt.Errorf("decode checkpoint: %w", err)
+	if first[0] == '{' {
+		// Legacy version-1 checkpoint: bare JSON, no envelope.
+		if err := json.NewDecoder(br).Decode(&cf); err != nil {
+			return nil, fmt.Errorf("decode checkpoint: %w", err)
+		}
+	} else {
+		payload, err := readEnvelope(br)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(payload, &cf); err != nil {
+			return nil, fmt.Errorf("decode checkpoint: %w", err)
+		}
 	}
 	if cf.Version != checkpointVersion {
 		return nil, fmt.Errorf("checkpoint version %d, want %d", cf.Version, checkpointVersion)

@@ -102,6 +102,62 @@ func TestRestoreErrors(t *testing.T) {
 	}
 }
 
+// TestCheckpointEnvelopeRejectsDamage: a truncated or bit-flipped
+// checkpoint must be rejected with a descriptive error instead of
+// restoring garbage state. Every truncation point and every flipped byte
+// must fail — the envelope validates length and CRC32 before any state is
+// deserialized.
+func TestCheckpointEnvelopeRejectsDamage(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, !(N n), B b) WHERE a.id = b.id WITHIN 60")
+	en := MustNew(p, Options{K: 20})
+	sorted := gen.Uniform(60, []string{"A", "B", "N"}, 3, 4, 7)
+	for _, e := range gen.Shuffle(sorted, gen.Disorder{Ratio: 0.3, MaxDelay: 20, Seed: 8}) {
+		en.Process(e)
+	}
+	var buf bytes.Buffer
+	if err := en.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Sanity: the intact envelope restores.
+	if _, err := Restore(p, bytes.NewReader(full)); err != nil {
+		t.Fatalf("intact checkpoint rejected: %v", err)
+	}
+
+	for _, cut := range []int{0, 1, 5, 14, 15, len(full) / 2, len(full) - 1} {
+		if _, err := Restore(p, bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+	for _, pos := range []int{0, 6, 8, 12, 15, 40, len(full) - 1} {
+		flipped := append([]byte(nil), full...)
+		flipped[pos] ^= 0x20
+		if _, err := Restore(p, bytes.NewReader(flipped)); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+	if _, err := Restore(p, bytes.NewReader(nil)); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+}
+
+// TestCheckpointLegacyV1Restores: bare-JSON checkpoints written before the
+// envelope existed still restore (the decoder sniffs the first byte).
+func TestCheckpointLegacyV1Restores(t *testing.T) {
+	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
+	legacy := `{"version":1,"planSource":"` + p.Source + `","k":10,"latePolicy":1,` +
+		`"purgeEvery":64,"clock":100,"started":true,"arrival":3,"enumerated":0,"since":0,` +
+		`"stacks":[[{"type":"A","ts":100,"seq":1}],[]],"negStores":[],"pending":null}`
+	en, err := Restore(p, strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if en.clock != 100 || en.StateSize() != 1 {
+		t.Errorf("legacy state not restored: clock=%d size=%d", en.clock, en.StateSize())
+	}
+}
+
 func TestCheckpointRestoresOptionsAndClock(t *testing.T) {
 	p := compile(t, "PATTERN SEQ(A a, B b) WITHIN 50")
 	en := MustNew(p, Options{K: 33, LatePolicy: BestEffort, DisableTriggerOpt: true, PurgeEvery: 7})

@@ -6,6 +6,8 @@
 package engine
 
 import (
+	"io"
+
 	"oostream/internal/event"
 	"oostream/internal/metrics"
 	"oostream/internal/plan"
@@ -31,6 +33,16 @@ type Engine interface {
 	// StateSize returns the current number of buffered items (stack
 	// instances, reorder buffers, negative stores, pending matches).
 	StateSize() int
+}
+
+// Checkpointer is implemented by engines whose full state can be
+// serialized for crash recovery: a restored engine continues the stream
+// exactly where the checkpointed one stopped. The native engine and the
+// sequential sharded engine over native parts implement it.
+type Checkpointer interface {
+	// Checkpoint serializes the engine's state. The engine may keep
+	// processing afterwards; the snapshot is taken synchronously.
+	Checkpoint(w io.Writer) error
 }
 
 // Advancer is implemented by engines that support heartbeats

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"oostream/internal/event"
 )
@@ -36,6 +37,15 @@ type Collector struct {
 	peakGroups  int
 	logicalLat  Histogram
 	arrivalLat  Histogram
+
+	// Fault-tolerance counters (owned by the supervised runtime layer).
+	eventsDropped     uint64
+	eventsDeadLetter  uint64
+	dupSuppressed     uint64
+	restarts          uint64
+	checkpoints       uint64
+	checkpointBytes   uint64
+	checkpointLastDur time.Duration
 }
 
 // Snapshot is a consistent copy of all counters.
@@ -59,6 +69,25 @@ type Snapshot struct {
 	PeakKeyGroups int
 	LogicalLat    Histogram
 	ArrivalLat    Histogram
+
+	// EventsDropped counts events the admission-control layer rejected
+	// under the Drop policy (bound violators and duplicates).
+	EventsDropped uint64
+	// EventsDeadLettered counts events routed to the dead-letter channel.
+	EventsDeadLettered uint64
+	// DuplicatesSuppressed counts duplicate work suppressed by the
+	// fault-tolerance layer: duplicate input events turned away at
+	// admission plus replayed match emissions that had already been
+	// delivered before a crash.
+	DuplicatesSuppressed uint64
+	// Restarts counts supervised restarts from a checkpoint after a panic.
+	Restarts uint64
+	// Checkpoints counts durable checkpoints written.
+	Checkpoints uint64
+	// CheckpointBytes gauges the size of the most recent checkpoint.
+	CheckpointBytes uint64
+	// CheckpointDuration gauges the wall time of the most recent checkpoint.
+	CheckpointDuration time.Duration
 }
 
 // IncIn counts an ingested event; ooo marks it out of timestamp order.
@@ -151,6 +180,46 @@ func (c *Collector) SetKeyGroups(n int) {
 	}
 }
 
+// IncDropped counts an event rejected by admission control (Drop policy).
+func (c *Collector) IncDropped() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eventsDropped++
+}
+
+// IncDeadLettered counts an event routed to the dead-letter channel.
+func (c *Collector) IncDeadLettered() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eventsDeadLetter++
+}
+
+// IncDupSuppressed counts one suppressed duplicate: a duplicate input
+// event turned away at admission, or a replayed match emission that was
+// already delivered before a crash.
+func (c *Collector) IncDupSuppressed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dupSuppressed++
+}
+
+// IncRestart counts a supervised restart from a checkpoint.
+func (c *Collector) IncRestart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restarts++
+}
+
+// ObserveCheckpoint records a completed durable checkpoint: its size and
+// how long writing it took.
+func (c *Collector) ObserveCheckpoint(bytes int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checkpoints++
+	c.checkpointBytes = uint64(bytes)
+	c.checkpointLastDur = d
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
@@ -173,6 +242,14 @@ func (c *Collector) Snapshot() Snapshot {
 		PeakKeyGroups: c.peakGroups,
 		LogicalLat:    c.logicalLat,
 		ArrivalLat:    c.arrivalLat,
+
+		EventsDropped:        c.eventsDropped,
+		EventsDeadLettered:   c.eventsDeadLetter,
+		DuplicatesSuppressed: c.dupSuppressed,
+		Restarts:             c.restarts,
+		Checkpoints:          c.checkpoints,
+		CheckpointBytes:      c.checkpointBytes,
+		CheckpointDuration:   c.checkpointLastDur,
 	}
 }
 

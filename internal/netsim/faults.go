@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"oostream/internal/event"
+)
+
+// FaultConfig extends the delivery model with the failure modes the
+// fault-tolerant runtime must absorb: lost deliveries, duplicated
+// deliveries (retransmission after a lost ack), source stalls that hold a
+// span of events and release them late in a burst, and process crashes at
+// random points of the arrival stream.
+type FaultConfig struct {
+	// DropP is the per-event probability the delivery is lost entirely.
+	DropP float64
+	// DupP is the per-event probability the delivery arrives twice (the
+	// duplicate carries the same Seq and a later arrival time).
+	DupP float64
+	// DupDelayMean is the mean extra delay of a duplicate's second copy;
+	// default 50 time units when DupP > 0.
+	DupDelayMean float64
+	// StallP is the per-event probability the event's source stalls
+	// starting at that event's timestamp, holding deliveries for an
+	// exponential duration of mean StallMean.
+	StallP float64
+	// StallMean is the mean stall duration.
+	StallMean event.Time
+	// Crashes is how many crash points to draw, uniformly over the
+	// arrival stream (offsets into the delivered slice, sorted,
+	// distinct). The simulator only reports them; the harness decides
+	// what "crash" means (kill a supervisor, drop a store).
+	Crashes int
+}
+
+// Validate checks the configuration.
+func (f FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"DropP", f.DropP}, {"DupP", f.DupP}, {"StallP", f.StallP}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("%s must be in [0,1], got %g", p.name, p.v)
+		}
+	}
+	if f.Crashes < 0 {
+		return fmt.Errorf("Crashes must be non-negative, got %d", f.Crashes)
+	}
+	return nil
+}
+
+// FaultReport describes the faults actually injected.
+type FaultReport struct {
+	// Dropped is the number of deliveries lost.
+	Dropped int
+	// Duplicated is the number of events delivered twice.
+	Duplicated int
+	// Stalls is the number of source stalls injected.
+	Stalls int
+	// CrashOffsets are sorted, distinct offsets into the delivered stream
+	// where the harness should simulate a process crash.
+	CrashOffsets []int
+}
+
+// String renders the report on one line.
+func (r FaultReport) String() string {
+	return fmt.Sprintf("dropped=%d duplicated=%d stalls=%d crashes=%d",
+		r.Dropped, r.Duplicated, r.Stalls, len(r.CrashOffsets))
+}
+
+// DeliverFaults runs the delivery simulation with fault injection layered
+// on top: events may be dropped, duplicated, or held by a stalled source
+// before the normal link-delay model orders arrivals. The input must be
+// sorted by (TS, Seq). Returns the arrival-ordered stream (with duplicate
+// Seqs where duplication fired), the per-arrival delays, the disorder
+// profile, and the fault report.
+func DeliverFaults(events []event.Event, cfg Config, f FaultConfig, rng *rand.Rand) ([]event.Event, []event.Time, Profile, FaultReport, error) {
+	var rep FaultReport
+	if err := f.Validate(); err != nil {
+		return nil, nil, Profile{}, rep, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, Profile{}, rep, err
+	}
+
+	// Stage 1: per-event faults in production order. Stalls reuse the
+	// outage machinery: a stall starting at ts holds every event of that
+	// source in [ts, ts+duration) until the stall ends, which the
+	// delivery model expresses as an extra source outage. Here sources
+	// are not re-derived; a stall simply delays the affected event and
+	// every later event of the same production slot — approximated by
+	// shifting the event's own send time, which the link jitter then
+	// reorders naturally.
+	dupMean := f.DupDelayMean
+	if dupMean <= 0 {
+		dupMean = 50
+	}
+	staged := make([]event.Event, 0, len(events))
+	extraDelay := make([]event.Time, 0, len(events))
+	var stallUntil event.Time
+	for _, e := range events {
+		if f.StallP > 0 && rng.Float64() < f.StallP {
+			end := e.TS + expDuration(rng, float64(f.StallMean))
+			if end > stallUntil {
+				stallUntil = end
+			}
+			rep.Stalls++
+		}
+		var hold event.Time
+		if e.TS < stallUntil {
+			hold = stallUntil - e.TS
+		}
+		if f.DropP > 0 && rng.Float64() < f.DropP {
+			rep.Dropped++
+			continue
+		}
+		staged = append(staged, e)
+		extraDelay = append(extraDelay, hold)
+		if f.DupP > 0 && rng.Float64() < f.DupP {
+			staged = append(staged, e)
+			extraDelay = append(extraDelay, hold+expDuration(rng, dupMean))
+			rep.Duplicated++
+		}
+	}
+
+	// Stage 2: the normal delivery model over the staged events, with the
+	// fault delays added to each event's send time. Deliver sorts by
+	// arrival, so duplicates and stalled bursts land where their delays
+	// put them. The shift is a temporary TS bump that is undone after
+	// ordering (the event the engine sees is unchanged).
+	shifted := make([]event.Event, len(staged))
+	for i, e := range staged {
+		shifted[i] = e
+		shifted[i].TS += extraDelay[i]
+	}
+
+	delivered, _, _, err := DeliverRand(shifted, cfg, rng)
+	if err != nil {
+		return nil, nil, Profile{}, rep, err
+	}
+	// Undo the TS shift: arrival order came from the shifted send times,
+	// but the engine must see original timestamps. Deliveries of the same
+	// Seq (duplicates) shifted by different amounts map back to the same
+	// original event, so restoring by Seq is unambiguous.
+	origTS := make(map[uint64]event.Time, len(events))
+	for _, e := range events {
+		origTS[e.Seq] = e.TS
+	}
+	out := make([]event.Event, len(delivered))
+	for i, e := range delivered {
+		out[i] = e
+		out[i].TS = origTS[e.Seq]
+	}
+
+	// Recompute delays and the profile against the restored timestamps.
+	delays := make([]event.Time, len(out))
+	var maxSeen event.Time
+	ooo := 0
+	for i, e := range out {
+		if i == 0 || e.TS >= maxSeen {
+			maxSeen = e.TS
+			delays[i] = 0
+		} else {
+			delays[i] = maxSeen - e.TS
+			ooo++
+		}
+	}
+	prof := Profile{Events: len(out)}
+	if len(out) > 0 {
+		prof.OOORatio = float64(ooo) / float64(len(out))
+		sorted := append([]event.Time(nil), delays...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		prof.DelayP50 = sorted[len(sorted)/2]
+		prof.DelayP99 = sorted[len(sorted)*99/100]
+		prof.MaxDelay = sorted[len(sorted)-1]
+	}
+
+	// Stage 3: crash points over the arrival stream.
+	if f.Crashes > 0 && len(out) > 0 {
+		picked := make(map[int]bool, f.Crashes)
+		for len(picked) < f.Crashes && len(picked) < len(out) {
+			picked[rng.Intn(len(out))] = true
+		}
+		rep.CrashOffsets = make([]int, 0, len(picked))
+		for off := range picked {
+			rep.CrashOffsets = append(rep.CrashOffsets, off)
+		}
+		sort.Ints(rep.CrashOffsets)
+	}
+	return out, delays, prof, rep, nil
+}

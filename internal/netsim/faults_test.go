@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/gen"
+)
+
+func faultInput(n int, seed int64) []event.Event {
+	return gen.Uniform(n, []string{"A", "B"}, 3, 5, seed)
+}
+
+// TestDeliverFaultsNoFaultsEqualsDeliver: with a zero FaultConfig the
+// fault path reduces to the plain delivery model on the same rng stream.
+func TestDeliverFaultsNoFaultsEqualsDeliver(t *testing.T) {
+	events := faultInput(400, 3)
+	cfg := Config{Sources: 4, Link: DefaultLink(), Seed: 7}
+
+	want, _, _, err := DeliverRand(events, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, rep, err := DeliverFaults(events, cfg, FaultConfig{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 || rep.Duplicated != 0 || rep.Stalls != 0 || len(rep.CrashOffsets) != 0 {
+		t.Fatalf("faults injected with zero config: %v", rep)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq {
+			t.Fatalf("order diverged at %d", i)
+		}
+	}
+}
+
+// TestDeliverFaultsDropAndDup: drops shrink and dups grow the stream by
+// the reported amounts, duplicates share Seq and original TS, and every
+// surviving event keeps its production timestamp.
+func TestDeliverFaultsDropAndDup(t *testing.T) {
+	events := faultInput(600, 11)
+	cfg := Config{Sources: 3, Link: DefaultLink()}
+	f := FaultConfig{DropP: 0.05, DupP: 0.05}
+	out, _, _, rep, err := DeliverFaults(events, cfg, f, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 || rep.Duplicated == 0 {
+		t.Fatalf("no faults fired: %v", rep)
+	}
+	if len(out) != len(events)-rep.Dropped+rep.Duplicated {
+		t.Fatalf("len=%d, want %d-%d+%d", len(out), len(events), rep.Dropped, rep.Duplicated)
+	}
+	orig := make(map[uint64]event.Time, len(events))
+	for _, e := range events {
+		orig[e.Seq] = e.TS
+	}
+	seen := make(map[uint64]int)
+	for _, e := range out {
+		ts, ok := orig[e.Seq]
+		if !ok {
+			t.Fatalf("fabricated seq %d", e.Seq)
+		}
+		if e.TS != ts {
+			t.Fatalf("seq %d delivered with TS %d, want original %d", e.Seq, e.TS, ts)
+		}
+		seen[e.Seq]++
+	}
+	dups := 0
+	for _, n := range seen {
+		if n == 2 {
+			dups++
+		} else if n > 2 {
+			t.Fatalf("an event arrived %d times", n)
+		}
+	}
+	if dups != rep.Duplicated {
+		t.Fatalf("%d doubled seqs, report says %d", dups, rep.Duplicated)
+	}
+}
+
+// TestDeliverFaultsStallsIncreaseDisorder: stalled sources hold events and
+// release them late, visibly raising the realized max delay.
+func TestDeliverFaultsStallsIncreaseDisorder(t *testing.T) {
+	events := faultInput(800, 21)
+	cfg := Config{Sources: 4, Link: DefaultLink()}
+
+	_, _, base, _, err := DeliverFaults(events, cfg, FaultConfig{}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stalled, rep, err := DeliverFaults(events, cfg,
+		FaultConfig{StallP: 0.02, StallMean: 500}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls == 0 {
+		t.Fatal("no stalls fired")
+	}
+	if stalled.MaxDelay <= base.MaxDelay {
+		t.Fatalf("stalls did not raise max delay: %d vs %d", stalled.MaxDelay, base.MaxDelay)
+	}
+}
+
+// TestDeliverFaultsCrashOffsets: crash points are distinct, sorted, and in
+// range.
+func TestDeliverFaultsCrashOffsets(t *testing.T) {
+	events := faultInput(300, 41)
+	cfg := Config{Sources: 2, Link: DefaultLink()}
+	out, _, _, rep, err := DeliverFaults(events, cfg, FaultConfig{Crashes: 5}, rand.New(rand.NewSource(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CrashOffsets) != 5 {
+		t.Fatalf("%d crash offsets, want 5", len(rep.CrashOffsets))
+	}
+	for i, off := range rep.CrashOffsets {
+		if off < 0 || off >= len(out) {
+			t.Fatalf("offset %d out of range", off)
+		}
+		if i > 0 && off <= rep.CrashOffsets[i-1] {
+			t.Fatalf("offsets not sorted/distinct: %v", rep.CrashOffsets)
+		}
+	}
+}
+
+// TestFaultConfigValidate rejects out-of-range probabilities.
+func TestFaultConfigValidate(t *testing.T) {
+	for _, bad := range []FaultConfig{
+		{DropP: -0.1}, {DupP: 1.5}, {StallP: 2}, {Crashes: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+	if err := (FaultConfig{DropP: 0.5, DupP: 0.5, StallP: 0.1, Crashes: 3}).Validate(); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"oostream/internal/event"
+)
+
+// The write-ahead log is a sequence of segment files, each a concatenation
+// of CRC-framed records:
+//
+//	length  uint32le payload byte count
+//	crc     uint32le CRC32 (IEEE) of the payload
+//	payload []byte   JSON walRecord
+//
+// A record is written with a single Write call on the segment file, so an
+// in-process "kill" (dropping the Store without closing) loses nothing:
+// every framed record already reached the OS. A real process crash can
+// tear the final record mid-write; parseSegment detects the torn tail by
+// length or CRC and stops cleanly there — a torn record never became
+// durable, so under the durability contract its event was never processed.
+type walRecord struct {
+	// E is an ingested event (appended before the engine processes it).
+	E *event.Event `json:"e,omitempty"`
+	// N is a match-commit marker: the cumulative count of match emissions
+	// that are now durably delivered.
+	N *uint64 `json:"n,omitempty"`
+	// F marks end-of-stream: the engine was flushed.
+	F bool `json:"f,omitempty"`
+}
+
+// maxWALRecord bounds a record's payload; anything larger is corruption
+// (a single event is a few hundred bytes).
+const maxWALRecord = 16 << 20
+
+// appendRecord frames and writes one record with a single Write call.
+func appendRecord(f *os.File, rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	_, err = f.Write(buf)
+	return err
+}
+
+// segmentResult is the parsed content of one WAL segment.
+type segmentResult struct {
+	events  []event.Event
+	matches uint64 // highest commit marker in the segment (0 if none)
+	flushed bool
+	torn    bool // the segment ended in a torn (partially written) record
+}
+
+// parseSegment parses a segment's bytes. A torn tail — truncated frame,
+// short payload, or a CRC mismatch on the final record — is reported via
+// torn, not as an error; damage with more data behind it is corruption of
+// durable records and errors.
+func parseSegment(data []byte) (segmentResult, error) {
+	var res segmentResult
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			res.torn = true
+			return res, nil
+		}
+		size := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if size > maxWALRecord {
+			return res, fmt.Errorf("wal record at offset %d: implausible length %d", off, size)
+		}
+		if len(data)-off-8 < size {
+			res.torn = true
+			return res, nil
+		}
+		payload := data[off+8 : off+8+size]
+		last := off+8+size == len(data)
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			if last {
+				res.torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("wal record at offset %d: CRC32 %08x, want %08x", off, got, want)
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			if last {
+				res.torn = true
+				return res, nil
+			}
+			return res, fmt.Errorf("wal record at offset %d: %w", off, err)
+		}
+		if rec.E != nil {
+			res.events = append(res.events, *rec.E)
+		}
+		if rec.N != nil && *rec.N > res.matches {
+			res.matches = *rec.N
+		}
+		if rec.F {
+			res.flushed = true
+		}
+		off += 8 + size
+	}
+	return res, nil
+}

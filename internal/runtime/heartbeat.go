@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"oostream/internal/engine"
@@ -32,9 +33,19 @@ func NewHeartbeatPipeline(en engine.Engine, every time.Duration, clock func() ev
 // Run consumes events from in until closed or cancelled, forwarding
 // matches to out (closed before returning) and heartbeating on idle. When
 // the engine does not implement engine.Advancer the heartbeats are no-ops.
+//
+// Cancellation is prompt even mid-heartbeat or with out blocked: every
+// send selects on ctx, and the idle timer is owned by this goroutine and
+// stopped before Run returns — nothing leaks.
 func (p *HeartbeatPipeline) Run(ctx context.Context, in <-chan event.Event, out chan<- plan.Match) error {
 	defer close(out)
 	adv, _ := p.engine.(engine.Advancer)
+	if p.Every <= 0 {
+		return errors.New("heartbeat: Every must be positive (a zero interval busy-loops the idle timer)")
+	}
+	if adv != nil && p.Clock == nil {
+		return errors.New("heartbeat: Clock is required for an engine that supports Advance")
+	}
 	timer := time.NewTimer(p.Every)
 	defer timer.Stop()
 	for {

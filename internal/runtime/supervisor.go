@@ -1,0 +1,583 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/metrics"
+	"oostream/internal/plan"
+	"oostream/internal/recovery"
+)
+
+// AdmitPolicy decides what happens to events the admission-control layer
+// rejects: duplicates (an already-seen Seq) and bound violators (timestamp
+// below the admission clock minus K).
+type AdmitPolicy int
+
+const (
+	// AdmitDrop silently drops rejected events, counting them.
+	AdmitDrop AdmitPolicy = iota
+	// AdmitDeadLetter routes rejected events to the DeadLetter channel
+	// (best-effort, never blocking the hot path) and counts them.
+	AdmitDeadLetter
+	// AdmitBestEffort forwards bound violators to the engine anyway — the
+	// engine's own late policy decides what partial use it makes of them.
+	// Duplicates are still suppressed: replaying an event the engine has
+	// already consumed would fabricate duplicate matches.
+	AdmitBestEffort
+)
+
+// String names the policy.
+func (p AdmitPolicy) String() string {
+	switch p {
+	case AdmitDeadLetter:
+		return "deadletter"
+	case AdmitBestEffort:
+		return "besteffort"
+	default:
+		return "drop"
+	}
+}
+
+// SupervisorOptions configure a Supervisor.
+type SupervisorOptions struct {
+	// New builds a fresh engine. Required.
+	New func() (engine.Engine, error)
+	// Restore rebuilds an engine from a snapshot written by its
+	// Checkpoint method. When nil (or when the engine does not implement
+	// engine.Checkpointer) the supervisor runs WAL-only: no checkpoint
+	// files are written and recovery replays the full log.
+	Restore func(r io.Reader) (engine.Engine, error)
+	// K is the admission disorder bound: an event with TS < clock−K is a
+	// bound violator (clock = max admitted timestamp). Use the engine's K.
+	K event.Time
+	// Policy is the admission policy for duplicates and bound violators.
+	Policy AdmitPolicy
+	// DeadLetter receives rejected events under AdmitDeadLetter. Sends
+	// never block: if the channel is full the event is counted but lost.
+	DeadLetter chan<- event.Event
+	// CheckpointEvery takes a durable checkpoint every this many offered
+	// events (when the engine supports snapshots). 0 disables periodic
+	// checkpoints.
+	CheckpointEvery int
+	// MaxRestarts bounds consecutive panic restarts before the supervisor
+	// fails sticky; the counter resets after a restart whose replay
+	// completes. Default 3.
+	MaxRestarts int
+	// Backoff is the delay before the first restart, doubling per
+	// consecutive restart up to BackoffMax. Defaults 10ms and 1s.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Sleep replaces time.Sleep between restarts (test hook).
+	Sleep func(time.Duration)
+	// FaultHook runs before every engine Process call (test hook for
+	// panic injection). A panic from the hook is supervised exactly like
+	// an engine panic.
+	FaultHook func(e event.Event)
+}
+
+// supervMeta is the supervisor's own state stored alongside an engine
+// snapshot: the admission clock and the duplicate horizon.
+type supervMeta struct {
+	Clock   event.Time            `json:"clock"`
+	Started bool                  `json:"started"`
+	Seen    map[uint64]event.Time `json:"seen,omitempty"`
+}
+
+// Supervisor wraps an engine with the fault-tolerance runtime: every
+// offered event is logged to a durable store before processing, matches
+// carry monotone sequence numbers committed to the log on emission,
+// engine panics trigger restart-from-checkpoint with capped exponential
+// backoff, and an admission-control layer filters duplicates and disorder
+// bound violators under a configurable policy.
+//
+// Supervisor implements engine.Engine, so it drops into pipelines,
+// fan-outs, and shard parts unchanged. The error-free Engine methods
+// record failures in Err (sticky); callers that can handle errors use
+// ProcessE/FlushE.
+//
+// Crash model: the process may die at any event boundary, plus a torn
+// final WAL record from dying mid-append. Reopening the store and calling
+// Start restores the engine from the newest valid checkpoint, replays the
+// WAL suffix, suppresses match emissions already committed before the
+// crash, and returns the emissions the crash interrupted. Exactly-once
+// delivery holds under the transactional-sink assumption: a match
+// returned by ProcessE is considered delivered (its commit marker is
+// logged before the call returns).
+type Supervisor struct {
+	opts  SupervisorOptions
+	store *recovery.Store
+	en    engine.Engine
+	met   metrics.Collector
+
+	// Admission state (rebuilt deterministically on replay).
+	clock    event.Time
+	started  bool
+	seen     map[uint64]event.Time
+	admitted uint64
+
+	matchSeq  uint64 // cumulative match emissions (monotone)
+	committed uint64 // highest commit marker written to the WAL
+	durable   uint64 // suppression horizon from the last recovery
+
+	sinceCkpt      int
+	consecRestarts int
+
+	running bool
+	flushed bool
+	err     error
+}
+
+// NewSupervisor wraps store and opts. Call Start before processing: it
+// performs recovery (a no-op on a fresh directory) and builds the engine.
+func NewSupervisor(store *recovery.Store, opts SupervisorOptions) (*Supervisor, error) {
+	if opts.New == nil {
+		return nil, errors.New("supervisor: New factory is required")
+	}
+	if opts.MaxRestarts <= 0 {
+		opts.MaxRestarts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 10 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &Supervisor{
+		opts:  opts,
+		store: store,
+		seen:  make(map[uint64]event.Time),
+	}, nil
+}
+
+// Start recovers durable state and readies the supervisor: on a fresh
+// directory it just builds the engine; on a crashed one it restores the
+// newest valid checkpoint, replays the WAL, and returns the matches that
+// the crash interrupted (completed but not yet committed as delivered).
+func (s *Supervisor) Start() ([]plan.Match, error) {
+	if s.running {
+		return nil, errors.New("supervisor: already started")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	out, panicked, err := s.rebuild()
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	if panicked {
+		out, err = s.restartLoop()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.consecRestarts = 0
+	s.running = true
+	return out, nil
+}
+
+// Err returns the sticky failure recorded by the error-free Engine
+// methods, if any.
+func (s *Supervisor) Err() error { return s.err }
+
+func (s *Supervisor) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Name implements engine.Engine.
+func (s *Supervisor) Name() string {
+	if s.en == nil {
+		return "supervised"
+	}
+	return "supervised(" + s.en.Name() + ")"
+}
+
+// Process implements engine.Engine; failures park in Err.
+func (s *Supervisor) Process(e event.Event) []plan.Match {
+	out, err := s.ProcessE(e)
+	if err != nil {
+		s.fail(err)
+	}
+	return out
+}
+
+// ProcessE offers one event: it is logged to the WAL, filtered by
+// admission control, processed under the panic guard (restarting from the
+// latest checkpoint on panic), and any surviving matches are committed as
+// delivered before they are returned.
+func (s *Supervisor) ProcessE(e event.Event) ([]plan.Match, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.running {
+		return nil, errors.New("supervisor: Start not called")
+	}
+	if s.flushed {
+		return nil, errors.New("supervisor: stream already flushed")
+	}
+	if err := s.store.Append(e); err != nil {
+		return nil, s.fail(err)
+	}
+	out, panicked, err := s.offer(e, false)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	if panicked {
+		out, err = s.restartLoop()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.sinceCkpt++
+	if s.shouldCheckpoint() {
+		if err := s.checkpoint(); err != nil {
+			return out, s.fail(err)
+		}
+	}
+	return out, nil
+}
+
+// Flush implements engine.Engine; failures park in Err.
+func (s *Supervisor) Flush() []plan.Match {
+	out, err := s.FlushE()
+	if err != nil {
+		s.fail(err)
+	}
+	return out
+}
+
+// FlushE seals the stream: end-of-stream is logged first, so a crash
+// mid-flush replays to the same final matches.
+func (s *Supervisor) FlushE() ([]plan.Match, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.running {
+		return nil, errors.New("supervisor: Start not called")
+	}
+	if s.flushed {
+		return nil, nil
+	}
+	if err := s.store.AppendFlush(); err != nil {
+		return nil, s.fail(err)
+	}
+	s.flushed = true
+	ms, panicked := s.guardedFlush()
+	if panicked {
+		out, err := s.restartLoop() // rebuild replays the flush marker too
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out, err := s.emit(ms)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	return out, nil
+}
+
+// Metrics implements engine.Engine: the inner engine's counters with the
+// supervisor's fault-tolerance counters merged in.
+func (s *Supervisor) Metrics() metrics.Snapshot {
+	var snap metrics.Snapshot
+	if s.en != nil {
+		snap = s.en.Metrics()
+	}
+	sup := s.met.Snapshot()
+	snap.EventsDropped += sup.EventsDropped
+	snap.EventsDeadLettered += sup.EventsDeadLettered
+	snap.DuplicatesSuppressed += sup.DuplicatesSuppressed
+	snap.Restarts += sup.Restarts
+	snap.Checkpoints += sup.Checkpoints
+	snap.CheckpointBytes = sup.CheckpointBytes
+	snap.CheckpointDuration = sup.CheckpointDuration
+	return snap
+}
+
+// StateSize implements engine.Engine.
+func (s *Supervisor) StateSize() int {
+	if s.en == nil {
+		return 0
+	}
+	return s.en.StateSize()
+}
+
+// MatchSeq returns the cumulative match-emission count (the monotone
+// sequence number the exactly-once machinery is built on).
+func (s *Supervisor) MatchSeq() uint64 { return s.matchSeq }
+
+// Kill simulates a crash: the store's handles are dropped without
+// syncing and the supervisor fails sticky. Reopen the directory with a
+// fresh Store and Supervisor to recover.
+func (s *Supervisor) Kill() {
+	s.store.Kill()
+	s.fail(errors.New("supervisor: killed"))
+}
+
+// Close cleanly seals the durable store.
+func (s *Supervisor) Close() error {
+	return s.store.Close()
+}
+
+// offer runs one event through admission and the guarded engine,
+// returning the surviving (committed) matches.
+func (s *Supervisor) offer(e event.Event, replaying bool) ([]plan.Match, bool, error) {
+	if !s.admit(e, replaying) {
+		return nil, false, nil
+	}
+	ms, panicked := s.guardedProcess(e)
+	if panicked {
+		return nil, true, nil
+	}
+	out, err := s.emit(ms)
+	return out, false, err
+}
+
+// admit decides whether the engine sees e. It must be deterministic in
+// the event sequence alone: replay re-runs it to rebuild the clock and
+// duplicate horizon. Metrics and dead-letter delivery are suppressed
+// during replay (they already happened the first time).
+func (s *Supervisor) admit(e event.Event, replaying bool) bool {
+	if _, dup := s.seen[e.Seq]; dup {
+		if !replaying {
+			s.met.IncDupSuppressed()
+			if s.opts.Policy == AdmitDeadLetter {
+				s.deadLetter(e)
+			}
+		}
+		return false
+	}
+	if s.started && e.TS < s.clock-s.opts.K && s.opts.Policy != AdmitBestEffort {
+		if !replaying {
+			if s.opts.Policy == AdmitDeadLetter {
+				s.deadLetter(e)
+			} else {
+				s.met.IncDropped()
+			}
+		}
+		return false
+	}
+	s.seen[e.Seq] = e.TS
+	s.started = true
+	if e.TS > s.clock {
+		s.clock = e.TS
+	}
+	s.admitted++
+	if s.admitted%1024 == 0 {
+		s.purgeSeen()
+	}
+	return true
+}
+
+// purgeSeen drops duplicate-horizon entries no duplicate can reuse: an
+// event below clock−K fails the bound check before the duplicate check
+// matters. (Under AdmitBestEffort a duplicate older than the horizon can
+// slip back in; exact dedup is guaranteed within the bound only.)
+func (s *Supervisor) purgeSeen() {
+	horizon := s.clock - s.opts.K
+	for seq, ts := range s.seen {
+		if ts < horizon {
+			delete(s.seen, seq)
+		}
+	}
+}
+
+func (s *Supervisor) deadLetter(e event.Event) {
+	s.met.IncDeadLettered()
+	if s.opts.DeadLetter != nil {
+		select {
+		case s.opts.DeadLetter <- e:
+		default:
+		}
+	}
+}
+
+// emit assigns sequence numbers to a batch of matches, suppresses those
+// already delivered before a crash, and commits the rest to the WAL.
+func (s *Supervisor) emit(ms []plan.Match) ([]plan.Match, error) {
+	if len(ms) == 0 {
+		return nil, nil
+	}
+	var out []plan.Match
+	for _, m := range ms {
+		s.matchSeq++
+		if s.matchSeq <= s.durable {
+			s.met.IncDupSuppressed()
+			continue
+		}
+		out = append(out, m)
+	}
+	if s.matchSeq > s.committed {
+		if err := s.store.CommitMatches(s.matchSeq); err != nil {
+			return out, err
+		}
+		s.committed = s.matchSeq
+	}
+	return out, nil
+}
+
+func (s *Supervisor) guardedProcess(e event.Event) (out []plan.Match, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, panicked = nil, true
+		}
+	}()
+	if s.opts.FaultHook != nil {
+		s.opts.FaultHook(e)
+	}
+	return s.en.Process(e), false
+}
+
+func (s *Supervisor) guardedFlush() (out []plan.Match, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, panicked = nil, true
+		}
+	}()
+	return s.en.Flush(), false
+}
+
+func (s *Supervisor) canSnapshot() bool {
+	if s.opts.Restore == nil || s.en == nil {
+		return false
+	}
+	_, ok := s.en.(engine.Checkpointer)
+	return ok
+}
+
+func (s *Supervisor) shouldCheckpoint() bool {
+	return s.opts.CheckpointEvery > 0 && s.sinceCkpt >= s.opts.CheckpointEvery && s.canSnapshot()
+}
+
+// checkpoint durably snapshots the engine plus the supervisor's admission
+// state and rotates the WAL.
+func (s *Supervisor) checkpoint() error {
+	cp := s.en.(engine.Checkpointer)
+	meta := supervMeta{Clock: s.clock, Started: s.started, Seen: s.seen}
+	start := time.Now()
+	n, err := s.store.Checkpoint(cp.Checkpoint, meta, s.matchSeq)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.met.ObserveCheckpoint(n, time.Since(start))
+	s.sinceCkpt = 0
+	return nil
+}
+
+// rebuild reconstructs the supervisor from durable state: restore the
+// newest valid checkpoint (or a fresh engine), replay the WAL suffix
+// through the same admission logic, suppress emissions numbered at or
+// below the durable commit horizon, and return the rest. panicked reports
+// that replay hit a panic (the caller retries through the restart loop).
+func (s *Supervisor) rebuild() (out []plan.Match, panicked bool, err error) {
+	rec, err := s.store.Recover()
+	if err != nil {
+		return nil, false, err
+	}
+	var en engine.Engine
+	if len(rec.Snapshot) > 0 {
+		if s.opts.Restore == nil {
+			return nil, false, errors.New("supervisor: found an engine snapshot but no Restore factory")
+		}
+		en, err = s.opts.Restore(bytes.NewReader(rec.Snapshot))
+		if err != nil {
+			return nil, false, fmt.Errorf("restore engine snapshot: %w", err)
+		}
+	} else {
+		en, err = s.opts.New()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	s.en = en
+	s.clock, s.started = 0, false
+	s.seen = make(map[uint64]event.Time)
+	if len(rec.Snapshot) > 0 && len(rec.Meta) > 0 {
+		var meta supervMeta
+		if err := json.Unmarshal(rec.Meta, &meta); err != nil {
+			return nil, false, fmt.Errorf("decode supervisor meta: %w", err)
+		}
+		s.clock, s.started = meta.Clock, meta.Started
+		if meta.Seen != nil {
+			s.seen = meta.Seen
+		}
+	}
+	s.matchSeq = rec.CkptMatches
+	s.committed = rec.Matches
+	s.durable = rec.Matches
+	s.flushed = false
+	s.sinceCkpt = 0
+
+	for _, e := range rec.Replay {
+		ms, p, err := s.offer(e, true)
+		if err != nil {
+			return out, false, err
+		}
+		if p {
+			return out, true, nil
+		}
+		out = append(out, ms...)
+	}
+	if rec.Flushed {
+		ms, p := s.guardedFlush()
+		if p {
+			return out, true, nil
+		}
+		s.flushed = true
+		emitted, err := s.emit(ms)
+		if err != nil {
+			return out, false, err
+		}
+		out = append(out, emitted...)
+	}
+	// Collapse a non-trivial WAL into a fresh checkpoint so the next
+	// crash replays from here instead of re-walking this log.
+	if len(rec.Replay) > 0 && s.opts.CheckpointEvery > 0 && s.canSnapshot() && !s.flushed {
+		if err := s.checkpoint(); err != nil {
+			return out, false, err
+		}
+	}
+	return out, false, nil
+}
+
+// restartLoop recovers from an engine panic: restore the latest
+// checkpoint and replay, backing off exponentially between attempts. A
+// deterministic panic (a poison event at the WAL tail) re-fires on every
+// replay and exhausts MaxRestarts into a sticky failure; a transient one
+// clears and the replay's new emissions are returned.
+func (s *Supervisor) restartLoop() ([]plan.Match, error) {
+	backoff := s.opts.Backoff
+	for {
+		s.consecRestarts++
+		if s.consecRestarts > s.opts.MaxRestarts {
+			return nil, s.fail(fmt.Errorf("supervisor: engine panicked %d consecutive times; giving up", s.consecRestarts-1))
+		}
+		s.met.IncRestart()
+		s.opts.Sleep(backoff)
+		backoff *= 2
+		if backoff > s.opts.BackoffMax {
+			backoff = s.opts.BackoffMax
+		}
+		out, panicked, err := s.rebuild()
+		if err != nil {
+			return nil, s.fail(err)
+		}
+		if !panicked {
+			s.consecRestarts = 0
+			return out, nil
+		}
+	}
+}

@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"oostream/internal/engine"
@@ -63,10 +65,16 @@ func (p *Parallel) RunWithHeartbeats(ctx context.Context, in <-chan event.Event,
 	for i, part := range p.parts {
 		feeds[i] = make(chan shardMsg, 1)
 		wg.Add(1)
-		go func(en engine.Engine, feed <-chan shardMsg) {
+		go func(shard int, en engine.Engine, feed <-chan shardMsg) {
 			defer wg.Done()
-			errs <- p.runShard(ctx, en, feed, merged)
-		}(part, feeds[i])
+			err := p.runShard(ctx, shard, en, feed, merged)
+			if err != nil {
+				// A dead shard stops reading its feed; cancel the group so
+				// the feeder never wedges delivering to it.
+				cancel()
+			}
+			errs <- err
+		}(i, part, feeds[i])
 	}
 	// Closer: ends the merge loop when every shard is done.
 	mergeDone := make(chan struct{})
@@ -140,19 +148,41 @@ feed:
 	for _, feed := range feeds {
 		close(feed)
 	}
-	for range p.parts {
-		if err := <-errs; err != nil && runErr == nil {
+	// A shard failure (engine panic) cancels the group, so plain
+	// cancellation errors from sibling shards must not mask the root
+	// cause: prefer a non-cancellation error over context.Canceled.
+	setErr := func(err error) {
+		if err == nil {
+			return
+		}
+		if runErr == nil || (errors.Is(runErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
 			runErr = err
 		}
 	}
-	if err := <-forwardErr; err != nil && runErr == nil {
-		runErr = err
+	for range p.parts {
+		setErr(<-errs)
 	}
+	setErr(<-forwardErr)
 	return runErr
 }
 
-func (p *Parallel) runShard(ctx context.Context, en engine.Engine, feed <-chan shardMsg, merged chan<- plan.Match) error {
-	send := func(matches []plan.Match) error {
+// guard isolates an engine call: a panic becomes an error on this shard
+// instead of crashing the whole process. (A supervised part recovers its
+// own panics and restarts from a checkpoint before this backstop fires.)
+func guard(f func() []plan.Match) (out []plan.Match, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine panic: %v", r)
+		}
+	}()
+	return f(), nil
+}
+
+func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, feed <-chan shardMsg, merged chan<- plan.Match) error {
+	send := func(matches []plan.Match, err error) error {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", shard, err)
+		}
 		for _, m := range matches {
 			select {
 			case <-ctx.Done():
@@ -168,17 +198,17 @@ func (p *Parallel) runShard(ctx context.Context, en engine.Engine, feed <-chan s
 			return ctx.Err()
 		case msg, ok := <-feed:
 			if !ok {
-				return send(en.Flush())
+				return send(guard(en.Flush))
 			}
 			if msg.heartbeat {
 				if adv, isAdv := en.(engine.Advancer); isAdv {
-					if err := send(adv.Advance(msg.ts)); err != nil {
+					if err := send(guard(func() []plan.Match { return adv.Advance(msg.ts) })); err != nil {
 						return err
 					}
 				}
 				continue
 			}
-			if err := send(en.Process(msg.ev)); err != nil {
+			if err := send(guard(func() []plan.Match { return en.Process(msg.ev) })); err != nil {
 				return err
 			}
 		}

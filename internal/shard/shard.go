@@ -196,6 +196,15 @@ func (en *Engine) Metrics() metrics.Snapshot {
 		agg.PeakState += s.PeakState
 		agg.KeyGroups += s.KeyGroups
 		agg.PeakKeyGroups += s.PeakKeyGroups
+		agg.EventsDropped += s.EventsDropped
+		agg.EventsDeadLettered += s.EventsDeadLettered
+		agg.DuplicatesSuppressed += s.DuplicatesSuppressed
+		agg.Restarts += s.Restarts
+		agg.Checkpoints += s.Checkpoints
+		agg.CheckpointBytes += s.CheckpointBytes
+		if s.CheckpointDuration > agg.CheckpointDuration {
+			agg.CheckpointDuration = s.CheckpointDuration
+		}
 	}
 	agg.PredErrors += en.routeErrors
 	return agg

@@ -47,6 +47,7 @@ type Engine struct {
 	// keyed by match key, with a heap for sealing-time expiry.
 	vulnerable map[string]*vulnEntry
 	expiry     vulnHeap
+	vulnSeq    uint64
 	clock      event.Time
 	started    bool
 	arrival    uint64
@@ -58,6 +59,11 @@ type vulnEntry struct {
 	events []event.Event
 	key    string
 	sealTS event.Time
+	// order is the entry's registration number: retractions are emitted in
+	// original emission order, keeping the engine's output a deterministic
+	// function of the event sequence (which exactly-once crash recovery
+	// replays against).
+	order uint64
 	// retracted marks entries already compensated (lazily removed from
 	// the expiry heap).
 	retracted bool
@@ -188,6 +194,7 @@ func (en *Engine) Flush() []plan.Match {
 // retractInvalidated compensates emitted matches whose gap the new negative
 // event falls into.
 func (en *Engine) retractInvalidated(negIdx int, neg event.Event, out []plan.Match) []plan.Match {
+	var hit []*vulnEntry
 	for _, v := range en.vulnerable {
 		if v.retracted {
 			continue
@@ -199,6 +206,12 @@ func (en *Engine) retractInvalidated(negIdx int, neg event.Event, out []plan.Mat
 		if !en.plan.NegMatches(negIdx, neg, v.events, en.met.IncPredError) {
 			continue
 		}
+		hit = append(hit, v)
+	}
+	// Map iteration order is random; emit compensations in original
+	// emission order so the output stays deterministic across runs.
+	sort.Slice(hit, func(i, j int) bool { return hit[i].order < hit[j].order })
+	for _, v := range hit {
 		v.retracted = true
 		delete(en.vulnerable, v.key)
 		m := plan.Match{
@@ -299,7 +312,8 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 	en.met.AddMatch(false, en.clock-m.Last().TS, 0)
 	out = append(out, m)
 	if sealTS > en.safe() {
-		v := &vulnEntry{events: events, key: m.Key(), sealTS: sealTS}
+		v := &vulnEntry{events: events, key: m.Key(), sealTS: sealTS, order: en.vulnSeq}
+		en.vulnSeq++
 		en.vulnerable[v.key] = v
 		heap.Push(&en.expiry, v)
 	}

@@ -279,18 +279,19 @@ func (e *Engine) Metrics() Metrics { return e.inner.Metrics() }
 // StateSize returns the engine's current buffered-item count.
 func (e *Engine) StateSize() int { return e.inner.StateSize() }
 
-// Checkpoint serializes the engine's state for crash recovery. Only the
-// native strategy supports checkpointing; other strategies return an
-// error. A RestoreEngine'd engine continues the stream exactly where this
-// one stopped. When combined with auto-assigned sequence numbers, feed
-// events with explicit Seq values across the restore boundary (the
-// auto-assign counter is not part of the checkpoint).
+// Checkpoint serializes the engine's state for crash recovery. The native
+// strategy and partitioned engines over native parts support it; other
+// strategies return an error. A RestoreEngine'd engine continues the
+// stream exactly where this one stopped. When combined with auto-assigned
+// sequence numbers, feed events with explicit Seq values across the
+// restore boundary (the auto-assign counter is not part of the
+// checkpoint).
 func (e *Engine) Checkpoint(w io.Writer) error {
-	ce, ok := e.inner.(*core.Engine)
+	cp, ok := e.inner.(engine.Checkpointer)
 	if !ok {
 		return fmt.Errorf("strategy %q does not support checkpointing", e.inner.Name())
 	}
-	return ce.Checkpoint(w)
+	return cp.Checkpoint(w)
 }
 
 // RestoreEngine rebuilds a native engine from a Checkpoint. The query must
@@ -301,6 +302,23 @@ func RestoreEngine(q *Query, r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{inner: ce}, nil
+}
+
+// RestorePartitionedEngine rebuilds a partitioned engine (over native
+// parts) from a Checkpoint written by one. The attribute and shard count
+// must match the checkpointed topology.
+func RestorePartitionedEngine(q *Query, byAttr string, shards int, r io.Reader) (*Engine, error) {
+	router, err := shard.NewRouter(byAttr, shards)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.Restore(router, func(_ int, pr io.Reader) (engine.Engine, error) {
+		return core.Restore(q.plan, pr)
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
 }
 
 // NewPartitionedEngine builds an engine that hash-partitions the stream on

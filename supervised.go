@@ -1,0 +1,244 @@
+package oostream
+
+import (
+	"fmt"
+	"io"
+
+	"oostream/internal/core"
+	"oostream/internal/engine"
+	"oostream/internal/recovery"
+	"oostream/internal/runtime"
+	"oostream/internal/shard"
+)
+
+// AdmitPolicy decides what the supervised runtime does with events its
+// admission-control layer rejects: duplicates (an already-seen Seq) and
+// disorder-bound violators (timestamp below the admission clock minus K).
+type AdmitPolicy = runtime.AdmitPolicy
+
+// Admission policies, re-exported.
+const (
+	// AdmitDrop silently drops rejected events, counting them.
+	AdmitDrop = runtime.AdmitDrop
+	// AdmitDeadLetter routes rejected events to the DeadLetter channel
+	// (best-effort, never blocking the hot path) and counts them.
+	AdmitDeadLetter = runtime.AdmitDeadLetter
+	// AdmitBestEffort forwards bound violators to the engine anyway;
+	// duplicates are still suppressed.
+	AdmitBestEffort = runtime.AdmitBestEffort
+)
+
+// SupervisorConfig configures the fault-tolerance runtime wrapped around
+// an engine: where durable state lives, how often to checkpoint, and what
+// to do with rejected events.
+type SupervisorConfig struct {
+	// Dir is the durable state directory (checkpoints + write-ahead log).
+	// Required. Reopening the same directory resumes the stream.
+	Dir string
+	// CheckpointEvery takes a durable engine snapshot every this many
+	// offered events. 0 disables periodic checkpoints (WAL-only recovery:
+	// the full log replays on restart). Snapshots require a
+	// checkpoint-capable engine (native strategy, or partitioned-native);
+	// other strategies run WAL-only regardless.
+	CheckpointEvery int
+	// Retain keeps the newest N checkpoints (older ones and their log
+	// prefixes are pruned). 0 = default 3.
+	Retain int
+	// Policy is the admission policy; default AdmitDrop.
+	Policy AdmitPolicy
+	// DeadLetter receives rejected events under AdmitDeadLetter. Sends
+	// never block: if the channel is full the event is counted but lost.
+	DeadLetter chan<- Event
+	// MaxRestarts bounds consecutive panic restarts before the supervisor
+	// fails sticky. 0 = default 3.
+	MaxRestarts int
+	// SyncEveryEvent fsyncs the log after every append (maximum
+	// durability, large throughput cost). Default: sync at checkpoints
+	// and segment rotations only.
+	SyncEveryEvent bool
+	// DisableFsync skips fsync entirely (tests and benchmarks).
+	DisableFsync bool
+}
+
+func (sc SupervisorConfig) validate() error {
+	if sc.Dir == "" {
+		return fmt.Errorf("SupervisorConfig.Dir is required")
+	}
+	if sc.CheckpointEvery < 0 {
+		return fmt.Errorf("CheckpointEvery must be >= 0, got %d", sc.CheckpointEvery)
+	}
+	if sc.Retain < 0 {
+		return fmt.Errorf("Retain must be >= 0, got %d", sc.Retain)
+	}
+	return nil
+}
+
+func (sc SupervisorConfig) storeOptions() recovery.Options {
+	return recovery.Options{
+		Retain:       sc.Retain,
+		Sync:         sc.SyncEveryEvent,
+		DisableFsync: sc.DisableFsync,
+	}
+}
+
+// SupervisedEngine is an Engine wrapped in the fault-tolerant runtime:
+// every offered event is logged durably before processing, matches carry
+// monotone sequence numbers committed on emission, engine panics restart
+// from the latest checkpoint with capped exponential backoff, and an
+// admission-control layer filters duplicates and bound violators.
+//
+// A process crash at any point loses nothing: reopening the same
+// directory (NewSupervisedEngine + Start) restores the newest valid
+// checkpoint, replays the logged suffix, suppresses matches already
+// delivered before the crash, and returns the ones the crash interrupted.
+//
+// Unlike Engine, events must carry caller-assigned unique Seq values —
+// duplicate detection and crash-consistent identity are keyed on Seq, so
+// the facade cannot auto-assign them across a restart.
+type SupervisedEngine struct {
+	sup   *runtime.Supervisor
+	store *recovery.Store
+}
+
+// NewSupervisedEngine builds a supervised engine over the strategy and
+// disorder bound in cfg, persisting to sc.Dir. Call Start before
+// processing. The native strategy (without OrderedOutput) recovers from
+// snapshots; every other configuration runs WAL-only.
+func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*SupervisedEngine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	newFn := func() (engine.Engine, error) {
+		en, err := NewEngine(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return en.inner, nil
+	}
+	var restoreFn func(io.Reader) (engine.Engine, error)
+	if cfg.Strategy == StrategyNative && !cfg.OrderedOutput {
+		restoreFn = func(r io.Reader) (engine.Engine, error) {
+			return core.Restore(q.plan, r)
+		}
+	}
+	return newSupervised(cfg, sc, newFn, restoreFn)
+}
+
+// NewSupervisedPartitionedEngine is NewSupervisedEngine over a
+// hash-partitioned engine (see NewPartitionedEngine): one durable store
+// supervises the whole partitioned topology, and checkpoints capture
+// every shard (native parts only; other strategies run WAL-only).
+func NewSupervisedPartitionedEngine(q *Query, cfg Config, byAttr string, shards int, sc SupervisorConfig) (*SupervisedEngine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !q.plan.PartitionableBy(byAttr) {
+		return nil, fmt.Errorf("query is not partitionable by %q: every component must be linked by equality on it", byAttr)
+	}
+	newFn := func() (engine.Engine, error) {
+		en, err := NewPartitionedEngine(q, cfg, byAttr, shards)
+		if err != nil {
+			return nil, err
+		}
+		return en.inner, nil
+	}
+	var restoreFn func(io.Reader) (engine.Engine, error)
+	if cfg.Strategy == StrategyNative && !cfg.OrderedOutput {
+		restoreFn = func(r io.Reader) (engine.Engine, error) {
+			router, err := shard.NewRouter(byAttr, shards)
+			if err != nil {
+				return nil, err
+			}
+			return shard.Restore(router, func(_ int, pr io.Reader) (engine.Engine, error) {
+				return core.Restore(q.plan, pr)
+			}, r)
+		}
+	}
+	return newSupervised(cfg, sc, newFn, restoreFn)
+}
+
+func newSupervised(cfg Config, sc SupervisorConfig, newFn func() (engine.Engine, error), restoreFn func(io.Reader) (engine.Engine, error)) (*SupervisedEngine, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	store, err := recovery.Open(sc.Dir, sc.storeOptions())
+	if err != nil {
+		return nil, err
+	}
+	sup, err := runtime.NewSupervisor(store, runtime.SupervisorOptions{
+		New:             newFn,
+		Restore:         restoreFn,
+		K:               cfg.K,
+		Policy:          sc.Policy,
+		DeadLetter:      sc.DeadLetter,
+		CheckpointEvery: sc.CheckpointEvery,
+		MaxRestarts:     sc.MaxRestarts,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &SupervisedEngine{sup: sup, store: store}, nil
+}
+
+// Start recovers durable state and readies the engine. On a fresh
+// directory it returns no matches; after a crash it returns the matches
+// the crash interrupted (completed by replay but not yet delivered).
+func (s *SupervisedEngine) Start() ([]Match, error) { return s.sup.Start() }
+
+// Process offers one event. The event must carry a unique non-zero Seq.
+// Returned matches are committed as delivered before the call returns.
+func (s *SupervisedEngine) Process(ev Event) ([]Match, error) {
+	if ev.Seq == 0 {
+		return nil, fmt.Errorf("supervised engine requires caller-assigned event Seq values")
+	}
+	return s.sup.ProcessE(ev)
+}
+
+// ProcessAll offers a finite slice and returns all matches including the
+// end-of-stream flush.
+func (s *SupervisedEngine) ProcessAll(events []Event) ([]Match, error) {
+	var out []Match
+	for _, ev := range events {
+		ms, err := s.Process(ev)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	ms, err := s.Flush()
+	if err != nil {
+		return out, err
+	}
+	return append(out, ms...), nil
+}
+
+// Flush seals the stream. End-of-stream is logged before the engine
+// flushes, so a crash mid-flush replays to the same final matches.
+func (s *SupervisedEngine) Flush() ([]Match, error) { return s.sup.FlushE() }
+
+// Strategy returns the supervised engine's name, e.g. "supervised(native)".
+func (s *SupervisedEngine) Strategy() string { return s.sup.Name() }
+
+// Metrics returns the inner engine's counters with the fault-tolerance
+// counters (drops, dead letters, duplicate suppressions, restarts,
+// checkpoint size/duration) merged in.
+func (s *SupervisedEngine) Metrics() Metrics { return s.sup.Metrics() }
+
+// MatchSeq returns the cumulative match-emission count — the monotone
+// sequence number exactly-once delivery is built on.
+func (s *SupervisedEngine) MatchSeq() uint64 { return s.sup.MatchSeq() }
+
+// Err returns the sticky failure, if any (set by a crash, an exhausted
+// restart budget, or a store error).
+func (s *SupervisedEngine) Err() error { return s.sup.Err() }
+
+// Kill simulates a process crash for testing: durable handles are dropped
+// without syncing and the engine fails sticky. Reopen the directory with
+// a fresh SupervisedEngine to recover.
+func (s *SupervisedEngine) Kill() { s.sup.Kill() }
+
+// Close cleanly seals the durable store. The directory remains resumable.
+func (s *SupervisedEngine) Close() error { return s.sup.Close() }
