@@ -399,3 +399,23 @@ func BenchmarkE15RecoveryOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE16ObsvOverhead prices the live observability layer: the native
+// engine uninstrumented, with its counters bound to a registry series, and
+// with a flight-recorder trace hook on top. The acceptance bar for the
+// layer is the registry+trace case staying within a few percent of off.
+func BenchmarkE16ObsvOverhead(b *testing.B) {
+	q := benchSeqQuery(b)
+	events := benchStream(0.20, benchK)
+	b.Run("off", func(b *testing.B) {
+		run(b, q, oostream.Config{K: benchK}, events)
+	})
+	b.Run("registry", func(b *testing.B) {
+		run(b, q, oostream.Config{K: benchK, Observer: oostream.NewObserver()}, events)
+	})
+	b.Run("registry+trace", func(b *testing.B) {
+		cfg := oostream.Config{K: benchK, Observer: oostream.NewObserver(),
+			Trace: oostream.NewFlightRecorder(256)}
+		run(b, q, cfg, events)
+	})
+}

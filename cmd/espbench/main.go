@@ -27,7 +27,9 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"oostream"
 	"oostream/internal/bench"
+	"oostream/internal/obsv/httpx"
 )
 
 func main() {
@@ -47,12 +49,23 @@ func run(args []string, stdout io.Writer) error {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
+		listen     = fs.String("listen", "", "serve live observability HTTP on this address while experiments run (/metrics, /varz, /healthz, /debug/pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *csv && *jsonOut {
 		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+	if *listen != "" {
+		reg := oostream.NewObserver()
+		bench.Observer = reg
+		srv, err := httpx.Listen(*listen, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "espbench: observability on http://%s/metrics\n", srv.Addr())
 	}
 
 	if *list {

@@ -30,9 +30,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"oostream/internal/difftest"
+	"oostream/internal/obsv"
+	"oostream/internal/obsv/httpx"
 )
 
 // summary is the machine-readable soak result printed to stdout.
@@ -62,9 +65,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxfail = fs.Int("maxfail", 3, "stop after this many failures")
 		quiet   = fs.Bool("q", false, "suppress per-failure reports (summary only)")
 		crash   = fs.Bool("crash", false, "run the crash-recovery differential instead of the strategy differential")
+		listen  = fs.String("listen", "", "serve live soak progress over HTTP (/varz, /healthz, /debug/pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Soak progress counters, published on -listen. Atomics because the
+	// HTTP handlers read them from other goroutines mid-soak.
+	var liveTrials, liveFailures, liveSeed atomic.Int64
+	if *listen != "" {
+		reg := obsv.NewRegistry()
+		reg.RegisterVarz("soak", func() any {
+			return map[string]any{
+				"trials":    liveTrials.Load(),
+				"failures":  liveFailures.Load(),
+				"last_seed": liveSeed.Load(),
+			}
+		})
+		srv, err := httpx.Listen(*listen, reg, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "espfuzz: observability on http://%s/varz\n", srv.Addr())
 	}
 
 	start := time.Now()
@@ -76,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		s.Trials++
 		s.LastSeed = next
+		liveTrials.Store(int64(s.Trials))
+		liveSeed.Store(next)
 		var fail *difftest.Failure
 		if *crash {
 			// Alternate plain and fault-injected arrival streams so both
@@ -90,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if fail != nil {
 			s.Failures++
+			liveFailures.Store(int64(s.Failures))
 			s.FailSeeds = append(s.FailSeeds, next)
 			if !*quiet {
 				if *crash {

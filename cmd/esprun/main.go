@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"oostream"
+	"oostream/internal/obsv/httpx"
 	"oostream/internal/trace"
 )
 
@@ -50,6 +52,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		ckptDir   = fs.String("checkpoint-dir", "", "run supervised: durable checkpoint+WAL directory")
 		ckptEvery = fs.Int("checkpoint-every", 1000, "checkpoint every N events (with -checkpoint-dir)")
 		resume    = fs.Bool("resume", false, "resume a previous run from -checkpoint-dir")
+		partAttr  = fs.String("partition", "", "hash-partition the stream on this attribute")
+		shards    = fs.Int("shards", 0, "shard count with -partition (default 1)")
+		listen    = fs.String("listen", "", "serve live observability HTTP on this address (/metrics, /varz, /healthz, /debug/flight, /debug/pprof), e.g. :9090")
+		linger    = fs.Duration("linger", 0, "with -listen: keep the HTTP endpoint up this long after the trace completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,11 +81,32 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	cfg := oostream.Config{
-		Strategy: oostream.Strategy(*strategy),
-		K:        oostream.Time(*k),
+		Strategy:  oostream.Strategy(*strategy),
+		K:         oostream.Time(*k),
+		Partition: oostream.Partition{Attr: *partAttr, Shards: *shards},
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *listen != "" {
+		reg := oostream.NewObserver()
+		flight := oostream.NewFlightRecorder(512)
+		cfg.Observer = reg
+		cfg.Trace = flight
+		srv, err := httpx.Listen(*listen, reg, flight)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		// Linger runs before the deferred Close (LIFO), holding the
+		// endpoint up for scrapes after a short trace finishes.
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "esprun: lingering %s on http://%s/metrics\n", *linger, srv.Addr())
+				time.Sleep(*linger)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "esprun: observability on http://%s/metrics\n", srv.Addr())
 	}
 
 	in := stdin

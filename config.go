@@ -29,6 +29,20 @@ func Strategies() []Strategy {
 	return []Strategy{StrategyInOrder, StrategyKSlack, StrategyNative, StrategySpeculate}
 }
 
+// Partition configures hash-partitioned scale-out inside Config: when
+// Attr is non-empty, NewEngine hash-partitions the stream on that
+// attribute across Shards sub-engines, each built from the same Config.
+// The query must be PartitionableBy(Attr) — every component linked by
+// equality on it — or NewEngine fails; matches could otherwise span
+// partitions and be lost. Shards defaults to 1 when Attr is set.
+type Partition struct {
+	// Attr is the partition attribute, e.g. "id". Empty disables
+	// partitioning.
+	Attr string
+	// Shards is the number of sub-engines; 0 with a non-empty Attr means 1.
+	Shards int
+}
+
 // Config configures an Engine.
 type Config struct {
 	// Strategy selects the engine; default StrategyNative.
@@ -56,11 +70,31 @@ type Config struct {
 	// cost bounded by K. Not available with StrategySpeculate
 	// (retractions cannot be order-buffered).
 	OrderedOutput bool
+	// Partition hash-partitions the stream across sub-engines when
+	// Partition.Attr is set; see Partition. Replaces the deprecated
+	// NewPartitionedEngine constructor.
+	Partition Partition
+	// Observer, when non-nil, publishes the engine's counters, gauges, and
+	// latency/watermark-lag histograms as live named series in the registry
+	// (scrapeable over HTTP via internal/obsv/httpx — the CLIs' -listen
+	// flag). A single engine publishes one series named after its strategy;
+	// a partitioned engine publishes one series per shard
+	// ("native/shard0", …) plus a routing-layer series. Observer and Trace
+	// are the only instrumentation injection points.
+	Observer *Observer
+	// Trace, when non-nil, receives a TraceEvent on every match-lifecycle
+	// step (admit, drop, stack push, predecessor repair, construction
+	// trigger, emit, retract, purge, heartbeat, flush). Nil costs one
+	// predictable branch per step.
+	Trace TraceHook
 }
 
 func (c Config) withDefaults() Config {
 	if c.Strategy == "" {
 		c.Strategy = StrategyNative
+	}
+	if c.Partition.Attr != "" && c.Partition.Shards == 0 {
+		c.Partition.Shards = 1
 	}
 	return c
 }
@@ -68,6 +102,12 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	if c.K < 0 {
 		return fmt.Errorf("K must be >= 0, got %d", c.K)
+	}
+	if c.Partition.Attr == "" && c.Partition.Shards != 0 {
+		return fmt.Errorf("Partition.Shards set without Partition.Attr")
+	}
+	if c.Partition.Attr != "" && c.Partition.Shards < 0 {
+		return fmt.Errorf("Partition.Shards must be >= 0, got %d", c.Partition.Shards)
 	}
 	if c.BestEffortLate && c.Strategy != StrategyNative {
 		return fmt.Errorf("BestEffortLate applies only to %q", StrategyNative)

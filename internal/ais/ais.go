@@ -142,6 +142,10 @@ func (s *Stack) String() string {
 // Stacks is the full AIS structure: one stack per positive position.
 type Stacks struct {
 	stacks []*Stack
+	// lastFix is the number of RIP repairs the most recent Insert caused —
+	// the structural work an out-of-order insertion forces. Engines read it
+	// via LastFixups right after Insert to feed repair metrics.
+	lastFix int
 }
 
 // New creates an AIS with n positions.
@@ -184,26 +188,34 @@ func (a *Stacks) Insert(pos int, e event.Event) *Instance {
 	if pos > 0 {
 		inst.RIP = a.stacks[pos-1].LatestBefore(e.TS)
 	}
+	a.lastFix = 0
 	if pos+1 < len(a.stacks) {
-		a.fixupNext(pos+1, inst)
+		a.lastFix = a.fixupNext(pos+1, inst)
 	}
 	return inst
 }
 
+// LastFixups returns how many next-stack instances the most recent Insert
+// repointed (0 for a plain in-order push).
+func (a *Stacks) LastFixups() int { return a.lastFix }
+
 // fixupNext repoints instances in stack nextPos whose correct RIP becomes
-// inst. Those instances x satisfy x.TS > inst.TS and have a current RIP
-// ordered before inst (or none). Because stacks are sorted and the correct
-// RIP is monotone in x, the run is contiguous and ends at the first x whose
-// RIP already is inst or later.
-func (a *Stacks) fixupNext(nextPos int, inst *Instance) {
+// inst, returning how many it repointed. Those instances x satisfy
+// x.TS > inst.TS and have a current RIP ordered before inst (or none).
+// Because stacks are sorted and the correct RIP is monotone in x, the run
+// is contiguous and ends at the first x whose RIP already is inst or later.
+func (a *Stacks) fixupNext(nextPos int, inst *Instance) int {
 	next := a.stacks[nextPos]
+	n := 0
 	for i := next.FirstAfter(inst.Event.TS); i < len(next.items); i++ {
 		x := next.items[i]
 		if x.RIP != nil && !beforeInStack(x.RIP, inst) {
 			break
 		}
 		x.RIP = inst
+		n++
 	}
+	return n
 }
 
 // PurgeBefore removes, at every position, instances with TS < horizon(pos).

@@ -414,3 +414,63 @@ func E14KeyCardinality(s Scale) *Table {
 		"expected: keyed throughput pulls ahead as cardinality grows (construction walks one key group); result sets identical")
 	return t
 }
+
+// E16Observability prices the live observability layer on the native
+// engine: a registry-bound metric series, then a trace hook on top,
+// against the uninstrumented engine. Counters are single-writer atomics
+// and the nil trace hook is one predictable branch, so the expected shape
+// is overhead within a few percent at both steps.
+func E16Observability(s Scale) *Table {
+	q := seqQuery()
+	events := disorder(rfidSorted(s, 61), 0.20, defaultK, 62)
+	t := &Table{
+		ID:      "E16",
+		Title:   "Observability overhead (native engine)",
+		Anchor:  "extension: live metrics registry + trace hooks behind Config",
+		Columns: []string{"instrumentation", "kev/s", "overhead%"},
+	}
+	modes := []string{"off", "registry", "registry+trace"}
+	configs := make([]oostream.Config, len(modes))
+	for i, mode := range modes {
+		cfg := oostream.Config{Strategy: oostream.StrategyNative, K: defaultK}
+		switch mode {
+		case "registry":
+			cfg.Observer = oostream.NewObserver()
+		case "registry+trace":
+			cfg.Observer = oostream.NewObserver()
+			cfg.Trace = oostream.NewFlightRecorder(256)
+		}
+		configs[i] = cfg
+	}
+	// The modes are interleaved rep by rep and the best wall time per mode
+	// kept, so slow drift in machine load hits every mode alike instead of
+	// masquerading as instrumentation cost.
+	const reps = 9
+	best := make([]time.Duration, len(modes))
+	for i := range best {
+		best[i] = -1
+	}
+	for rep := 0; rep < reps; rep++ {
+		for i := range modes {
+			en := oostream.MustNewEngine(q, configs[i])
+			start := time.Now()
+			en.ProcessAll(events)
+			elapsed := time.Since(start)
+			if best[i] < 0 || elapsed < best[i] {
+				best[i] = elapsed
+			}
+		}
+	}
+	base := float64(len(events)) / best[0].Seconds()
+	for i, mode := range modes {
+		tput := float64(len(events)) / best[i].Seconds()
+		var over float64
+		if i > 0 && base > 0 {
+			over = (1 - tput/base) * 100
+		}
+		t.AddRow(mode, fmtKevS(tput), fmtF1(over))
+	}
+	t.Notes = append(t.Notes,
+		"expected: a few percent at most; series counters are uncontended atomics, the trace fast path is one branch")
+	return t
+}

@@ -51,11 +51,24 @@ func (r Result) Throughput() float64 {
 	return float64(r.Events) / r.Elapsed.Seconds()
 }
 
+// Observer, when non-nil, is injected into every engine the harness
+// builds, so a live HTTP endpoint (espbench -listen) can watch experiment
+// counters as they run. Series accumulate across repetitions and
+// experiments; they are a live view, not a measurement.
+var Observer *oostream.Observer
+
 // runOne drives a fresh engine over the events and measures it. The run is
 // repeated and the best wall time kept, so single-shot scheduler noise does
 // not distort the throughput tables; matches and metrics come from the
 // final repetition (they are deterministic across repetitions).
 func runOne(q *oostream.Query, cfg oostream.Config, events []oostream.Event) Result {
+	cfg.Observer = Observer
+	return runConfigured(q, cfg, events)
+}
+
+// runConfigured is runOne without the package Observer injection, for
+// experiments (E16) that control instrumentation explicitly.
+func runConfigured(q *oostream.Query, cfg oostream.Config, events []oostream.Event) Result {
 	const reps = 3
 	var (
 		best    time.Duration = -1
@@ -157,6 +170,7 @@ func All() []Experiment {
 		{"E12", "simulated network delivery", E12NetworkSim},
 		{"E13", "partitioned scale-out", E13Partitioned},
 		{"E14", "keyed stacks vs. key cardinality", E14KeyCardinality},
+		{"E16", "observability overhead", E16Observability},
 	}
 }
 

@@ -57,6 +57,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -151,6 +152,12 @@ type Engine struct {
 	// classify probes as empty (pure overhead) or productive.
 	enumerated uint64
 	met        metrics.Collector
+	// trace, when non-nil, observes match-lifecycle steps. Every call site
+	// nil-checks first so the unhooked hot path pays one predictable branch
+	// and constructs no TraceEvent. traceName labels emitted trace events
+	// (the bound series name, or the strategy name).
+	trace     obsv.TraceHook
+	traceName string
 
 	// Construction scratch, reused across triggers so the hot path does
 	// not allocate: binding holds the partial binding (copied only on
@@ -227,6 +234,17 @@ func MustNew(p *plan.Plan, opts Options) *Engine {
 // Name implements engine.Engine.
 func (en *Engine) Name() string { return "native" }
 
+// Observe implements engine.Observable.
+func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
+	en.met.Bind(s)
+	en.trace = hook
+	if s != nil && s.Name() != "" {
+		en.traceName = s.Name()
+	} else if en.traceName == "" {
+		en.traceName = en.Name()
+	}
+}
+
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
 
@@ -289,10 +307,20 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		return nil
 	}
 	isOOO := en.started && e.TS < en.clock
-	en.met.IncIn(isOOO)
+	var lag event.Time
+	if isOOO {
+		lag = en.clock - e.TS
+	}
+	en.met.IncIn(isOOO, lag)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+	}
 	if en.started && e.TS < en.safe() {
 		en.met.IncLate()
 		if en.opts.LatePolicy == DropLate {
+			if en.trace != nil {
+				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+			}
 			return nil
 		}
 	}
@@ -333,13 +361,30 @@ func (en *Engine) insertUnkeyed(e event.Event, isOOO bool, out []plan.Match) []p
 		}
 		inst := en.stacks.Insert(pos, e)
 		en.liveStack++
+		en.noteInsert(en.stacks, e, pos)
 		if pos == last || isOOO || en.opts.DisableTriggerOpt {
+			if en.trace != nil {
+				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpTrigger, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: pos})
+			}
 			before := en.enumerated
 			out = en.construct(en.stacks, event.Value{}, inst, pos, out)
 			en.met.ObserveProbe(en.enumerated == before)
 		}
 	}
 	return out
+}
+
+// noteInsert records the instrumentation for one stack insertion: the push
+// itself and any RIP repairs the insertion forced on the next stack.
+func (en *Engine) noteInsert(st *ais.Stacks, e event.Event, pos int) {
+	fixups := st.LastFixups()
+	en.met.AddRepairs(fixups)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpStackPush, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: pos})
+		if fixups > 0 {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpRepair, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: fixups})
+		}
+	}
 }
 
 // insertKeyed routes the event to its key group. Events lacking the key
@@ -363,7 +408,11 @@ func (en *Engine) insertKeyed(e event.Event, isOOO bool, out []plan.Match) []pla
 		}
 		inst, st := en.kstacks.Insert(key, pos, e)
 		en.liveStack++
+		en.noteInsert(st, e, pos)
 		if pos == last || isOOO || en.opts.DisableTriggerOpt {
+			if en.trace != nil {
+				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpTrigger, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: pos})
+			}
 			before := en.enumerated
 			out = en.construct(st, key, inst, pos, out)
 			en.met.ObserveProbe(en.enumerated == before)
@@ -392,6 +441,9 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 		en.clock = ts
 		en.started = true
 	}
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpHeartbeat, Engine: en.traceName, TS: ts})
+	}
 	out := en.drainPending(nil)
 	en.since = en.opts.PurgeEvery // force the next purge check to run
 	en.maybePurge()
@@ -410,6 +462,9 @@ func (en *Engine) Flush() []plan.Match {
 		out = en.finalize(pm, out)
 	}
 	en.met.SetLiveState(en.StateSize())
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
+	}
 	return out
 }
 
@@ -548,6 +603,9 @@ func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
 		EmitClock: en.clock,
 	}
 	en.met.AddMatch(false, en.clock-m.Last().TS, en.arrival-pm.madeSeq)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+	}
 	return append(out, m)
 }
 
@@ -604,6 +662,9 @@ func (en *Engine) maybePurge() {
 	en.liveNeg -= negPurged
 	if purged+negPurged > 0 {
 		en.met.ObservePurge(purged + negPurged)
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpPurge, Engine: en.traceName, TS: safe, N: purged + negPurged})
+		}
 	}
 }
 

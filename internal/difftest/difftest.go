@@ -181,8 +181,44 @@ func Run(c Case) *Failure {
 		if f := fail("shard-parallel", pgot); f != nil {
 			return f
 		}
+
+		// Unified-config partitioning (Config.Partition) must be
+		// byte-identical to the deprecated NewPartitionedEngine path under
+		// ordered output — same routing, same shard topology, same output
+		// sequence, not merely multiset-equal.
+		ocfg := native
+		ocfg.OrderedOutput = true
+		unified := ocfg
+		unified.Partition = oostream.Partition{Attr: PartitionAttr, Shards: shardCount}
+		ue, err := oostream.NewEngine(q, unified)
+		if err != nil {
+			return errf("partition-config", err)
+		}
+		de, err := oostream.NewPartitionedEngine(q, ocfg, PartitionAttr, shardCount)
+		if err != nil {
+			return errf("partition-config", err)
+		}
+		if diff := identicalMatches(ue.ProcessAll(c.Arrival), de.ProcessAll(c.Arrival)); diff != "" {
+			return &Failure{Case: c, Check: "partition-config", Diff: diff, Truth: len(truth)}
+		}
 	}
 	return nil
+}
+
+// identicalMatches reports the first difference between two match
+// sequences compared element-wise (order-sensitive), or "" when they are
+// identical.
+func identicalMatches(a, b []plan.Match) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("unified Config.Partition emitted %d matches, NewPartitionedEngine %d", len(a), len(b))
+	}
+	for i := range a {
+		sa, sb := fmt.Sprintf("%+v", a[i]), fmt.Sprintf("%+v", b[i])
+		if sa != sb {
+			return fmt.Sprintf("match %d differs:\n  unified:    %s\n  deprecated: %s", i, sa, sb)
+		}
+	}
+	return ""
 }
 
 // run drives a fresh facade engine over the events.

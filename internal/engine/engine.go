@@ -10,6 +10,7 @@ import (
 
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -33,6 +34,17 @@ type Engine interface {
 	// StateSize returns the current number of buffered items (stack
 	// instances, reorder buffers, negative stores, pending matches).
 	StateSize() int
+}
+
+// Observable is implemented by engines that can bind their measurements
+// to the live observability layer. Observe must be called before the first
+// Process call: series points the engine's collector at a registry-owned
+// obsv.Series (nil keeps the private one), and hook installs a TraceHook
+// fired on match-lifecycle steps (nil disables tracing at one-branch
+// cost). Wrapper engines forward Observe to their inner engine where that
+// is meaningful.
+type Observable interface {
+	Observe(series *obsv.Series, hook obsv.TraceHook)
 }
 
 // Checkpointer is implemented by engines whose full state can be

@@ -18,6 +18,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -76,6 +77,9 @@ type Engine struct {
 	arrival uint64
 	met     metrics.Collector
 	maxSeen event.Time
+	// trace observes lifecycle steps when non-nil (nil-checked per site).
+	trace     obsv.TraceHook
+	traceName string
 	// pending holds full bindings waiting for their negation gaps to close
 	// (only trailing negation ever has to wait under the in-order
 	// assumption; the queue is keyed by seal timestamp).
@@ -123,6 +127,17 @@ func New(p *plan.Plan) *Engine {
 // Name implements engine.Engine.
 func (en *Engine) Name() string { return "inorder" }
 
+// Observe implements engine.Observable.
+func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
+	en.met.Bind(s)
+	en.trace = hook
+	if s != nil && s.Name() != "" {
+		en.traceName = s.Name()
+	} else if en.traceName == "" {
+		en.traceName = en.Name()
+	}
+}
+
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
 
@@ -145,7 +160,14 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		en.met.IncIrrelevant()
 		return nil
 	}
-	en.met.IncIn(e.TS < en.maxSeen)
+	var lag event.Time
+	if e.TS < en.maxSeen {
+		lag = en.maxSeen - e.TS
+	}
+	en.met.IncIn(e.TS < en.maxSeen, lag)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+	}
 	if e.TS > en.maxSeen {
 		en.maxSeen = e.TS
 	}
@@ -172,6 +194,9 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 			rip = en.stacks[pos-1].topIndex()
 		}
 		en.stacks[pos].push(e, rip)
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpStackPush, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: pos})
+		}
 		if pos == en.plan.Len()-1 {
 			out = append(out, en.construct(e, rip)...)
 		}
@@ -304,6 +329,9 @@ func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
 		EmitClock: en.clock,
 	}
 	en.met.AddMatch(false, en.clock-m.Last().TS, en.arrival-pm.madeSeq)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+	}
 	return append(out, m)
 }
 
@@ -333,6 +361,9 @@ func (en *Engine) purge() {
 	}
 	if purged > 0 {
 		en.met.ObservePurge(purged)
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpPurge, Engine: en.traceName, TS: en.clock, N: purged})
+		}
 	}
 }
 
@@ -342,6 +373,9 @@ func (en *Engine) purge() {
 func (en *Engine) Advance(ts event.Time) []plan.Match {
 	if ts > en.clock {
 		en.clock = ts
+	}
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpHeartbeat, Engine: en.traceName, TS: ts})
 	}
 	out := en.drainPending(nil)
 	en.purge()
@@ -358,5 +392,8 @@ func (en *Engine) Flush() []plan.Match {
 		out = en.finalize(pm, out)
 	}
 	en.met.SetLiveState(en.StateSize())
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
+	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -19,6 +20,11 @@ type Engine struct {
 	// true result latency including the buffering delay.
 	clock   event.Time
 	arrival uint64
+	// trace observes the levee's own lifecycle steps (admit, drop, emit)
+	// when non-nil; the inner engine keeps its own hook off — its view is
+	// delayed by K and would double-report.
+	trace     obsv.TraceHook
+	traceName string
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -31,13 +37,33 @@ func NewEngine(k event.Time, inner engine.Engine) *Engine {
 // Name implements engine.Engine.
 func (en *Engine) Name() string { return "kslack" }
 
+// Observe implements engine.Observable. The series and hook bind to the
+// levee itself: the inner engine's ingestion view is delayed by K, so the
+// outer collector is the one that reflects the live stream.
+func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
+	en.met.Bind(s)
+	en.trace = hook
+	if s != nil && s.Name() != "" {
+		en.traceName = s.Name()
+	} else if en.traceName == "" {
+		en.traceName = en.Name()
+	}
+}
+
 // StateSize implements engine.Engine: buffered events plus inner state.
 func (en *Engine) StateSize() int { return en.buf.Len() + en.inner.StateSize() }
 
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
 	en.arrival++
-	en.met.IncIn(e.TS < en.clock)
+	var lag event.Time
+	if e.TS < en.clock {
+		lag = en.clock - e.TS
+	}
+	en.met.IncIn(e.TS < en.clock, lag)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+	}
 	if e.TS > en.clock {
 		en.clock = e.TS
 	}
@@ -45,6 +71,9 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	released := en.buf.Push(e)
 	if en.buf.Dropped() > before {
 		en.met.IncLate()
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+		}
 	}
 	return en.feed(released)
 }
@@ -56,6 +85,9 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 func (en *Engine) Advance(ts event.Time) []plan.Match {
 	if ts > en.clock {
 		en.clock = ts
+	}
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpHeartbeat, Engine: en.traceName, TS: ts})
 	}
 	out := en.feed(en.buf.Advance(ts))
 	if adv, ok := en.inner.(engine.Advancer); ok {
@@ -69,6 +101,9 @@ func (en *Engine) Flush() []plan.Match {
 	out := en.feed(en.buf.Flush())
 	out = append(out, en.restamp(en.inner.Flush())...)
 	en.met.SetLiveState(en.StateSize())
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
+	}
 	return out
 }
 
@@ -87,7 +122,15 @@ func (en *Engine) restamp(ms []plan.Match) []plan.Match {
 	for i := range ms {
 		ms[i].EmitClock = en.clock
 		ms[i].EmitSeq = event.Seq(en.arrival)
-		en.met.AddMatch(ms[i].Kind == plan.Retract, en.clock-ms[i].Last().TS, 0)
+		retract := ms[i].Kind == plan.Retract
+		en.met.AddMatch(retract, en.clock-ms[i].Last().TS, 0)
+		if en.trace != nil {
+			op := obsv.OpEmit
+			if retract {
+				op = obsv.OpRetract
+			}
+			en.trace.Trace(obsv.TraceEvent{Op: op, Engine: en.traceName, TS: ms[i].Last().TS, Seq: ms[i].EmitSeq, N: len(ms[i].Events)})
+		}
 	}
 	return ms
 }

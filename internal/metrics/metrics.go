@@ -3,52 +3,58 @@
 // consumption (live and peak instance counts), result latency (in logical
 // time and in arrival distance), output counts, and correctness counters.
 //
-// A Collector is owned by one engine instance. Engines are single-writer;
-// the mutex makes snapshots safe from other goroutines (harness, monitors).
+// A Collector is owned by one engine instance and is a thin veneer over an
+// obsv.Series — the atomic instrument set of the live observability layer.
+// Engines are single-writer, so every publication is one uncontended
+// atomic operation; Snapshot loads the same words from any goroutine
+// without stopping the writer (no mutex on either side). Bind re-points
+// the collector at a registry-owned series, which turns the engine's
+// counters into named, scrapeable time series (Prometheus /metrics, /varz)
+// with zero extra hot-path cost.
 package metrics
 
 import (
 	"fmt"
 	"math/bits"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"oostream/internal/event"
+	"oostream/internal/obsv"
 )
 
-// Collector accumulates engine measurements.
+// Collector accumulates engine measurements. The zero value is ready to
+// use (it lazily allocates a private, unregistered series).
 type Collector struct {
-	mu sync.Mutex
-
-	eventsIn    uint64
-	eventsLate  uint64 // beyond the disorder bound K
-	eventsOOO   uint64 // out of timestamp order (but within K)
-	irrelevant  uint64 // type not in the pattern
-	matches     uint64
-	retractions uint64
-	predErrors  uint64
-	purged      uint64
-	purgeCalls  uint64
-	probes      uint64
-	emptyProbes uint64
-	liveState   int
-	peakState   int
-	keyGroups   int
-	peakGroups  int
-	logicalLat  Histogram
-	arrivalLat  Histogram
-
-	// Fault-tolerance counters (owned by the supervised runtime layer).
-	eventsDropped     uint64
-	eventsDeadLetter  uint64
-	dupSuppressed     uint64
-	restarts          uint64
-	checkpoints       uint64
-	checkpointBytes   uint64
-	checkpointLastDur time.Duration
+	s atomic.Pointer[obsv.Series]
 }
 
-// Snapshot is a consistent copy of all counters.
+// Bind publishes this collector's measurements into s — typically a series
+// obtained from an obsv.Registry, so scrapes see the engine live. Call
+// before processing starts: counts recorded earlier stay on the private
+// series. A nil s is ignored.
+func (c *Collector) Bind(s *obsv.Series) {
+	if s != nil {
+		c.s.Store(s)
+	}
+}
+
+// Series returns the series this collector publishes into, allocating a
+// private one on first use.
+func (c *Collector) Series() *obsv.Series {
+	if s := c.s.Load(); s != nil {
+		return s
+	}
+	s := obsv.NewSeries("")
+	if c.s.CompareAndSwap(nil, s) {
+		return s
+	}
+	return c.s.Load()
+}
+
+// Snapshot is a consistent-enough copy of all counters: each field is
+// loaded atomically; a snapshot racing the writer may be off by the
+// in-flight event, which every consumer (harness, monitors) tolerates.
 type Snapshot struct {
 	EventsIn    uint64
 	EventsLate  uint64
@@ -61,14 +67,21 @@ type Snapshot struct {
 	PurgeCalls  uint64
 	Probes      uint64
 	EmptyProbes uint64
-	LiveState   int
-	PeakState   int
+	// Repairs counts predecessor (RIP) pointer repairs caused by
+	// out-of-order insertions — the structural work disorder forces.
+	Repairs   uint64
+	LiveState int
+	PeakState int
 	// KeyGroups and PeakKeyGroups gauge the live/peak number of key groups
 	// when the engine runs with key-partitioned stacks (0 when unkeyed).
 	KeyGroups     int
 	PeakKeyGroups int
 	LogicalLat    Histogram
 	ArrivalLat    Histogram
+	// WatermarkLag is the per-event lag behind the watermark (the max
+	// timestamp seen): 0 for in-order arrivals, the measured disorder for
+	// out-of-order ones. Its quantiles are what adaptive K selection reads.
+	WatermarkLag Histogram
 
 	// EventsDropped counts events the admission-control layer rejected
 	// under the Drop policy (bound violators and duplicates).
@@ -90,166 +103,133 @@ type Snapshot struct {
 	CheckpointDuration time.Duration
 }
 
-// IncIn counts an ingested event; ooo marks it out of timestamp order.
-func (c *Collector) IncIn(ooo bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.eventsIn++
+// IncIn counts an ingested event; ooo marks it out of timestamp order and
+// lag is its distance behind the watermark (max timestamp seen; 0 for
+// in-order arrivals).
+func (c *Collector) IncIn(ooo bool, lag event.Time) {
+	s := c.Series()
+	s.EventsIn.Inc()
 	if ooo {
-		c.eventsOOO++
+		s.EventsOOO.Inc()
 	}
+	if lag < 0 {
+		lag = 0
+	}
+	s.WatermarkLag.Observe(uint64(lag))
 }
 
 // IncLate counts an event rejected for violating the disorder bound.
-func (c *Collector) IncLate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.eventsLate++
-}
+func (c *Collector) IncLate() { c.Series().EventsLate.Inc() }
 
 // IncIrrelevant counts an event whose type the pattern does not mention.
-func (c *Collector) IncIrrelevant() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.irrelevant++
-}
+func (c *Collector) IncIrrelevant() { c.Series().Irrelevant.Inc() }
 
 // IncPredError counts a predicate evaluation error (treated as non-match).
-func (c *Collector) IncPredError(error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.predErrors++
-}
+func (c *Collector) IncPredError(error) { c.Series().PredErrors.Inc() }
 
 // AddMatch records an emitted match with its latencies: logical is
 // emission clock minus the match's last event timestamp; arrival is the
 // number of arrivals between the match's completion and its emission.
 func (c *Collector) AddMatch(retract bool, logical event.Time, arrival uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.Series()
 	if retract {
-		c.retractions++
+		s.Retractions.Inc()
 		return
 	}
-	c.matches++
+	s.Matches.Inc()
 	if logical < 0 {
 		logical = 0
 	}
-	c.logicalLat.Observe(uint64(logical))
-	c.arrivalLat.Observe(arrival)
+	s.LogicalLat.Observe(uint64(logical))
+	s.ArrivalLat.Observe(arrival)
 }
 
 // ObserveProbe records a construction probe; empty marks one that
 // enumerated no match (the waste the scan optimization avoids).
 func (c *Collector) ObserveProbe(empty bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.probes++
+	s := c.Series()
+	s.Probes.Inc()
 	if empty {
-		c.emptyProbes++
+		s.EmptyProbes.Inc()
 	}
 }
 
 // ObservePurge records a purge pass that removed n instances.
 func (c *Collector) ObservePurge(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.purgeCalls++
-	c.purged += uint64(n)
+	s := c.Series()
+	s.PurgeCalls.Inc()
+	s.Purged.Add(uint64(n))
+}
+
+// AddRepairs records n predecessor-pointer repairs from one insertion.
+func (c *Collector) AddRepairs(n int) {
+	if n > 0 {
+		c.Series().Repairs.Add(uint64(n))
+	}
 }
 
 // SetLiveState records the current total state size (stack instances plus
 // any auxiliary buffers) and updates the peak.
-func (c *Collector) SetLiveState(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.liveState = n
-	if n > c.peakState {
-		c.peakState = n
-	}
-}
+func (c *Collector) SetLiveState(n int) { c.Series().LiveState.Set(int64(n)) }
 
 // SetKeyGroups records the current number of key-partitioned stack groups
 // and updates the peak.
-func (c *Collector) SetKeyGroups(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.keyGroups = n
-	if n > c.peakGroups {
-		c.peakGroups = n
-	}
-}
+func (c *Collector) SetKeyGroups(n int) { c.Series().KeyGroups.Set(int64(n)) }
 
 // IncDropped counts an event rejected by admission control (Drop policy).
-func (c *Collector) IncDropped() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.eventsDropped++
-}
+func (c *Collector) IncDropped() { c.Series().Dropped.Inc() }
 
 // IncDeadLettered counts an event routed to the dead-letter channel.
-func (c *Collector) IncDeadLettered() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.eventsDeadLetter++
-}
+func (c *Collector) IncDeadLettered() { c.Series().DeadLettered.Inc() }
 
 // IncDupSuppressed counts one suppressed duplicate: a duplicate input
 // event turned away at admission, or a replayed match emission that was
 // already delivered before a crash.
-func (c *Collector) IncDupSuppressed() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dupSuppressed++
-}
+func (c *Collector) IncDupSuppressed() { c.Series().DupSuppressed.Inc() }
 
 // IncRestart counts a supervised restart from a checkpoint.
-func (c *Collector) IncRestart() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.restarts++
-}
+func (c *Collector) IncRestart() { c.Series().Restarts.Inc() }
 
 // ObserveCheckpoint records a completed durable checkpoint: its size and
 // how long writing it took.
 func (c *Collector) ObserveCheckpoint(bytes int, d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.checkpoints++
-	c.checkpointBytes = uint64(bytes)
-	c.checkpointLastDur = d
+	s := c.Series()
+	s.Checkpoints.Inc()
+	s.CheckpointBytes.Set(int64(bytes))
+	s.CheckpointNanos.Set(int64(d))
 }
 
 // Snapshot returns a copy of all counters.
 func (c *Collector) Snapshot() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.Series()
 	return Snapshot{
-		EventsIn:      c.eventsIn,
-		EventsLate:    c.eventsLate,
-		EventsOOO:     c.eventsOOO,
-		Irrelevant:    c.irrelevant,
-		Matches:       c.matches,
-		Retractions:   c.retractions,
-		PredErrors:    c.predErrors,
-		Purged:        c.purged,
-		PurgeCalls:    c.purgeCalls,
-		Probes:        c.probes,
-		EmptyProbes:   c.emptyProbes,
-		LiveState:     c.liveState,
-		PeakState:     c.peakState,
-		KeyGroups:     c.keyGroups,
-		PeakKeyGroups: c.peakGroups,
-		LogicalLat:    c.logicalLat,
-		ArrivalLat:    c.arrivalLat,
+		EventsIn:      s.EventsIn.Load(),
+		EventsLate:    s.EventsLate.Load(),
+		EventsOOO:     s.EventsOOO.Load(),
+		Irrelevant:    s.Irrelevant.Load(),
+		Matches:       s.Matches.Load(),
+		Retractions:   s.Retractions.Load(),
+		PredErrors:    s.PredErrors.Load(),
+		Purged:        s.Purged.Load(),
+		PurgeCalls:    s.PurgeCalls.Load(),
+		Probes:        s.Probes.Load(),
+		EmptyProbes:   s.EmptyProbes.Load(),
+		Repairs:       s.Repairs.Load(),
+		LiveState:     int(s.LiveState.Load()),
+		PeakState:     int(s.LiveState.Peak()),
+		KeyGroups:     int(s.KeyGroups.Load()),
+		PeakKeyGroups: int(s.KeyGroups.Peak()),
+		LogicalLat:    histFromView(s.LogicalLat.View()),
+		ArrivalLat:    histFromView(s.ArrivalLat.View()),
+		WatermarkLag:  histFromView(s.WatermarkLag.View()),
 
-		EventsDropped:        c.eventsDropped,
-		EventsDeadLettered:   c.eventsDeadLetter,
-		DuplicatesSuppressed: c.dupSuppressed,
-		Restarts:             c.restarts,
-		Checkpoints:          c.checkpoints,
-		CheckpointBytes:      c.checkpointBytes,
-		CheckpointDuration:   c.checkpointLastDur,
+		EventsDropped:        s.Dropped.Load(),
+		EventsDeadLettered:   s.DeadLettered.Load(),
+		DuplicatesSuppressed: s.DupSuppressed.Load(),
+		Restarts:             s.Restarts.Load(),
+		Checkpoints:          s.Checkpoints.Load(),
+		CheckpointBytes:      uint64(s.CheckpointBytes.Load()),
+		CheckpointDuration:   time.Duration(s.CheckpointNanos.Load()),
 	}
 }
 
@@ -270,6 +250,12 @@ type Histogram struct {
 	max     uint64
 }
 
+// histFromView converts an atomic obsv histogram view into the snapshot
+// value type (identical bucket layout).
+func histFromView(v obsv.HistView) Histogram {
+	return Histogram{buckets: v.Buckets, count: v.Count, sum: v.Sum, max: v.Max}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
 	h.buckets[bits.Len64(v)]++
@@ -277,6 +263,19 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum += v
 	if v > h.max {
 		h.max = v
+	}
+}
+
+// Merge adds another histogram's observations into h (exact: the bucket
+// layouts are identical). Shard aggregation uses it.
+func (h *Histogram) Merge(o Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
 	}
 }
 

@@ -10,9 +10,9 @@ import (
 
 func TestCollectorCounters(t *testing.T) {
 	var c Collector
-	c.IncIn(false)
-	c.IncIn(true)
-	c.IncIn(true)
+	c.IncIn(false, 0)
+	c.IncIn(true, 3)
+	c.IncIn(true, 3)
 	c.IncLate()
 	c.IncIrrelevant()
 	c.IncPredError(errors.New("x"))
@@ -59,7 +59,7 @@ func TestNegativeLatencyClamped(t *testing.T) {
 
 func TestSnapshotString(t *testing.T) {
 	var c Collector
-	c.IncIn(false)
+	c.IncIn(false, 0)
 	c.AddMatch(false, 8, 1)
 	out := c.Snapshot().String()
 	for _, part := range []string{"in=1", "matches=1"} {
@@ -141,7 +141,7 @@ func TestCollectorConcurrentSnapshot(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 1000; i++ {
-		c.IncIn(i%2 == 0)
+		c.IncIn(i%2 == 0, 1)
 		c.AddMatch(false, int64(i), uint64(i))
 		c.SetLiveState(i)
 	}

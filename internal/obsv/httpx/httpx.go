@@ -1,0 +1,83 @@
+// Package httpx serves the live observability layer over HTTP: the
+// Prometheus text exposition of a Registry on /metrics, a JSON state
+// document on /varz, a liveness probe on /healthz, the flight recorder's
+// recent trace on /debug/flight, and the standard pprof profiles under
+// /debug/pprof/. The CLIs mount it behind their -listen flag; it has no
+// dependencies beyond the standard library.
+package httpx
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"oostream/internal/obsv"
+)
+
+// NewMux builds the observability mux over reg. flight may be nil, which
+// disables /debug/flight with a 404 explanation instead of a handler.
+func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is cut the connection short.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Varz())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if flight == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = flight.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a started observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Listen binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// observability mux on it in a background goroutine. The returned Server
+// reports the bound address (useful with port 0) and is closed with Close.
+func Listen(addr string, reg *obsv.Registry, flight *obsv.FlightRecorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("observability listener: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           NewMux(reg, flight),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:9090".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

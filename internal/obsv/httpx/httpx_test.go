@@ -1,0 +1,79 @@
+package httpx
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"oostream/internal/obsv"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obsv.NewRegistry()
+	s := reg.Series("native")
+	s.EventsIn.Add(5)
+	s.Matches.Add(2)
+	flight := obsv.NewFlightRecorder(8)
+	flight.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: "native", TS: 42})
+
+	srv, err := Listen("127.0.0.1:0", reg, flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		`oostream_events_in_total{engine="native"} 5`,
+		`oostream_matches_total{engine="native"} 2`,
+		"# TYPE oostream_events_in_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+	code, body = get(t, base+"/varz")
+	if code != 200 || !strings.Contains(body, `"native"`) || !strings.Contains(body, `"events_in": 5`) {
+		t.Fatalf("varz: %d %q", code, body)
+	}
+	code, body = get(t, base+"/debug/flight")
+	if code != 200 || !strings.Contains(body, "emit") {
+		t.Fatalf("flight: %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline status %d", code)
+	}
+}
+
+func TestFlightDisabled(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/debug/flight"); code != http.StatusNotFound {
+		t.Fatalf("flight should 404 when disabled, got %d", code)
+	}
+}

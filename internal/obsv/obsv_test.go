@@ -1,0 +1,146 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHist(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+
+	var g Gauge
+	g.Set(7)
+	g.Set(3)
+	if g.Load() != 3 || g.Peak() != 7 {
+		t.Fatalf("gauge = %d peak %d, want 3 peak 7", g.Load(), g.Peak())
+	}
+
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	v := h.View()
+	if v.Count != 5 || v.Sum != 106 || v.Max != 100 {
+		t.Fatalf("hist view = %+v", v)
+	}
+	if v.Buckets[0] != 1 || v.Buckets[1] != 1 || v.Buckets[2] != 2 || v.Buckets[7] != 1 {
+		t.Fatalf("hist buckets = %v", v.Buckets[:8])
+	}
+	if m := v.Mean(); m < 21.1 || m > 21.3 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestConcurrentPublishAndView(t *testing.T) {
+	s := NewSeries("x")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10_000; i++ {
+			s.EventsIn.Inc()
+			s.LiveState.Set(int64(i))
+			s.WatermarkLag.Observe(uint64(i % 128))
+		}
+		close(stop)
+	}()
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			if s.EventsIn.Load() != 10_000 {
+				t.Fatalf("events in = %d", s.EventsIn.Load())
+			}
+			return
+		default:
+			_ = s.EventsIn.Load()
+			_ = s.LiveState.Peak()
+			_ = s.WatermarkLag.View()
+		}
+	}
+}
+
+func TestRegistrySeriesGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("native")
+	b := r.Series("native")
+	if a != b {
+		t.Fatal("Series must get-or-create")
+	}
+	c := r.NewSeries("native")
+	if c == a {
+		t.Fatal("NewSeries must not reuse a taken name")
+	}
+	if c.Name() != "native#2" {
+		t.Fatalf("uniquified name = %q", c.Name())
+	}
+	want := []string{"native", "native#2"}
+	got := r.Names()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("native")
+	s.EventsIn.Add(3)
+	s.Matches.Inc()
+	s.LiveState.Set(42)
+	s.WatermarkLag.Observe(0)
+	s.WatermarkLag.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE oostream_events_in_total counter",
+		`oostream_events_in_total{engine="native"} 3`,
+		`oostream_matches_total{engine="native"} 1`,
+		"# TYPE oostream_state_live gauge",
+		`oostream_state_live{engine="native"} 42`,
+		`oostream_state_peak{engine="native"} 42`,
+		"# TYPE oostream_watermark_lag_ms histogram",
+		`oostream_watermark_lag_ms_bucket{engine="native",le="0"} 1`,
+		`oostream_watermark_lag_ms_bucket{engine="native",le="7"} 2`,
+		`oostream_watermark_lag_ms_bucket{engine="native",le="+Inf"} 2`,
+		`oostream_watermark_lag_ms_sum{engine="native"} 5`,
+		`oostream_watermark_lag_ms_count{engine="native"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotone: le="1" covers le="0".
+	if !strings.Contains(out, `oostream_watermark_lag_ms_bucket{engine="native",le="1"} 1`) {
+		t.Errorf("cumulative bucket le=1 wrong\n%s", out)
+	}
+}
+
+func TestVarz(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("native")
+	s.Matches.Add(2)
+	r.RegisterVarz("soak", func() any { return map[string]int{"trials": 7} })
+	doc := r.Varz()
+	engines, ok := doc["engines"].(map[string]any)
+	if !ok {
+		t.Fatalf("varz engines missing: %v", doc)
+	}
+	nat, ok := engines["native"].(map[string]any)
+	if !ok || nat["matches"].(uint64) != 2 {
+		t.Fatalf("native varz = %v", nat)
+	}
+	if doc["soak"] == nil {
+		t.Fatalf("provider missing: %v", doc)
+	}
+}

@@ -1,0 +1,94 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		f.Trace(TraceEvent{Op: OpAdmit, N: i})
+	}
+	got := f.Dump()
+	if len(got) != 3 {
+		t.Fatalf("dump len = %d, want 3", len(got))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if got[i].N != want {
+			t.Fatalf("dump[%d].N = %d, want %d (oldest first)", i, got[i].N, want)
+		}
+	}
+	if f.Total() != 5 {
+		t.Fatalf("total = %d, want 5", f.Total())
+	}
+}
+
+func TestFlightRecorderPartial(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Trace(TraceEvent{Op: OpEmit})
+	f.Trace(TraceEvent{Op: OpPurge})
+	got := f.Dump()
+	if len(got) != 2 || got[0].Op != OpEmit || got[1].Op != OpPurge {
+		t.Fatalf("dump = %v", got)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Trace(TraceEvent{Op: OpStackPush, N: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Total() != 4000 {
+		t.Fatalf("total = %d", f.Total())
+	}
+	if len(f.Dump()) != 16 {
+		t.Fatalf("dump len = %d", len(f.Dump()))
+	}
+}
+
+func TestTraceWriteTo(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Trace(TraceEvent{Op: OpEmit, Engine: "native", Type: "EXIT", TS: 42, Seq: 7, N: 2})
+	var b strings.Builder
+	if _, err := f.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "emit") || !strings.Contains(b.String(), "engine=native") {
+		t.Fatalf("dump text = %q", b.String())
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpAdmit, OpDrop, OpStackPush, OpRepair, OpTrigger, OpEmit,
+		OpRetract, OpPurge, OpHeartbeat, OpCheckpoint, OpRestart, OpFlush}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("op %d has bad/duplicate name %q", op, s)
+		}
+		seen[s] = true
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatalf("unknown op = %q", Op(99).String())
+	}
+}
+
+func TestMultiHookAndTraceFunc(t *testing.T) {
+	var a, b int
+	m := MultiHook{TraceFunc(func(TraceEvent) { a++ }), nil, TraceFunc(func(TraceEvent) { b++ })}
+	m.Trace(TraceEvent{Op: OpAdmit})
+	if a != 1 || b != 1 {
+		t.Fatalf("multi hook fanout a=%d b=%d", a, b)
+	}
+}

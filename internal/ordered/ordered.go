@@ -21,6 +21,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -55,6 +56,15 @@ func (en *Engine) Name() string { return "ordered(" + en.inner.Name() + ")" }
 // Metrics implements engine.Engine (the inner engine's counters; emission
 // reordering does not change what was measured).
 func (en *Engine) Metrics() metrics.Snapshot { return en.inner.Metrics() }
+
+// Observe implements engine.Observable by delegating to the inner engine
+// (the wrapper measures nothing of its own; its buffered matches show up
+// in StateSize, which the inner engine's collector reports).
+func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
+	if obs, ok := en.inner.(engine.Observable); ok {
+		obs.Observe(s, hook)
+	}
+}
 
 // StateSize implements engine.Engine: inner state plus buffered matches.
 func (en *Engine) StateSize() int { return en.inner.StateSize() + en.buf.Len() }

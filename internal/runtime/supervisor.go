@@ -11,6 +11,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 	"oostream/internal/recovery"
 )
@@ -132,6 +133,12 @@ type Supervisor struct {
 	running bool
 	flushed bool
 	err     error
+
+	// Observability bindings, remembered so they survive restarts: every
+	// rebuild constructs a fresh inner engine that must be re-observed.
+	obsSeries *obsv.Series
+	obsHook   obsv.TraceHook
+	traceName string
 }
 
 // NewSupervisor wraps store and opts. Call Start before processing: it
@@ -202,6 +209,33 @@ func (s *Supervisor) Name() string {
 		return "supervised"
 	}
 	return "supervised(" + s.en.Name() + ")"
+}
+
+// Observe implements engine.Observable. The supervisor and the inner
+// engine share the series — their instrument sets are disjoint (engines
+// never write the fault-tolerance counters), so one named series carries
+// the full picture. The binding is remembered and re-applied after every
+// restart, since a rebuild constructs a fresh inner engine.
+func (s *Supervisor) Observe(series *obsv.Series, hook obsv.TraceHook) {
+	s.met.Bind(series)
+	s.obsSeries = series
+	s.obsHook = hook
+	if series != nil && series.Name() != "" {
+		s.traceName = series.Name()
+	} else if s.traceName == "" {
+		s.traceName = "supervised"
+	}
+	s.applyObserve()
+}
+
+// applyObserve forwards the remembered bindings to the current engine.
+func (s *Supervisor) applyObserve() {
+	if s.en == nil || (s.obsSeries == nil && s.obsHook == nil) {
+		return
+	}
+	if obs, ok := s.en.(engine.Observable); ok {
+		obs.Observe(s.obsSeries, s.obsHook)
+	}
 }
 
 // Process implements engine.Engine; failures park in Err.
@@ -290,18 +324,20 @@ func (s *Supervisor) FlushE() ([]plan.Match, error) {
 }
 
 // Metrics implements engine.Engine: the inner engine's counters with the
-// supervisor's fault-tolerance counters merged in.
+// supervisor's fault-tolerance counters merged in. Those counters are
+// written only by the supervisor, so assignment is exact whether or not
+// the inner engine shares the supervisor's series (it does under Observe).
 func (s *Supervisor) Metrics() metrics.Snapshot {
 	var snap metrics.Snapshot
 	if s.en != nil {
 		snap = s.en.Metrics()
 	}
 	sup := s.met.Snapshot()
-	snap.EventsDropped += sup.EventsDropped
-	snap.EventsDeadLettered += sup.EventsDeadLettered
-	snap.DuplicatesSuppressed += sup.DuplicatesSuppressed
-	snap.Restarts += sup.Restarts
-	snap.Checkpoints += sup.Checkpoints
+	snap.EventsDropped = sup.EventsDropped
+	snap.EventsDeadLettered = sup.EventsDeadLettered
+	snap.DuplicatesSuppressed = sup.DuplicatesSuppressed
+	snap.Restarts = sup.Restarts
+	snap.Checkpoints = sup.Checkpoints
 	snap.CheckpointBytes = sup.CheckpointBytes
 	snap.CheckpointDuration = sup.CheckpointDuration
 	return snap
@@ -473,6 +509,9 @@ func (s *Supervisor) checkpoint() error {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	s.met.ObserveCheckpoint(n, time.Since(start))
+	if s.obsHook != nil {
+		s.obsHook.Trace(obsv.TraceEvent{Op: obsv.OpCheckpoint, Engine: s.traceName, TS: s.clock, N: n})
+	}
 	s.sinceCkpt = 0
 	return nil
 }
@@ -520,6 +559,7 @@ func (s *Supervisor) rebuild() (out []plan.Match, panicked bool, err error) {
 	s.durable = rec.Matches
 	s.flushed = false
 	s.sinceCkpt = 0
+	s.applyObserve()
 
 	for _, e := range rec.Replay {
 		ms, p, err := s.offer(e, true)
@@ -566,6 +606,9 @@ func (s *Supervisor) restartLoop() ([]plan.Match, error) {
 			return nil, s.fail(fmt.Errorf("supervisor: engine panicked %d consecutive times; giving up", s.consecRestarts-1))
 		}
 		s.met.IncRestart()
+		if s.obsHook != nil {
+			s.obsHook.Trace(obsv.TraceEvent{Op: obsv.OpRestart, Engine: s.traceName, TS: s.clock, N: s.consecRestarts})
+		}
 		s.opts.Sleep(backoff)
 		backoff *= 2
 		if backoff > s.opts.BackoffMax {

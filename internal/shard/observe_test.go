@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"oostream/internal/core"
+	"oostream/internal/engine"
+	"oostream/internal/gen"
+	"oostream/internal/obsv"
+	"oostream/internal/plan"
+)
+
+func newNativeParts(t *testing.T, shards int) (*Router, func(int) (engine.Engine, error)) {
+	t.Helper()
+	p, err := plan.ParseAndCompile(
+		"PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN 6s", gen.RFIDSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter("id", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router, func(int) (engine.Engine, error) {
+		return core.New(p, core.Options{K: 2000})
+	}
+}
+
+// TestParallelMetricsDuringProcess reads aggregated metrics from another
+// goroutine while the shard goroutines are mid-stream. The collector is
+// built on atomics, so this must be clean under -race.
+func TestParallelMetricsDuringProcess(t *testing.T) {
+	router, factory := newNativeParts(t, 4)
+	par, err := NewParallel(router, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := gen.RFID(gen.DefaultRFID(800, 7))
+	events = gen.Shuffle(events, gen.Disorder{Ratio: 0.3, MaxDelay: 2000, Seed: 7})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = par.Metrics()
+			}
+		}
+	}()
+	got, err := par.Drain(context.Background(), events)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected matches from the drained stream")
+	}
+	snap := par.Metrics()
+	// EventsIn counts relevant ingests; irrelevant events are tallied
+	// separately. Together they must cover the whole stream.
+	if snap.EventsIn+snap.Irrelevant != uint64(len(events)) {
+		t.Fatalf("EventsIn+Irrelevant = %d+%d, want %d", snap.EventsIn, snap.Irrelevant, len(events))
+	}
+	if snap.Matches == 0 {
+		t.Fatal("aggregated snapshot lost the match count")
+	}
+}
+
+// TestParallelObserveFansTraceOut installs a trace hook on the parallel
+// composition and checks every shard reports lifecycle steps through it.
+func TestParallelObserveFansTraceOut(t *testing.T) {
+	router, factory := newNativeParts(t, 3)
+	par, err := NewParallel(router, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	admits := 0
+	par.Observe(nil, obsv.TraceFunc(func(ev obsv.TraceEvent) {
+		if ev.Op == obsv.OpAdmit {
+			mu.Lock()
+			admits++
+			mu.Unlock()
+		}
+	}))
+	events := gen.RFID(gen.DefaultRFID(200, 11))
+	if _, err := par.Drain(context.Background(), events); err != nil {
+		t.Fatal(err)
+	}
+	// Irrelevant events (COUNTER, for this query) are counted but not
+	// admitted into the stacks, so they never reach the trace hook.
+	want := len(events) - int(par.Metrics().Irrelevant)
+	if admits != want {
+		t.Fatalf("trace hook saw %d admits, want %d", admits, want)
+	}
+}

@@ -8,6 +8,8 @@ import (
 
 	"oostream/internal/engine"
 	"oostream/internal/event"
+	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -30,6 +32,26 @@ func NewParallel(router *Router, factory func(shard int) (engine.Engine, error))
 		parts[i] = en
 	}
 	return &Parallel{router: router, parts: parts}, nil
+}
+
+// Metrics sums the per-shard snapshots, merging histograms exactly. It is
+// safe to call while Run is processing: collectors publish through atomics,
+// so a concurrent snapshot is merely a moment-in-time read (it may miss
+// the event in flight on each shard).
+func (p *Parallel) Metrics() metrics.Snapshot {
+	return aggregate(p.parts)
+}
+
+// Observe fans a trace hook out to every shard engine. The hook must be
+// safe for concurrent use: shards run on separate goroutines. Series
+// binding is per shard (wired by the facade when the parts are built), so
+// s is unused here beyond the engine.Observable contract.
+func (p *Parallel) Observe(_ *obsv.Series, hook obsv.TraceHook) {
+	for _, part := range p.parts {
+		if obs, ok := part.(engine.Observable); ok {
+			obs.Observe(nil, hook)
+		}
+	}
 }
 
 // shardMsg is one item on a shard's feed: an event to process or a

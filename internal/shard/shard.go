@@ -26,6 +26,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -178,8 +179,30 @@ func (en *Engine) StateSize() int {
 // the sum of per-shard peaks (an upper bound on the true simultaneous
 // peak); latency histograms are merged exactly.
 func (en *Engine) Metrics() metrics.Snapshot {
-	var agg metrics.Snapshot
+	agg := aggregate(en.parts)
+	agg.PredErrors += en.routeErrors
+	return agg
+}
+
+// Observe implements engine.Observable: the trace hook fans out to every
+// shard. Series binding is per shard (each part publishes its own named
+// series — the facade wires that when it builds the parts), so s only
+// receives the routing layer's own counters (route errors).
+func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
+	en.met.Bind(s)
 	for _, p := range en.parts {
+		if obs, ok := p.(engine.Observable); ok {
+			obs.Observe(nil, hook)
+		}
+	}
+}
+
+// aggregate sums per-shard snapshots into one. Latency and watermark-lag
+// histograms merge exactly (identical bucket layouts); per-shard peak
+// gauges sum to an upper bound on the true simultaneous peak.
+func aggregate(parts []engine.Engine) metrics.Snapshot {
+	var agg metrics.Snapshot
+	for _, p := range parts {
 		s := p.Metrics()
 		agg.EventsIn += s.EventsIn
 		agg.EventsLate += s.EventsLate
@@ -192,10 +215,14 @@ func (en *Engine) Metrics() metrics.Snapshot {
 		agg.PurgeCalls += s.PurgeCalls
 		agg.Probes += s.Probes
 		agg.EmptyProbes += s.EmptyProbes
+		agg.Repairs += s.Repairs
 		agg.LiveState += s.LiveState
 		agg.PeakState += s.PeakState
 		agg.KeyGroups += s.KeyGroups
 		agg.PeakKeyGroups += s.PeakKeyGroups
+		agg.LogicalLat.Merge(s.LogicalLat)
+		agg.ArrivalLat.Merge(s.ArrivalLat)
+		agg.WatermarkLag.Merge(s.WatermarkLag)
 		agg.EventsDropped += s.EventsDropped
 		agg.EventsDeadLettered += s.EventsDeadLettered
 		agg.DuplicatesSuppressed += s.DuplicatesSuppressed
@@ -206,6 +233,5 @@ func (en *Engine) Metrics() metrics.Snapshot {
 			agg.CheckpointDuration = s.CheckpointDuration
 		}
 	}
-	agg.PredErrors += en.routeErrors
 	return agg
 }

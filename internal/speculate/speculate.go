@@ -22,6 +22,7 @@ import (
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
@@ -53,6 +54,9 @@ type Engine struct {
 	arrival    uint64
 	since      int
 	met        metrics.Collector
+	// trace observes lifecycle steps when non-nil (nil-checked per site).
+	trace     obsv.TraceHook
+	traceName string
 }
 
 type vulnEntry struct {
@@ -104,6 +108,17 @@ func MustNew(p *plan.Plan, opts Options) *Engine {
 // Name implements engine.Engine.
 func (en *Engine) Name() string { return "speculate" }
 
+// Observe implements engine.Observable.
+func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
+	en.met.Bind(s)
+	en.trace = hook
+	if s != nil && s.Name() != "" {
+		en.traceName = s.Name()
+	} else if en.traceName == "" {
+		en.traceName = en.Name()
+	}
+}
+
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
 
@@ -133,9 +148,19 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		return nil
 	}
 	isOOO := en.started && e.TS < en.clock
-	en.met.IncIn(isOOO)
+	var lag event.Time
+	if isOOO {
+		lag = en.clock - e.TS
+	}
+	en.met.IncIn(isOOO, lag)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+	}
 	if en.started && e.TS < en.safe() {
 		en.met.IncLate()
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+		}
 		return nil
 	}
 	if e.TS > en.clock || !en.started {
@@ -156,7 +181,17 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 				continue
 			}
 			inst := en.stacks.Insert(pos, e)
+			en.met.AddRepairs(en.stacks.LastFixups())
+			if en.trace != nil {
+				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpStackPush, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: pos})
+				if fix := en.stacks.LastFixups(); fix > 0 {
+					en.trace.Trace(obsv.TraceEvent{Op: obsv.OpRepair, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: fix})
+				}
+			}
 			if pos == last || isOOO {
+				if en.trace != nil {
+					en.trace.Trace(obsv.TraceEvent{Op: obsv.OpTrigger, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq, N: pos})
+				}
 				out = en.construct(inst, pos, out)
 			}
 		}
@@ -175,6 +210,9 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 		en.clock = ts
 		en.started = true
 	}
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpHeartbeat, Engine: en.traceName, TS: ts})
+	}
 	en.expireVulnerable()
 	en.since = en.opts.PurgeEvery
 	en.maybePurge()
@@ -188,6 +226,9 @@ func (en *Engine) Flush() []plan.Match {
 	en.vulnerable = make(map[string]*vulnEntry)
 	en.expiry = nil
 	en.met.SetLiveState(en.StateSize())
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
+	}
 	return nil
 }
 
@@ -221,6 +262,9 @@ func (en *Engine) retractInvalidated(negIdx int, neg event.Event, out []plan.Mat
 			EmitClock: en.clock,
 		}
 		en.met.AddMatch(true, 0, 0)
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpRetract, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+		}
 		out = append(out, m)
 	}
 	return out
@@ -310,6 +354,9 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 		EmitClock: en.clock,
 	}
 	en.met.AddMatch(false, en.clock-m.Last().TS, 0)
+	if en.trace != nil {
+		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+	}
 	out = append(out, m)
 	if sealTS > en.safe() {
 		v := &vulnEntry{events: events, key: m.Key(), sealTS: sealTS, order: en.vulnSeq}
@@ -358,6 +405,9 @@ func (en *Engine) maybePurge() {
 	}
 	if purged > 0 {
 		en.met.ObservePurge(purged)
+		if en.trace != nil {
+			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpPurge, Engine: en.traceName, TS: safe, N: purged})
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package oostream
+
+import "oostream/internal/obsv"
+
+// Observability re-exports. The live observability layer has two parts,
+// both injected through Config (the sole injection points):
+//
+//   - Config.Observer (*Observer): a registry of named metric series every
+//     engine publishes into — atomic counters, gauges, and fixed-bucket
+//     histograms for logical/arrival latency and watermark lag. Serve it
+//     over HTTP with the CLIs' -listen flag (Prometheus text on /metrics,
+//     JSON on /varz) or render it directly with Observer.WritePrometheus.
+//   - Config.Trace (TraceHook): a callback fired on every match-lifecycle
+//     step. A nil hook costs one predictable branch; a FlightRecorder is a
+//     bounded in-memory hook suitable for production flight recording.
+type (
+	// Observer is a registry of live metric series; see NewObserver.
+	Observer = obsv.Registry
+	// TraceHook observes match-lifecycle steps; see TraceFunc and
+	// FlightRecorder for ready-made implementations.
+	TraceHook = obsv.TraceHook
+	// TraceEvent is one lifecycle step delivered to a TraceHook.
+	TraceEvent = obsv.TraceEvent
+	// TraceFunc adapts a function to the TraceHook interface.
+	TraceFunc = obsv.TraceFunc
+	// TraceOp enumerates lifecycle steps (OpAdmit, OpEmit, …).
+	TraceOp = obsv.Op
+	// FlightRecorder is a bounded ring-buffer TraceHook: it keeps the most
+	// recent N trace events for post-hoc inspection (and is served on
+	// /debug/flight by the CLIs' -listen endpoint).
+	FlightRecorder = obsv.FlightRecorder
+	// MultiHook fans one trace stream out to several hooks.
+	MultiHook = obsv.MultiHook
+)
+
+// Observability constructors, re-exported.
+var (
+	// NewObserver creates an empty metrics registry for Config.Observer.
+	NewObserver = obsv.NewRegistry
+	// NewFlightRecorder creates a ring-buffer TraceHook holding the most
+	// recent n events.
+	NewFlightRecorder = obsv.NewFlightRecorder
+)
+
+// Trace operations, re-exported.
+const (
+	OpAdmit      = obsv.OpAdmit
+	OpDrop       = obsv.OpDrop
+	OpStackPush  = obsv.OpStackPush
+	OpRepair     = obsv.OpRepair
+	OpTrigger    = obsv.OpTrigger
+	OpEmit       = obsv.OpEmit
+	OpRetract    = obsv.OpRetract
+	OpPurge      = obsv.OpPurge
+	OpHeartbeat  = obsv.OpHeartbeat
+	OpCheckpoint = obsv.OpCheckpoint
+	OpRestart    = obsv.OpRestart
+	OpFlush      = obsv.OpFlush
+)

@@ -41,6 +41,7 @@ import (
 	"oostream/internal/inorder"
 	"oostream/internal/kslack"
 	"oostream/internal/metrics"
+	"oostream/internal/obsv"
 	"oostream/internal/ordered"
 	"oostream/internal/plan"
 	"oostream/internal/runtime"
@@ -168,15 +169,84 @@ func SameResults(a, b []Match) (bool, string) { return plan.SameResults(a, b) }
 type Engine struct {
 	inner   engine.Engine
 	nextSeq event.Seq
+	sealed  bool
 }
 
-// NewEngine builds an engine for the query. See Config for the strategy
-// and disorder-bound knobs.
+// NewEngine builds an engine for the query. See Config for the strategy,
+// disorder-bound, partitioning, and observability knobs. When
+// Config.Partition.Attr is set the engine hash-partitions the stream across
+// sub-engines (the role of the deprecated NewPartitionedEngine).
 func NewEngine(q *Query, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	inner, err := newInner(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// newInner builds the engine behind the facade: a single strategy engine,
+// or a sharded composition of them when cfg.Partition is set. cfg must
+// already have defaults applied and be validated.
+func newInner(q *Query, cfg Config) (engine.Engine, error) {
+	if cfg.Partition.Attr == "" {
+		inner, err := newSingle(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		observeEngine(inner, cfg, string(cfg.Strategy))
+		return inner, nil
+	}
+	if !q.plan.PartitionableBy(cfg.Partition.Attr) {
+		return nil, fmt.Errorf("query is not partitionable by %q: every component must be linked by equality on it", cfg.Partition.Attr)
+	}
+	router, err := shard.NewRouter(cfg.Partition.Attr, cfg.Partition.Shards)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.New(router, func(i int) (engine.Engine, error) {
+		sub, err := newSingle(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		observeEngine(sub, cfg, fmt.Sprintf("%s/shard%d", cfg.Strategy, i))
+		return sub, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The routing layer publishes its own series (route errors) and fans
+	// the trace hook out to the shards; per-shard series were bound above
+	// and survive the nil-series fan-out.
+	observeEngine(inner, cfg, inner.Name())
+	return inner, nil
+}
+
+// observeEngine binds an engine to cfg's observability layer: a registry
+// series under the given name (when cfg.Observer is set) and the trace
+// hook (when cfg.Trace is set). No-op when neither is configured or the
+// engine is not Observable.
+func observeEngine(en engine.Engine, cfg Config, name string) {
+	if cfg.Observer == nil && cfg.Trace == nil {
+		return
+	}
+	obs, ok := en.(engine.Observable)
+	if !ok {
+		return
+	}
+	var s *obsv.Series
+	if cfg.Observer != nil {
+		s = cfg.Observer.Series(name)
+	}
+	obs.Observe(s, cfg.Trace)
+}
+
+// newSingle builds one strategy engine (plus the ordered-output wrapper),
+// ignoring cfg.Partition, Observer, and Trace — callers apply those.
+func newSingle(q *Query, cfg Config) (engine.Engine, error) {
 	var inner engine.Engine
 	switch cfg.Strategy {
 	case StrategyNative:
@@ -211,7 +281,7 @@ func NewEngine(q *Query, cfg Config) (*Engine, error) {
 		}
 		inner = wrapped
 	}
-	return &Engine{inner: inner}, nil
+	return inner, nil
 }
 
 // MustNewEngine is NewEngine for known-good configuration.
@@ -226,19 +296,47 @@ func MustNewEngine(q *Query, cfg Config) *Engine {
 // Strategy returns the engine's strategy name.
 func (e *Engine) Strategy() string { return e.inner.Name() }
 
-// Inner exposes the raw engine behind the facade for harnesses that
-// compose engines directly — the runtime fan-out, shard factories, and the
-// differential test harness all program against the internal engine
-// interface. The returned value shares all state with e; use one or the
-// other, not both. The concrete type lives in an internal package, so
-// external callers can pass it around but not name it.
+// RawEngine is the minimal contract of the engine behind the facade,
+// exposed for harnesses that compose engines directly. It is the exported
+// face of the internal engine interface; the concrete types live in
+// internal packages.
+type RawEngine interface {
+	// Name identifies the strategy, e.g. "native" or "shard(native)".
+	Name() string
+	// Process ingests one event (Seq must be pre-assigned).
+	Process(ev Event) []Match
+	// Flush seals the stream and returns the final matches.
+	Flush() []Match
+	// Metrics returns a snapshot of the engine's counters.
+	Metrics() Metrics
+	// StateSize returns the current buffered-item count.
+	StateSize() int
+}
+
+// Raw exposes the engine behind the facade for harnesses that compose
+// engines directly. The returned value shares all state with e — use one
+// or the other, not both. Unlike the facade, Raw().Process does not
+// auto-assign Seq and does not guard against Process-after-Flush.
+func (e *Engine) Raw() RawEngine { return e.inner }
+
+// Inner exposes the raw engine behind the facade.
+//
+// Deprecated: use Raw. Inner remains for internal harnesses that need the
+// unexported engine interface directly.
 func (e *Engine) Inner() engine.Engine { return e.inner }
 
 // Process ingests one event and returns the matches it emits. Events with
 // Seq zero are assigned the next arrival sequence number automatically;
 // events carrying a Seq keep it (useful when the caller needs stable match
 // identity across strategies).
+//
+// Process panics if called after Flush: the stream is sealed — pending
+// negation output has been finalized, so further events would silently
+// produce wrong results.
 func (e *Engine) Process(ev Event) []Match {
+	if e.sealed {
+		panic("oostream: Process called after Flush; the stream is sealed")
+	}
 	if ev.Seq == 0 {
 		e.nextSeq++
 		ev.Seq = e.nextSeq
@@ -259,8 +357,14 @@ func (e *Engine) ProcessAll(events []Event) []Match {
 }
 
 // Flush seals the stream: pending negation output is finalized. Process
-// must not be called afterwards.
-func (e *Engine) Flush() []Match { return e.inner.Flush() }
+// panics if called afterwards; a second Flush is a no-op returning nil.
+func (e *Engine) Flush() []Match {
+	if e.sealed {
+		return nil
+	}
+	e.sealed = true
+	return e.inner.Flush()
+}
 
 // Advance sends a heartbeat (punctuation): the source promises that stream
 // time has reached ts, even if no event carries that timestamp. Engines use
@@ -325,31 +429,16 @@ func RestorePartitionedEngine(q *Query, byAttr string, shards int, r io.Reader) 
 // the given attribute across shard sub-engines (each configured by cfg) —
 // the scale-out deployment for queries whose components are all linked by
 // equality on one attribute, e.g. `s.id = e.id AND s.id = c.id` partitions
-// by "id". Compilation fails when the query is not partitionable by the
-// attribute: matches could then span partitions and results would be lost.
+// by "id".
 //
-// The partitioned engine processes sequentially (deterministic); for
-// goroutine-per-shard execution see internal/shard.Parallel via Run on a
-// per-shard basis, or simply run one partitioned engine per core upstream.
+// Deprecated: set Config.Partition{Attr: byAttr, Shards: shards} and call
+// NewEngine instead; this wrapper delegates to it.
 func NewPartitionedEngine(q *Query, cfg Config, byAttr string, shards int) (*Engine, error) {
-	if !q.plan.PartitionableBy(byAttr) {
-		return nil, fmt.Errorf("query is not partitionable by %q: every component must be linked by equality on it", byAttr)
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard count must be positive, got %d", shards)
 	}
-	router, err := shard.NewRouter(byAttr, shards)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := shard.New(router, func(int) (engine.Engine, error) {
-		sub, err := NewEngine(q, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return sub.inner, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{inner: inner}, nil
+	cfg.Partition = Partition{Attr: byAttr, Shards: shards}
+	return NewEngine(q, cfg)
 }
 
 // Run consumes events from in until it closes or ctx is cancelled,

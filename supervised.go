@@ -6,6 +6,7 @@ import (
 
 	"oostream/internal/core"
 	"oostream/internal/engine"
+	"oostream/internal/obsv"
 	"oostream/internal/recovery"
 	"oostream/internal/runtime"
 	"oostream/internal/shard"
@@ -100,17 +101,36 @@ type SupervisedEngine struct {
 	store *recovery.Store
 }
 
-// NewSupervisedEngine builds a supervised engine over the strategy and
-// disorder bound in cfg, persisting to sc.Dir. Call Start before
-// processing. The native strategy (without OrderedOutput) recovers from
-// snapshots; every other configuration runs WAL-only.
+// NewSupervisedEngine builds a supervised engine over the strategy,
+// disorder bound, and (when Config.Partition is set) partitioned topology
+// in cfg, persisting to sc.Dir. Call Start before processing. The native
+// strategy (without OrderedOutput) recovers from snapshots, partitioned or
+// not; every other configuration runs WAL-only.
+//
+// Observability: with Config.Observer set, the supervisor publishes one
+// series named "supervised(<strategy>)" carrying the fault-tolerance
+// counters. For a single engine, the inner engine shares that series (the
+// instrument sets are disjoint, so one series carries the full picture);
+// for a partitioned engine, each shard additionally publishes its own
+// "<strategy>/shardN" series. Bindings survive crash restarts.
 func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*SupervisedEngine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	engineCfg := cfg
+	if cfg.Partition.Attr == "" {
+		// The supervisor forwards its own series binding to the inner
+		// engine (shared series); binding the engine a second time through
+		// NewEngine would clobber that with a differently-named series.
+		engineCfg.Observer = nil
+		engineCfg.Trace = nil
+	}
+	if cfg.Partition.Attr != "" && !q.plan.PartitionableBy(cfg.Partition.Attr) {
+		return nil, fmt.Errorf("query is not partitionable by %q: every component must be linked by equality on it", cfg.Partition.Attr)
+	}
 	newFn := func() (engine.Engine, error) {
-		en, err := NewEngine(q, cfg)
+		en, err := NewEngine(q, engineCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -118,45 +138,38 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 	}
 	var restoreFn func(io.Reader) (engine.Engine, error)
 	if cfg.Strategy == StrategyNative && !cfg.OrderedOutput {
-		restoreFn = func(r io.Reader) (engine.Engine, error) {
-			return core.Restore(q.plan, r)
+		if cfg.Partition.Attr == "" {
+			restoreFn = func(r io.Reader) (engine.Engine, error) {
+				return core.Restore(q.plan, r)
+			}
+		} else {
+			restoreFn = func(r io.Reader) (engine.Engine, error) {
+				router, err := shard.NewRouter(cfg.Partition.Attr, cfg.Partition.Shards)
+				if err != nil {
+					return nil, err
+				}
+				return shard.Restore(router, func(_ int, pr io.Reader) (engine.Engine, error) {
+					return core.Restore(q.plan, pr)
+				}, r)
+			}
 		}
 	}
 	return newSupervised(cfg, sc, newFn, restoreFn)
 }
 
 // NewSupervisedPartitionedEngine is NewSupervisedEngine over a
-// hash-partitioned engine (see NewPartitionedEngine): one durable store
-// supervises the whole partitioned topology, and checkpoints capture
-// every shard (native parts only; other strategies run WAL-only).
+// hash-partitioned engine: one durable store supervises the whole
+// partitioned topology, and checkpoints capture every shard (native parts
+// only; other strategies run WAL-only).
+//
+// Deprecated: set Config.Partition{Attr: byAttr, Shards: shards} and call
+// NewSupervisedEngine instead; this wrapper delegates to it.
 func NewSupervisedPartitionedEngine(q *Query, cfg Config, byAttr string, shards int, sc SupervisorConfig) (*SupervisedEngine, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard count must be positive, got %d", shards)
 	}
-	if !q.plan.PartitionableBy(byAttr) {
-		return nil, fmt.Errorf("query is not partitionable by %q: every component must be linked by equality on it", byAttr)
-	}
-	newFn := func() (engine.Engine, error) {
-		en, err := NewPartitionedEngine(q, cfg, byAttr, shards)
-		if err != nil {
-			return nil, err
-		}
-		return en.inner, nil
-	}
-	var restoreFn func(io.Reader) (engine.Engine, error)
-	if cfg.Strategy == StrategyNative && !cfg.OrderedOutput {
-		restoreFn = func(r io.Reader) (engine.Engine, error) {
-			router, err := shard.NewRouter(byAttr, shards)
-			if err != nil {
-				return nil, err
-			}
-			return shard.Restore(router, func(_ int, pr io.Reader) (engine.Engine, error) {
-				return core.Restore(q.plan, pr)
-			}, r)
-		}
-	}
-	return newSupervised(cfg, sc, newFn, restoreFn)
+	cfg.Partition = Partition{Attr: byAttr, Shards: shards}
+	return NewSupervisedEngine(q, cfg, sc)
 }
 
 func newSupervised(cfg Config, sc SupervisorConfig, newFn func() (engine.Engine, error), restoreFn func(io.Reader) (engine.Engine, error)) (*SupervisedEngine, error) {
@@ -179,6 +192,13 @@ func newSupervised(cfg Config, sc SupervisorConfig, newFn func() (engine.Engine,
 	if err != nil {
 		store.Close()
 		return nil, err
+	}
+	if cfg.Observer != nil || cfg.Trace != nil {
+		var s *obsv.Series
+		if cfg.Observer != nil {
+			s = cfg.Observer.Series("supervised(" + string(cfg.Strategy) + ")")
+		}
+		sup.Observe(s, cfg.Trace)
 	}
 	return &SupervisedEngine{sup: sup, store: store}, nil
 }
