@@ -419,3 +419,22 @@ func BenchmarkE16ObsvOverhead(b *testing.B) {
 		run(b, q, cfg, events)
 	})
 }
+
+// BenchmarkE17Provenance prices match lineage: the negation workload with
+// provenance off (the default — engines skip all record construction
+// behind one predictable branch) and on (every emitted match carries a
+// full lineage record, and pending matches retain theirs until sealing).
+// The acceptance bar is off being indistinguishable from the E1 native
+// baseline and on staying within ~10% of off.
+func BenchmarkE17Provenance(b *testing.B) {
+	q := benchNegQuery(b)
+	events := benchStream(0.20, benchK)
+	for _, strat := range []oostream.Strategy{oostream.StrategyNative, oostream.StrategySpeculate} {
+		b.Run(string(strat)+"/off", func(b *testing.B) {
+			run(b, q, oostream.Config{Strategy: strat, K: benchK}, events)
+		})
+		b.Run(string(strat)+"/on", func(b *testing.B) {
+			run(b, q, oostream.Config{Strategy: strat, K: benchK, Provenance: true}, events)
+		})
+	}
+}

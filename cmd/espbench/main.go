@@ -60,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	if *listen != "" {
 		reg := oostream.NewObserver()
 		bench.Observer = reg
-		srv, err := httpx.Listen(*listen, reg, nil)
+		srv, err := httpx.Listen(*listen, reg, nil, nil)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oostream"
+)
+
+// harvest runs a provenance-enabled engine over a small disordered stream
+// and writes the two espexplain inputs: the state snapshot (JSON) and the
+// flight dump (JSON Lines).
+func harvest(t *testing.T) (statePath, flightPath string, matchKeys []string) {
+	t.Helper()
+	q := oostream.MustCompile("PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 50", nil)
+	flight := oostream.NewFlightRecorder(256)
+	en := oostream.MustNewEngine(q, oostream.Config{
+		K:          100,
+		Provenance: true,
+		Trace:      flight,
+	})
+	events := []oostream.Event{
+		oostream.NewEvent("B", 20, map[string]oostream.Value{"id": oostream.Int(1)}),
+		oostream.NewEvent("A", 10, map[string]oostream.Value{"id": oostream.Int(1)}),
+		oostream.NewEvent("A", 100, map[string]oostream.Value{"id": oostream.Int(2)}),
+		oostream.NewEvent("B", 110, map[string]oostream.Value{"id": oostream.Int(2)}),
+	}
+	var ms []oostream.Match
+	for i, e := range events {
+		e.Seq = oostream.Seq(i + 1)
+		ms = append(ms, en.Process(e)...)
+	}
+	ms = append(ms, en.Flush()...)
+	for _, m := range ms {
+		if m.Prov == nil {
+			t.Fatalf("provenance enabled but match %s carries no lineage", m.Key())
+		}
+		matchKeys = append(matchKeys, m.Prov.MatchKey())
+	}
+	if len(matchKeys) == 0 {
+		t.Fatal("no matches emitted")
+	}
+
+	dir := t.TempDir()
+	statePath = filepath.Join(dir, "state.json")
+	raw, err := json.Marshal(en.StateSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flightPath = filepath.Join(dir, "flight.jsonl")
+	var buf bytes.Buffer
+	if err := flight.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(flightPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return statePath, flightPath, matchKeys
+}
+
+func TestSummary(t *testing.T) {
+	statePath, flightPath, _ := harvest(t)
+	var out bytes.Buffer
+	if err := run([]string{"-state", statePath, "-flight", flightPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"engine: native", "clock=110", "lineage:", "flight:", "emit"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestExplainMatch(t *testing.T) {
+	statePath, flightPath, keys := harvest(t)
+	var out bytes.Buffer
+	err := run([]string{"-state", statePath, "-flight", flightPath, "-match", keys[0]}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "verdict: emitted by") {
+		t.Errorf("match verdict missing:\n%s", got)
+	}
+	if !strings.Contains(got, "admit") || !strings.Contains(got, "push") {
+		t.Errorf("contributing-event timeline missing:\n%s", got)
+	}
+}
+
+func TestExplainMatchUnknown(t *testing.T) {
+	_, flightPath, _ := harvest(t)
+	var out bytes.Buffer
+	if err := run([]string{"-flight", flightPath, "-match", "998|999"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no emit or retract for this identity") {
+		t.Errorf("unknown-match verdict missing:\n%s", out.String())
+	}
+}
+
+func TestExplainEvent(t *testing.T) {
+	_, flightPath, keys := harvest(t)
+	firstSeq := strings.Split(keys[0], "|")[0]
+	var out bytes.Buffer
+	if err := run([]string{"-flight", flightPath, "-event", firstSeq}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verdict: admitted and cited by") {
+		t.Errorf("event verdict missing:\n%s", out.String())
+	}
+}
+
+func TestExplainDroppedEvent(t *testing.T) {
+	q := oostream.MustCompile("PATTERN SEQ(A a, B b) WITHIN 50", nil)
+	flight := oostream.NewFlightRecorder(64)
+	en := oostream.MustNewEngine(q, oostream.Config{K: 5, Provenance: true, Trace: flight})
+	en.Process(oostream.Event{Type: "A", TS: 100, Seq: 1})
+	en.Process(oostream.Event{Type: "A", TS: 10, Seq: 2}) // far below clock−K: dropped
+	en.Flush()
+
+	dir := t.TempDir()
+	flightPath := filepath.Join(dir, "flight.jsonl")
+	var buf bytes.Buffer
+	if err := flight.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(flightPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-flight", flightPath, "-event", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verdict: DROPPED at admission") {
+		t.Errorf("drop verdict missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no inputs", []string{}},
+		{"match without flight", []string{"-state", "x.json", "-match", "1|2"}},
+		{"missing file", []string{"-flight", "/nonexistent.jsonl"}},
+		{"bad match key", []string{"-flight", "f", "-match", "a|b"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}

@@ -83,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				"last_seed": liveSeed.Load(),
 			}
 		})
-		srv, err := httpx.Listen(*listen, reg, nil)
+		srv, err := httpx.Listen(*listen, reg, nil, nil)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2

@@ -17,6 +17,12 @@
 //	esprun -query ... -trace trace.jsonl -checkpoint-dir state/
 //	^C (or crash)
 //	esprun -query ... -trace trace.jsonl -checkpoint-dir state/ -resume
+//
+// With -explain every emitted match is followed by its lineage record —
+// the contributing events, key group, window bounds, and (for
+// retractions) the late event that invalidated the result. With -listen
+// the live engine state is additionally served on /debug/state, refreshed
+// from the processing loop; cmd/espexplain renders both.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"oostream"
@@ -48,7 +55,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		k         = fs.Int64("k", 1000, "disorder bound K (logical ms)")
 		quiet     = fs.Bool("quiet", false, "suppress per-match output")
 		maxPrint  = fs.Int("max-print", 20, "print at most this many matches (0 = all)")
-		explain   = fs.Bool("explain", false, "print the compiled plan and exit")
+		planOnly  = fs.Bool("plan", false, "print the compiled plan and exit")
+		explain   = fs.Bool("explain", false, "enable match provenance and print each match's lineage record")
 		ckptDir   = fs.String("checkpoint-dir", "", "run supervised: durable checkpoint+WAL directory")
 		ckptEvery = fs.Int("checkpoint-every", 1000, "checkpoint every N events (with -checkpoint-dir)")
 		resume    = fs.Bool("resume", false, "resume a previous run from -checkpoint-dir")
@@ -76,24 +84,35 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *explain {
+	if *planOnly {
 		_, err := fmt.Fprint(stdout, q.Explain())
 		return err
 	}
 	cfg := oostream.Config{
-		Strategy:  oostream.Strategy(*strategy),
-		K:         oostream.Time(*k),
-		Partition: oostream.Partition{Attr: *partAttr, Shards: *shards},
+		Strategy:   oostream.Strategy(*strategy),
+		K:          oostream.Time(*k),
+		Partition:  oostream.Partition{Attr: *partAttr, Shards: *shards},
+		Provenance: *explain,
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
+	// The /debug/state document, republished from the processing loop.
+	// StateSnapshot is not synchronized with Process, so the HTTP handler
+	// never touches the engine: it reads the last snapshot the loop stored.
+	var stateDoc atomic.Pointer[oostream.StateSnapshot]
 	if *listen != "" {
 		reg := oostream.NewObserver()
 		flight := oostream.NewFlightRecorder(512)
 		cfg.Observer = reg
 		cfg.Trace = flight
-		srv, err := httpx.Listen(*listen, reg, flight)
+		state := func() any {
+			if s := stateDoc.Load(); s != nil {
+				return s
+			}
+			return nil
+		}
+		srv, err := httpx.Listen(*listen, reg, flight, state)
 		if err != nil {
 			return err
 		}
@@ -135,6 +154,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				continue
 			}
 			fmt.Fprintln(stdout, m)
+			if *explain && m.Prov != nil {
+				fmt.Fprintf(stdout, "  lineage: %s\n", m.Prov)
+			}
 			printed++
 		}
 	}
@@ -143,6 +165,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var flush func() ([]oostream.Match, error)
 	var name string
 	var stats func() oostream.Metrics
+	var snapshot func() *oostream.StateSnapshot
 	if *ckptDir != "" {
 		if !*resume {
 			if entries, err := os.ReadDir(*ckptDir); err == nil && len(entries) > 0 {
@@ -163,6 +186,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		emit(recovered)
 		process, flush, name, stats = sen.Process, sen.Flush, sen.Strategy(), sen.Metrics
+		snapshot = sen.StateSnapshot
 	} else {
 		en, err := oostream.NewEngine(q, cfg)
 		if err != nil {
@@ -171,6 +195,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		process = func(e oostream.Event) ([]oostream.Match, error) { return en.Process(e), nil }
 		flush = func() ([]oostream.Match, error) { return en.Flush(), nil }
 		name, stats = en.Strategy(), en.Metrics
+		snapshot = en.StateSnapshot
+	}
+	publish := func() {
+		if *listen == "" || snapshot == nil {
+			return
+		}
+		if s := snapshot(); s != nil {
+			stateDoc.Store(s)
+		}
 	}
 
 	// The supervised path needs stable event identity across invocations:
@@ -195,12 +228,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		emit(ms)
+		// Refresh /debug/state from the processing goroutine (snapshots are
+		// not synchronized with Process) at a coarse cadence.
+		if pos%64 == 0 {
+			publish()
+		}
 	}
 	ms, err := flush()
 	if err != nil {
 		return err
 	}
 	emit(ms)
+	publish()
 	if !*quiet && *maxPrint > 0 && total > printed {
 		fmt.Fprintf(stdout, "… %d more matches (raise -max-print)\n", total-printed)
 	}

@@ -127,18 +127,44 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestRunExplain(t *testing.T) {
+func TestRunPlan(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{
 		"-query", "PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 50",
-		"-explain",
+		"-plan",
 	}, strings.NewReader(""), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"plan for:", "sequence:", "partitionable by: id"} {
 		if !strings.Contains(out.String(), want) {
-			t.Errorf("explain missing %q: %s", want, out.String())
+			t.Errorf("plan missing %q: %s", want, out.String())
+		}
+	}
+}
+
+// TestRunExplain: -explain enables provenance and prints one lineage line
+// under each match, citing the contributing events.
+func TestRunExplain(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WITHIN 50",
+		"-trace", path, "-k", "100", "-explain",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "matches=2") {
+		t.Fatalf("output: %s", got)
+	}
+	if n := strings.Count(got, "lineage: insert"); n != 2 {
+		t.Errorf("want 2 lineage lines, got %d:\n%s", n, got)
+	}
+	for _, want := range []string{"A@10#1", "B@20#2", "window=[10,60]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lineage missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -74,6 +74,15 @@ type Config struct {
 	// Partition.Attr is set; see Partition. Replaces the deprecated
 	// NewPartitionedEngine constructor.
 	Partition Partition
+	// Provenance makes every emitted (and retracted) match carry a lineage
+	// record (Match.Prov): the contributing events, key group, window
+	// bounds, trigger and traversal detail, and — for retractions — the
+	// late event that invalidated the result. Off by default; when off the
+	// engines skip all record construction (one predictable branch per
+	// emission). Lineage is NOT checkpointed: matches sealed after a
+	// Restore carry records marked Truncated. See Engine.StateSnapshot for
+	// the companion live-state view.
+	Provenance bool
 	// Observer, when non-nil, publishes the engine's counters, gauges, and
 	// latency/watermark-lag histograms as live named series in the registry
 	// (scrapeable over HTTP via internal/obsv/httpx — the CLIs' -listen

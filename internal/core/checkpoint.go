@@ -300,6 +300,10 @@ func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
 	}
 	// Restore heap order on the pending queue.
 	heap.Init(&en.pending)
+	// Lineage is not checkpointed: restored pendings have nil prov, so if
+	// provenance is enabled on the restored engine their matches emit
+	// truncated records, and the state snapshot reports the truncation.
+	en.restored = true
 	en.met.SetLiveState(en.StateSize())
 	if en.Keyed() {
 		en.met.SetKeyGroups(en.kstacks.Groups())

@@ -59,6 +59,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // LatePolicy says what to do with events that violate the disorder bound K.
@@ -159,11 +160,24 @@ type Engine struct {
 	trace     obsv.TraceHook
 	traceName string
 
+	// prov enables lineage-record construction on emitted matches. Like the
+	// trace hook, every site checks the flag first, so the disabled hot
+	// path pays one predictable branch and builds nothing. restored marks
+	// an engine rebuilt from a checkpoint: lineage is not checkpointed, so
+	// matches sealed from restored pending state carry truncated records.
+	// lineageLive/lineageBytes track records currently retained by pending
+	// matches, feeding the lineage gauges.
+	prov         bool
+	restored     bool
+	lineageLive  int
+	lineageBytes int
+
 	// Construction scratch, reused across triggers so the hot path does
 	// not allocate: binding holds the partial binding (copied only on
 	// emit), negScratch the negation-probe binding, localScratch the
 	// one-slot local-predicate binding. walk* carry the current trigger's
-	// stacks/key/position through the recursive enumeration.
+	// stacks/key/position through the recursive enumeration; walkTrigSeq
+	// and walkVisited are maintained only under prov.
 	binding      []event.Event
 	negScratch   []event.Event
 	localScratch []event.Event
@@ -171,6 +185,8 @@ type Engine struct {
 	walkKey      event.Value
 	walkPos      int
 	walkTrigTS   event.Time
+	walkTrigSeq  event.Seq
+	walkVisited  int
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -244,6 +260,10 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 		en.traceName = en.Name()
 	}
 }
+
+// EnableProvenance implements engine.Provenancer: every match emitted from
+// now on carries a lineage record. Must be called before the first Process.
+func (en *Engine) EnableProvenance() { en.prov = true }
 
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
@@ -341,6 +361,9 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	en.met.SetLiveState(en.StateSize())
 	if en.Keyed() {
 		en.met.SetKeyGroups(en.kstacks.Groups())
+	}
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
 	}
 	return out
 }
@@ -451,6 +474,9 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 	if en.Keyed() {
 		en.met.SetKeyGroups(en.kstacks.Groups())
 	}
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
 	return out
 }
 
@@ -458,10 +484,12 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 func (en *Engine) Flush() []plan.Match {
 	var out []plan.Match
 	for en.pending.Len() > 0 {
-		pm := heap.Pop(&en.pending).(pendingMatch)
-		out = en.finalize(pm, out)
+		out = en.finalize(en.popPending(), out)
 	}
 	en.met.SetLiveState(en.StateSize())
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
 	}
@@ -485,6 +513,10 @@ func (en *Engine) construct(st *ais.Stacks, key event.Value, trigger *ais.Instan
 	en.walkKey = key
 	en.walkPos = pos
 	en.walkTrigTS = trigger.Event.TS
+	if en.prov {
+		en.walkTrigSeq = trigger.Event.Seq
+		en.walkVisited = 0
+	}
 	return en.walkDown(pos-1, mask, out)
 }
 
@@ -500,6 +532,9 @@ func (en *Engine) walkDown(p int, mask uint64, out []plan.Match) []plan.Match {
 		cand := s.At(i)
 		if cand.Event.TS < lowTS {
 			break
+		}
+		if en.prov {
+			en.walkVisited++
 		}
 		en.binding[p] = cand.Event
 		m := mask | 1<<uint(p)
@@ -522,6 +557,9 @@ func (en *Engine) walkUp(p int, mask uint64, out []plan.Match) []plan.Match {
 		cand := s.At(i)
 		if cand.Event.TS > highTS {
 			break
+		}
+		if en.prov {
+			en.walkVisited++
 		}
 		en.binding[p] = cand.Event
 		m := mask | 1<<uint(p)
@@ -548,11 +586,53 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 		}
 	}
 	pm := pendingMatch{events: events, key: en.walkKey, sealTS: sealTS, madeSeq: en.arrival}
+	if en.prov {
+		pm.prov = en.lineageFor(pm)
+		pm.prov.TriggerSeq = en.walkTrigSeq
+		pm.prov.TriggerTS = en.walkTrigTS
+		pm.prov.TriggerPos = en.walkPos
+		pm.prov.Traversed = en.walkVisited
+		en.met.IncLineage()
+	}
 	if sealTS <= en.safe() {
 		return en.finalize(pm, out)
 	}
+	if pm.prov != nil {
+		en.lineageLive++
+		en.lineageBytes += pm.prov.SizeBytes()
+	}
 	heap.Push(&en.pending, pm)
 	return out
+}
+
+// lineageFor builds the binding-derivable part of a pending match's lineage
+// record (events, key, window, seal). Trigger details are added by emit;
+// checkpoint-restored pendings get only this part, marked Truncated.
+func (en *Engine) lineageFor(pm pendingMatch) *provenance.Record {
+	rec := &provenance.Record{
+		Kind:     provenance.KindInsert,
+		Events:   provenance.Refs(pm.events),
+		Shard:    -1,
+		WindowLo: pm.events[0].TS,
+		WindowHi: pm.events[0].TS + en.plan.Window,
+		SealTS:   pm.sealTS,
+	}
+	if en.Keyed() {
+		rec.Key = pm.key.String()
+		rec.KeyAttr = en.keyAttr
+	}
+	return rec
+}
+
+// popPending removes the minimum pending match, releasing its retained
+// lineage accounting.
+func (en *Engine) popPending() pendingMatch {
+	pm := heap.Pop(&en.pending).(pendingMatch)
+	if pm.prov != nil {
+		en.lineageLive--
+		en.lineageBytes -= pm.prov.SizeBytes()
+	}
+	return pm
 }
 
 // drainPending finalizes pending matches whose negation gaps the safe clock
@@ -560,8 +640,7 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 func (en *Engine) drainPending(out []plan.Match) []plan.Match {
 	safe := en.safe()
 	for en.pending.Len() > 0 && en.pending[0].sealTS <= safe {
-		pm := heap.Pop(&en.pending).(pendingMatch)
-		out = en.finalize(pm, out)
+		out = en.finalize(en.popPending(), out)
 	}
 	return out
 }
@@ -602,9 +681,26 @@ func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
 		EmitSeq:   event.Seq(en.arrival),
 		EmitClock: en.clock,
 	}
+	if en.prov {
+		rec := pm.prov
+		if rec == nil {
+			// Pending state restored from a checkpoint carries no lineage
+			// (it is not checkpointed): rebuild what the binding proves and
+			// mark the record truncated.
+			rec = en.lineageFor(pm)
+			rec.Truncated = true
+			en.met.IncLineage()
+		}
+		rec.EmitClock = en.clock
+		m.Prov = rec
+	}
 	en.met.AddMatch(false, en.clock-m.Last().TS, en.arrival-pm.madeSeq)
 	if en.trace != nil {
-		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+		te := obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)}
+		if en.prov {
+			te.Match = m.Prov.MatchKey()
+		}
+		en.trace.Trace(te)
 	}
 	return append(out, m)
 }
@@ -668,13 +764,67 @@ func (en *Engine) maybePurge() {
 	}
 }
 
+// StateSnapshot implements engine.Introspectable: a read-only view of the
+// engine's live state. Not safe concurrently with Process.
+func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
+	name := en.traceName
+	if name == "" {
+		name = en.Name()
+	}
+	s := &provenance.StateSnapshot{
+		Engine:        name,
+		Started:       en.started,
+		Clock:         en.clock,
+		Safe:          en.safe(),
+		StackDepths:   make([]int, en.plan.Len()),
+		NegStoreSizes: make([]int, len(en.plan.Negatives)),
+		Pending:       en.pending.Len(),
+		Lineage: provenance.LineageStats{
+			Enabled:   en.prov,
+			Live:      en.lineageLive,
+			Bytes:     en.lineageBytes,
+			Truncated: en.restored,
+		},
+	}
+	s.PurgeFrontier = s.Safe - en.plan.Window
+	if en.Keyed() {
+		s.KeyAttr = en.keyAttr
+		s.KeyGroups = en.kstacks.Groups()
+		groups := make([]provenance.KeyGroupStat, 0, s.KeyGroups)
+		en.kstacks.Range(func(key event.Value, st *ais.Stacks) {
+			for pos := 0; pos < en.plan.Len(); pos++ {
+				s.StackDepths[pos] += st.Stack(pos).Len()
+			}
+			groups = append(groups, provenance.KeyGroupStat{Key: key.String(), Size: st.Size()})
+		})
+		s.TopKeyGroups = provenance.TopK(groups, 8)
+		for negIdx, m := range en.knegs {
+			for _, ns := range m {
+				s.NegStoreSizes[negIdx] += ns.len()
+			}
+		}
+	} else {
+		for pos := 0; pos < en.plan.Len(); pos++ {
+			s.StackDepths[pos] = en.stacks.Stack(pos).Len()
+		}
+		for negIdx, ns := range en.negStores {
+			s.NegStoreSizes[negIdx] = ns.len()
+		}
+	}
+	return s
+}
+
 // pendingMatch is a binding awaiting negation sealing at sealTS. key is the
 // partition key of its events (zero Value when the engine is unkeyed).
+// prov is the match's lineage record, nil unless provenance is enabled
+// (and nil for pendings rebuilt from a checkpoint — lineage is not
+// checkpointed; finalize then emits a truncated record).
 type pendingMatch struct {
 	events  []event.Event
 	key     event.Value
 	sealTS  event.Time
 	madeSeq uint64
+	prov    *provenance.Record
 }
 
 // pendingHeap is a min-heap on sealTS.

@@ -144,6 +144,29 @@ func Run(c Case) *Failure {
 		return f
 	}
 
+	// Provenance-enabled runs: the multiset must be unchanged (lineage is
+	// observation, not computation), and every emitted match's lineage
+	// record must validate against the oracle's event universe — citations
+	// resolve, order and window hold, predicates pass, retractions cite a
+	// real invalidating event inside a negation gap.
+	universe := seqUniverse(c.Arrival)
+	for _, pc := range []struct {
+		check string
+		cfg   oostream.Config
+	}{
+		{"native-prov", oostream.Config{Strategy: oostream.StrategyNative, K: c.K, Provenance: true}},
+		{"kslack-prov", oostream.Config{Strategy: oostream.StrategyKSlack, K: c.K, Provenance: true}},
+		{"speculate-prov", oostream.Config{Strategy: oostream.StrategySpeculate, K: c.K, Provenance: true}},
+	} {
+		got := run(q, pc.cfg, c.Arrival)
+		if f := fail(pc.check, got); f != nil {
+			return f
+		}
+		if msg := validateLineage(p, universe, got); msg != "" {
+			return &Failure{Case: c, Check: pc.check + "-lineage", Diff: msg, Truth: len(truth)}
+		}
+	}
+
 	// Ordered-output wrapper must reorder, never drop or duplicate.
 	if f := fail("native-ordered", run(q, oostream.Config{Strategy: oostream.StrategyNative, K: c.K, OrderedOutput: true}, c.Arrival)); f != nil {
 		return f

@@ -12,6 +12,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // Engine consumes a stream of events one at a time and produces matches.
@@ -45,6 +46,23 @@ type Engine interface {
 // is meaningful.
 type Observable interface {
 	Observe(series *obsv.Series, hook obsv.TraceHook)
+}
+
+// Provenancer is implemented by engines that can attach lineage records
+// to the matches they emit. EnableProvenance must be called before the
+// first Process call; once on, every emitted match carries a non-nil
+// Prov. Wrapper engines forward to their inner engine and augment the
+// records they relay (shard index, restamped emit clock).
+type Provenancer interface {
+	EnableProvenance()
+}
+
+// Introspectable is implemented by engines that can report a read-only
+// view of their live state. StateSnapshot is NOT safe to call concurrently
+// with Process — callers that serve snapshots over HTTP take them from the
+// processing goroutine and publish via an atomic pointer (see cmd/esprun).
+type Introspectable interface {
+	StateSnapshot() *provenance.StateSnapshot
 }
 
 // Checkpointer is implemented by engines whose full state can be

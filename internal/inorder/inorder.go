@@ -20,6 +20,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // instance is one stack entry of the classic (append-only) AIS.
@@ -84,13 +85,25 @@ type Engine struct {
 	// (only trailing negation ever has to wait under the in-order
 	// assumption; the queue is keyed by seal timestamp).
 	pending pendingHeap
+
+	// prov enables lineage records on emitted matches (flag-checked per
+	// site, like trace). trig*/visited carry the current trigger through
+	// construction; lineageLive/lineageBytes track retained records.
+	prov         bool
+	trigSeq      event.Seq
+	trigTS       event.Time
+	visited      int
+	lineageLive  int
+	lineageBytes int
 }
 
-// pendingMatch is a binding whose negation gaps close at sealTS.
+// pendingMatch is a binding whose negation gaps close at sealTS. prov is
+// its lineage record, nil unless provenance is enabled.
 type pendingMatch struct {
 	events  []event.Event
 	sealTS  event.Time
 	madeSeq uint64 // arrival counter when the binding completed
+	prov    *provenance.Record
 }
 
 // pendingHeap is a min-heap on sealTS.
@@ -138,8 +151,42 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 	}
 }
 
+// EnableProvenance implements engine.Provenancer.
+func (en *Engine) EnableProvenance() { en.prov = true }
+
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
+
+// StateSnapshot implements engine.Introspectable. The in-order engine
+// trusts arrival order, so its safe clock IS its clock.
+func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
+	name := en.traceName
+	if name == "" {
+		name = en.Name()
+	}
+	s := &provenance.StateSnapshot{
+		Engine:        name,
+		Started:       en.arrival > 0,
+		Clock:         en.clock,
+		Safe:          en.clock,
+		PurgeFrontier: en.clock - en.plan.Window,
+		StackDepths:   make([]int, len(en.stacks)),
+		NegStoreSizes: make([]int, len(en.negStores)),
+		Pending:       en.pending.Len(),
+		Lineage: provenance.LineageStats{
+			Enabled: en.prov,
+			Live:    en.lineageLive,
+			Bytes:   en.lineageBytes,
+		},
+	}
+	for i, st := range en.stacks {
+		s.StackDepths[i] = st.len()
+	}
+	for i, ns := range en.negStores {
+		s.NegStoreSizes[i] = len(ns)
+	}
+	return s
+}
 
 // StateSize implements engine.Engine.
 func (en *Engine) StateSize() int {
@@ -204,6 +251,9 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	out = en.drainPending(out)
 	en.purge()
 	en.met.SetLiveState(en.StateSize())
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
 	return out
 }
 
@@ -214,6 +264,11 @@ func (en *Engine) construct(last event.Event, rip int) []plan.Match {
 	n := en.plan.Len()
 	binding := make([]event.Event, n)
 	binding[n-1] = last
+	if en.prov {
+		en.trigSeq = last.Seq
+		en.trigTS = last.TS
+		en.visited = 0
+	}
 	var out []plan.Match
 	boundMask := uint64(1) << uint(n-1)
 	if n == 1 {
@@ -227,6 +282,9 @@ func (en *Engine) construct(last event.Event, rip int) []plan.Match {
 		s := en.stacks[pos]
 		for abs := limit; abs >= s.base; abs-- {
 			inst := s.at(abs)
+			if en.prov {
+				en.visited++
+			}
 			// Window check against the last event's timestamp. For genuinely
 			// in-order streams every instance below the RIP is earlier, so
 			// this check only trims the window; on disordered input it is
@@ -284,19 +342,49 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 			sealTS = hi
 		}
 	}
-	if sealTS <= en.clock {
-		return en.finalize(pendingMatch{events: events, sealTS: sealTS, madeSeq: en.arrival}, out)
+	pm := pendingMatch{events: events, sealTS: sealTS, madeSeq: en.arrival}
+	if en.prov {
+		pm.prov = &provenance.Record{
+			Kind:       provenance.KindInsert,
+			Events:     provenance.Refs(events),
+			Shard:      -1,
+			WindowLo:   events[0].TS,
+			WindowHi:   events[0].TS + en.plan.Window,
+			SealTS:     sealTS,
+			TriggerSeq: en.trigSeq,
+			TriggerTS:  en.trigTS,
+			TriggerPos: len(events) - 1,
+			Traversed:  en.visited,
+		}
+		en.met.IncLineage()
 	}
-	heap.Push(&en.pending, pendingMatch{events: events, sealTS: sealTS, madeSeq: en.arrival})
+	if sealTS <= en.clock {
+		return en.finalize(pm, out)
+	}
+	if pm.prov != nil {
+		en.lineageLive++
+		en.lineageBytes += pm.prov.SizeBytes()
+	}
+	heap.Push(&en.pending, pm)
 	return out
+}
+
+// popPending removes the minimum pending match, releasing its retained
+// lineage accounting.
+func (en *Engine) popPending() pendingMatch {
+	pm := heap.Pop(&en.pending).(pendingMatch)
+	if pm.prov != nil {
+		en.lineageLive--
+		en.lineageBytes -= pm.prov.SizeBytes()
+	}
+	return pm
 }
 
 // drainPending finalizes every pending binding whose seal timestamp the
 // clock has reached.
 func (en *Engine) drainPending(out []plan.Match) []plan.Match {
 	for en.pending.Len() > 0 && en.pending[0].sealTS <= en.clock {
-		pm := heap.Pop(&en.pending).(pendingMatch)
-		out = en.finalize(pm, out)
+		out = en.finalize(en.popPending(), out)
 	}
 	return out
 }
@@ -328,9 +416,17 @@ func (en *Engine) finalize(pm pendingMatch, out []plan.Match) []plan.Match {
 		EmitSeq:   event.Seq(en.arrival),
 		EmitClock: en.clock,
 	}
+	if pm.prov != nil {
+		pm.prov.EmitClock = en.clock
+		m.Prov = pm.prov
+	}
 	en.met.AddMatch(false, en.clock-m.Last().TS, en.arrival-pm.madeSeq)
 	if en.trace != nil {
-		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+		te := obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)}
+		if m.Prov != nil {
+			te.Match = m.Prov.MatchKey()
+		}
+		en.trace.Trace(te)
 	}
 	return append(out, m)
 }
@@ -388,10 +484,12 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 func (en *Engine) Flush() []plan.Match {
 	var out []plan.Match
 	for en.pending.Len() > 0 {
-		pm := heap.Pop(&en.pending).(pendingMatch)
-		out = en.finalize(pm, out)
+		out = en.finalize(en.popPending(), out)
 	}
 	en.met.SetLiveState(en.StateSize())
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
 	}

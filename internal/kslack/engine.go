@@ -6,6 +6,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // Engine is the buffer-and-reorder levee strategy: a K-slack buffer in
@@ -25,6 +26,10 @@ type Engine struct {
 	// delayed by K and would double-report.
 	trace     obsv.TraceHook
 	traceName string
+	// prov mirrors the inner engine's provenance flag; restamp then
+	// rewrites each relayed record's emit clock to the outer clock (the
+	// inner engine's clock lags by K).
+	prov bool
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -48,6 +53,44 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 	} else if en.traceName == "" {
 		en.traceName = en.Name()
 	}
+}
+
+// EnableProvenance implements engine.Provenancer, forwarding to the inner
+// engine (which builds the records; the levee restamps their emit clock).
+func (en *Engine) EnableProvenance() {
+	en.prov = true
+	if pr, ok := en.inner.(engine.Provenancer); ok {
+		pr.EnableProvenance()
+	}
+}
+
+// StateSnapshot implements engine.Introspectable: the levee's buffer
+// occupancy and watermark wrap the inner engine's snapshot.
+func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
+	name := en.traceName
+	if name == "" {
+		name = en.Name()
+	}
+	s := &provenance.StateSnapshot{
+		Engine:    name,
+		Started:   en.arrival > 0,
+		Clock:     en.clock,
+		Safe:      en.buf.Watermark(),
+		BufferLen: en.buf.Len(),
+		Lineage:   provenance.LineageStats{Enabled: en.prov},
+	}
+	if intr, ok := en.inner.(engine.Introspectable); ok {
+		inner := intr.StateSnapshot()
+		s.Inner = inner
+		s.PurgeFrontier = inner.PurgeFrontier
+		s.StackDepths = inner.StackDepths
+		s.NegStoreSizes = inner.NegStoreSizes
+		s.Pending = inner.Pending
+		s.Lineage.Live = inner.Lineage.Live
+		s.Lineage.Bytes = inner.Lineage.Bytes
+		s.Lineage.Truncated = inner.Lineage.Truncated
+	}
+	return s
 }
 
 // StateSize implements engine.Engine: buffered events plus inner state.
@@ -122,6 +165,9 @@ func (en *Engine) restamp(ms []plan.Match) []plan.Match {
 	for i := range ms {
 		ms[i].EmitClock = en.clock
 		ms[i].EmitSeq = event.Seq(en.arrival)
+		if ms[i].Prov != nil {
+			ms[i].Prov.EmitClock = en.clock
+		}
 		retract := ms[i].Kind == plan.Retract
 		en.met.AddMatch(retract, en.clock-ms[i].Last().TS, 0)
 		if en.trace != nil {
@@ -129,7 +175,11 @@ func (en *Engine) restamp(ms []plan.Match) []plan.Match {
 			if retract {
 				op = obsv.OpRetract
 			}
-			en.trace.Trace(obsv.TraceEvent{Op: op, Engine: en.traceName, TS: ms[i].Last().TS, Seq: ms[i].EmitSeq, N: len(ms[i].Events)})
+			te := obsv.TraceEvent{Op: op, Engine: en.traceName, TS: ms[i].Last().TS, Seq: ms[i].EmitSeq, N: len(ms[i].Events)}
+			if ms[i].Prov != nil {
+				te.Match = ms[i].Prov.MatchKey()
+			}
+			en.trace.Trace(te)
 		}
 	}
 	return ms

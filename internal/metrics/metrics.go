@@ -101,6 +101,14 @@ type Snapshot struct {
 	CheckpointBytes uint64
 	// CheckpointDuration gauges the wall time of the most recent checkpoint.
 	CheckpointDuration time.Duration
+
+	// LineageRecords counts lineage records built (provenance enabled).
+	LineageRecords uint64
+	// LineageLive gauges lineage records currently retained (attached to
+	// pending matches awaiting negation sealing).
+	LineageLive int
+	// LineageBytes gauges the estimated heap retained by live records.
+	LineageBytes int
 }
 
 // IncIn counts an ingested event; ooo marks it out of timestamp order and
@@ -199,6 +207,17 @@ func (c *Collector) ObserveCheckpoint(bytes int, d time.Duration) {
 	s.CheckpointNanos.Set(int64(d))
 }
 
+// IncLineage counts one lineage record built by the provenance layer.
+func (c *Collector) IncLineage() { c.Series().LineageRecords.Inc() }
+
+// SetLineageRetained gauges the lineage records currently retained by the
+// engine and their estimated heap footprint.
+func (c *Collector) SetLineageRetained(live, bytes int) {
+	s := c.Series()
+	s.LineageLive.Set(int64(live))
+	s.LineageBytes.Set(int64(bytes))
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Collector) Snapshot() Snapshot {
 	s := c.Series()
@@ -230,6 +249,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Checkpoints:          s.Checkpoints.Load(),
 		CheckpointBytes:      uint64(s.CheckpointBytes.Load()),
 		CheckpointDuration:   time.Duration(s.CheckpointNanos.Load()),
+
+		LineageRecords: s.LineageRecords.Load(),
+		LineageLive:    int(s.LineageLive.Load()),
+		LineageBytes:   int(s.LineageBytes.Load()),
 	}
 }
 

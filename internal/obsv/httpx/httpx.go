@@ -1,9 +1,10 @@
 // Package httpx serves the live observability layer over HTTP: the
 // Prometheus text exposition of a Registry on /metrics, a JSON state
 // document on /varz, a liveness probe on /healthz, the flight recorder's
-// recent trace on /debug/flight, and the standard pprof profiles under
-// /debug/pprof/. The CLIs mount it behind their -listen flag; it has no
-// dependencies beyond the standard library.
+// recent trace on /debug/flight (text, or JSON Lines with ?format=json),
+// a live engine-state snapshot on /debug/state, and the standard pprof
+// profiles under /debug/pprof/. The CLIs mount it behind their -listen
+// flag; it has no dependencies beyond the standard library.
 package httpx
 
 import (
@@ -19,7 +20,11 @@ import (
 
 // NewMux builds the observability mux over reg. flight may be nil, which
 // disables /debug/flight with a 404 explanation instead of a handler.
-func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder) *http.ServeMux {
+// state, when non-nil, is polled by /debug/state for a JSON-encodable
+// live-state document (typically a *provenance.StateSnapshot published by
+// the processing loop); a nil state func — or a state func returning a
+// nil document — leaves /debug/state answering 404.
+func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder, state func() any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -43,8 +48,28 @@ func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder) *http.ServeMux {
 			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
 			return
 		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = flight.WriteJSON(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = flight.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/state", func(w http.ResponseWriter, r *http.Request) {
+		if state == nil {
+			http.Error(w, "state snapshots not enabled", http.StatusNotFound)
+			return
+		}
+		doc := state()
+		if doc == nil {
+			http.Error(w, "no state snapshot published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -63,13 +88,14 @@ type Server struct {
 // Listen binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
 // observability mux on it in a background goroutine. The returned Server
 // reports the bound address (useful with port 0) and is closed with Close.
-func Listen(addr string, reg *obsv.Registry, flight *obsv.FlightRecorder) (*Server, error) {
+// flight and state are forwarded to NewMux; both may be nil.
+func Listen(addr string, reg *obsv.Registry, flight *obsv.FlightRecorder, state func() any) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("observability listener: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           NewMux(reg, flight),
+		Handler:           NewMux(reg, flight, state),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

@@ -1,6 +1,7 @@
 package httpx
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -31,7 +32,7 @@ func TestServerEndpoints(t *testing.T) {
 	flight := obsv.NewFlightRecorder(8)
 	flight.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: "native", TS: 42})
 
-	srv, err := Listen("127.0.0.1:0", reg, flight)
+	srv, err := Listen("127.0.0.1:0", reg, flight, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,12 +69,65 @@ func TestServerEndpoints(t *testing.T) {
 }
 
 func TestFlightDisabled(t *testing.T) {
-	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil)
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if code, _ := get(t, "http://"+srv.Addr()+"/debug/flight"); code != http.StatusNotFound {
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/debug/flight"); code != http.StatusNotFound {
 		t.Fatalf("flight should 404 when disabled, got %d", code)
+	}
+	if code, _ := get(t, base+"/debug/state"); code != http.StatusNotFound {
+		t.Fatalf("state should 404 when disabled, got %d", code)
+	}
+}
+
+func TestFlightJSONFormat(t *testing.T) {
+	flight := obsv.NewFlightRecorder(8)
+	flight.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: "native", TS: 42, N: 3, Match: "1|2|3"})
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), flight, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/debug/flight?format=json")
+	if code != 200 {
+		t.Fatalf("flight json status %d", code)
+	}
+	var te obsv.TraceEvent
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &te); err != nil {
+		t.Fatalf("flight json not parseable: %v\n%s", err, body)
+	}
+	if te.Op != obsv.OpEmit || te.TS != 42 || te.Match != "1|2|3" {
+		t.Fatalf("flight json round-trip mismatch: %+v", te)
+	}
+}
+
+func TestStateEndpoint(t *testing.T) {
+	var doc any
+	state := func() any { return doc }
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Enabled but nothing published yet: 404.
+	if code, _ := get(t, base+"/debug/state"); code != http.StatusNotFound {
+		t.Fatalf("state should 404 before first publication, got %d", code)
+	}
+	doc = map[string]any{"engine": "native", "stackDepths": []int{3, 1}}
+	code, body := get(t, base+"/debug/state")
+	if code != 200 {
+		t.Fatalf("state status %d", code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("state not JSON: %v\n%s", err, body)
+	}
+	if got["engine"] != "native" {
+		t.Fatalf("state round-trip mismatch: %v", got)
 	}
 }

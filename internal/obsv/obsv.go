@@ -150,10 +150,17 @@ type Series struct {
 	Restarts      Counter
 	Checkpoints   Counter
 
+	// LineageRecords counts lineage records built by the provenance layer;
+	// LineageLive/LineageBytes gauge what is currently retained, so the
+	// overhead of provenance is itself observable.
+	LineageRecords Counter
+
 	LiveState       Gauge
 	KeyGroups       Gauge
 	CheckpointBytes Gauge
 	CheckpointNanos Gauge
+	LineageLive     Gauge
+	LineageBytes    Gauge
 
 	LogicalLat   Hist
 	ArrivalLat   Hist
@@ -301,6 +308,9 @@ func (s *Series) varz() map[string]any {
 		"state_peak":            s.LiveState.Peak(),
 		"key_groups":            s.KeyGroups.Load(),
 		"key_groups_peak":       s.KeyGroups.Peak(),
+		"lineage_records":       s.LineageRecords.Load(),
+		"lineage_live":          s.LineageLive.Load(),
+		"lineage_bytes":         s.LineageBytes.Load(),
 		"watermark_lag_mean_ms": lag.Mean(),
 		"watermark_lag_max_ms":  lag.Max,
 		"latency_mean_ms":       lat.Mean(),
@@ -332,6 +342,7 @@ var promCounters = []struct {
 	{"oostream_duplicates_suppressed_total", "Duplicate events and replayed emissions suppressed", func(s *Series) uint64 { return s.DupSuppressed.Load() }},
 	{"oostream_restarts_total", "Supervised restarts from a checkpoint after a panic", func(s *Series) uint64 { return s.Restarts.Load() }},
 	{"oostream_checkpoints_total", "Durable checkpoints written", func(s *Series) uint64 { return s.Checkpoints.Load() }},
+	{"oostream_lineage_records_total", "Lineage records built by the provenance layer", func(s *Series) uint64 { return s.LineageRecords.Load() }},
 }
 
 // promGauges maps Prometheus gauge names to series gauges.
@@ -346,6 +357,8 @@ var promGauges = []struct {
 	{"oostream_key_groups_peak", "Peak of oostream_key_groups", func(s *Series) int64 { return s.KeyGroups.Peak() }},
 	{"oostream_checkpoint_bytes", "Size of the most recent durable checkpoint", func(s *Series) int64 { return s.CheckpointBytes.Load() }},
 	{"oostream_checkpoint_duration_ns", "Wall time of the most recent durable checkpoint", func(s *Series) int64 { return s.CheckpointNanos.Load() }},
+	{"oostream_lineage_live", "Lineage records currently retained by pending matches", func(s *Series) int64 { return s.LineageLive.Load() }},
+	{"oostream_lineage_bytes", "Estimated heap retained by live lineage records", func(s *Series) int64 { return s.LineageBytes.Load() }},
 }
 
 // promHists maps Prometheus histogram names to series histograms.

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -92,12 +93,20 @@ type TraceEvent struct {
 	// N is the op-dependent count (position, purged items, repaired
 	// pointers, checkpoint bytes).
 	N int `json:"n,omitempty"`
+	// Match is the canonical match identity ("|"-joined event Seqs) on
+	// emit/retract ops when provenance is enabled; it joins trace events
+	// against lineage records (espexplain's "why did match M emit?").
+	Match string `json:"match,omitempty"`
 }
 
 // String renders the trace event on one line.
 func (t TraceEvent) String() string {
-	return fmt.Sprintf("%-10s engine=%s type=%s ts=%d seq=%d n=%d",
+	s := fmt.Sprintf("%-10s engine=%s type=%s ts=%d seq=%d n=%d",
 		t.Op, t.Engine, t.Type, t.TS, t.Seq, t.N)
+	if t.Match != "" {
+		s += " match=" + t.Match
+	}
+	return s
 }
 
 // TraceHook observes match-lifecycle steps. Implementations must be safe
@@ -180,8 +189,8 @@ func (f *FlightRecorder) Dump() []TraceEvent {
 	return append(out, f.buf[:f.next]...)
 }
 
-// WriteTo renders the retained events as text, oldest first — the
-// dump-on-panic format.
+// WriteTo renders the retained events as text, oldest first — the same
+// order Dump returns — the dump-on-panic format.
 func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
 	var written int64
 	for _, ev := range f.Dump() {
@@ -192,4 +201,17 @@ func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return written, nil
+}
+
+// WriteJSON renders the retained events as JSON Lines, oldest first — the
+// machine-readable dump espexplain replays (one TraceEvent object per
+// line).
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range f.Dump() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,9 +1,13 @@
 package obsv
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+
+	"oostream/internal/event"
 )
 
 func TestFlightRecorderRing(t *testing.T) {
@@ -23,6 +27,86 @@ func TestFlightRecorderRing(t *testing.T) {
 	if f.Total() != 5 {
 		t.Fatalf("total = %d, want 5", f.Total())
 	}
+}
+
+// TestFlightRecorderWrapOrder pins Dump's oldest-first ordering around
+// the ring's wrap boundary: exactly at capacity (next has wrapped to 0,
+// so the buffer IS the ordered dump), one past capacity (the dump starts
+// mid-buffer), and cases on either side. WriteTo and WriteJSON must
+// stream the same order Dump returns.
+func TestFlightRecorderWrapOrder(t *testing.T) {
+	const capacity = 4
+	tests := []struct {
+		name string
+		n    int // events traced, numbered 1..n
+		want []int
+	}{
+		{"under capacity", 3, []int{1, 2, 3}},
+		{"exactly capacity", capacity, []int{1, 2, 3, 4}},
+		{"capacity plus one", capacity + 1, []int{2, 3, 4, 5}},
+		{"two full wraps", 2*capacity + 2, []int{7, 8, 9, 10}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := NewFlightRecorder(capacity)
+			for i := 1; i <= tt.n; i++ {
+				f.Trace(TraceEvent{Op: OpAdmit, Seq: event.Seq(i), N: i})
+			}
+			got := f.Dump()
+			if len(got) != len(tt.want) {
+				t.Fatalf("dump len = %d, want %d", len(got), len(tt.want))
+			}
+			for i, want := range tt.want {
+				if got[i].N != want {
+					t.Fatalf("dump[%d].N = %d, want %d (oldest first)", i, got[i].N, want)
+				}
+			}
+
+			// WriteTo streams the same order.
+			var text strings.Builder
+			if _, err := f.WriteTo(&text); err != nil {
+				t.Fatal(err)
+			}
+			lines := nonEmptyLines(text.String())
+			if len(lines) != len(tt.want) {
+				t.Fatalf("WriteTo emitted %d lines, want %d", len(lines), len(tt.want))
+			}
+			for i, want := range tt.want {
+				if !strings.Contains(lines[i], fmt.Sprintf("n=%d", want)) {
+					t.Errorf("WriteTo line %d = %q, want n=%d", i, lines[i], want)
+				}
+			}
+
+			// WriteJSON streams the same order, decodably.
+			var jsonl strings.Builder
+			if err := f.WriteJSON(&jsonl); err != nil {
+				t.Fatal(err)
+			}
+			jlines := nonEmptyLines(jsonl.String())
+			if len(jlines) != len(tt.want) {
+				t.Fatalf("WriteJSON emitted %d lines, want %d", len(jlines), len(tt.want))
+			}
+			for i, want := range tt.want {
+				var te TraceEvent
+				if err := json.Unmarshal([]byte(jlines[i]), &te); err != nil {
+					t.Fatalf("WriteJSON line %d not JSON: %v", i, err)
+				}
+				if te.N != want || te.Op != OpAdmit {
+					t.Errorf("WriteJSON line %d = %+v, want N=%d", i, te, want)
+				}
+			}
+		})
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 func TestFlightRecorderPartial(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // Engine wraps an inner engine with ordered emission.
@@ -64,6 +65,27 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 	if obs, ok := en.inner.(engine.Observable); ok {
 		obs.Observe(s, hook)
 	}
+}
+
+// EnableProvenance implements engine.Provenancer by delegating to the
+// inner engine; released matches carry the records it attached.
+func (en *Engine) EnableProvenance() {
+	if pr, ok := en.inner.(engine.Provenancer); ok {
+		pr.EnableProvenance()
+	}
+}
+
+// StateSnapshot implements engine.Introspectable: the inner engine's view,
+// with the order buffer's occupancy added and the wrapper's name.
+func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
+	intr, ok := en.inner.(engine.Introspectable)
+	if !ok {
+		return nil
+	}
+	s := intr.StateSnapshot()
+	s.Engine = en.Name()
+	s.BufferLen += en.buf.Len()
+	return s
 }
 
 // StateSize implements engine.Engine: inner state plus buffered matches.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"oostream/internal/event"
+	"oostream/internal/provenance"
 )
 
 // MatchKind distinguishes normal results from speculative revisions.
@@ -44,6 +45,11 @@ type Match struct {
 	EmitSeq event.Seq
 	// EmitClock is the engine's max-seen timestamp at emission.
 	EmitClock event.Time
+	// Prov is the match's lineage record; nil unless the engine was built
+	// with Config.Provenance. It is excluded from multiset comparison
+	// (Key/SameResults) — two matches over the same events are the same
+	// match regardless of how their construction was traced.
+	Prov *provenance.Record
 }
 
 // Key is a canonical identity for the match: the arrival sequence numbers of

@@ -13,6 +13,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 	"oostream/internal/recovery"
 )
 
@@ -354,6 +355,28 @@ func (s *Supervisor) StateSize() int {
 // MatchSeq returns the cumulative match-emission count (the monotone
 // sequence number the exactly-once machinery is built on).
 func (s *Supervisor) MatchSeq() uint64 { return s.matchSeq }
+
+// StateSnapshot implements engine.Introspectable: the inner engine's view
+// annotated with the supervisor's match-sequence and commit horizons.
+// Returns nil when no engine is built yet or the inner engine exposes no
+// introspection.
+func (s *Supervisor) StateSnapshot() *provenance.StateSnapshot {
+	if s.en == nil {
+		return nil
+	}
+	intr, ok := s.en.(engine.Introspectable)
+	if !ok {
+		return nil
+	}
+	snap := intr.StateSnapshot()
+	if snap == nil {
+		return nil
+	}
+	snap.Engine = s.Name()
+	snap.MatchSeq = s.matchSeq
+	snap.Committed = s.committed
+	return snap
+}
 
 // Kill simulates a crash: the store's handles are dropped without
 // syncing and the supervisor fails sticky. Reopen the directory with a

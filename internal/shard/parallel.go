@@ -11,6 +11,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // Parallel runs each shard's engine on its own goroutine, connected by
@@ -19,6 +20,10 @@ import (
 type Parallel struct {
 	router *Router
 	parts  []engine.Engine
+	// prov marks provenance enabled: each shard goroutine tags its own
+	// matches' lineage records with its shard index before sending them to
+	// the merge channel (single-goroutine ownership, so no race).
+	prov bool
 }
 
 // NewParallel wraps per-shard engines for concurrent execution.
@@ -52,6 +57,30 @@ func (p *Parallel) Observe(_ *obsv.Series, hook obsv.TraceHook) {
 			obs.Observe(nil, hook)
 		}
 	}
+}
+
+// EnableProvenance implements engine.Provenancer for the parallel mode:
+// every shard builds records; runShard tags them with the shard index.
+func (p *Parallel) EnableProvenance() {
+	p.prov = true
+	for _, part := range p.parts {
+		if pr, ok := part.(engine.Provenancer); ok {
+			pr.EnableProvenance()
+		}
+	}
+}
+
+// StateSnapshot aggregates per-shard snapshots. Like every StateSnapshot
+// it is not synchronized with processing: call it only while the pipeline
+// is idle (before Run, or after Run/Drain returns).
+func (p *Parallel) StateSnapshot() *provenance.StateSnapshot {
+	subs := make([]*provenance.StateSnapshot, len(p.parts))
+	for i, part := range p.parts {
+		if intr, ok := part.(engine.Introspectable); ok {
+			subs[i] = intr.StateSnapshot()
+		}
+	}
+	return provenance.Aggregate("parallel("+p.parts[0].Name()+")", subs)
 }
 
 // shardMsg is one item on a shard's feed: an event to process or a
@@ -204,6 +233,9 @@ func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, fe
 	send := func(matches []plan.Match, err error) error {
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", shard, err)
+		}
+		if p.prov {
+			tagShard(matches, shard)
 		}
 		for _, m := range matches {
 			select {

@@ -28,6 +28,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // Router assigns events to shards by hashing a key attribute.
@@ -106,6 +107,9 @@ type Engine struct {
 	met    metrics.Collector
 	// routeErrors counts events lacking the key attribute (dropped).
 	routeErrors uint64
+	// prov marks provenance enabled: relayed matches get their lineage
+	// records tagged with the emitting shard's index.
+	prov bool
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -139,16 +143,33 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		en.met.IncPredError(err)
 		return nil
 	}
-	return en.parts[shard].Process(e)
+	ms := en.parts[shard].Process(e)
+	if en.prov {
+		tagShard(ms, shard)
+	}
+	return ms
+}
+
+// tagShard stamps the emitting shard's index into relayed lineage records.
+func tagShard(ms []plan.Match, shard int) {
+	for i := range ms {
+		if ms[i].Prov != nil {
+			ms[i].Prov.Shard = shard
+		}
+	}
 }
 
 // Advance implements engine.Advancer: heartbeats go to every shard,
 // re-synchronizing their clocks.
 func (en *Engine) Advance(ts event.Time) []plan.Match {
 	var out []plan.Match
-	for _, p := range en.parts {
+	for i, p := range en.parts {
 		if adv, ok := p.(engine.Advancer); ok {
-			out = append(out, adv.Advance(ts)...)
+			ms := adv.Advance(ts)
+			if en.prov {
+				tagShard(ms, i)
+			}
+			out = append(out, ms...)
 		}
 	}
 	return out
@@ -157,10 +178,37 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 // Flush implements engine.Engine.
 func (en *Engine) Flush() []plan.Match {
 	var out []plan.Match
-	for _, p := range en.parts {
-		out = append(out, p.Flush()...)
+	for i, p := range en.parts {
+		ms := p.Flush()
+		if en.prov {
+			tagShard(ms, i)
+		}
+		out = append(out, ms...)
 	}
 	return out
+}
+
+// EnableProvenance implements engine.Provenancer: every shard builds
+// records, and the routing layer tags them with the shard index.
+func (en *Engine) EnableProvenance() {
+	en.prov = true
+	for _, p := range en.parts {
+		if pr, ok := p.(engine.Provenancer); ok {
+			pr.EnableProvenance()
+		}
+	}
+}
+
+// StateSnapshot implements engine.Introspectable: per-shard snapshots
+// aggregated under the routing engine's name.
+func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
+	subs := make([]*provenance.StateSnapshot, len(en.parts))
+	for i, p := range en.parts {
+		if intr, ok := p.(engine.Introspectable); ok {
+			subs[i] = intr.StateSnapshot()
+		}
+	}
+	return provenance.Aggregate(en.Name(), subs)
 }
 
 // RouteErrors returns how many events lacked the partition attribute.
@@ -232,6 +280,9 @@ func aggregate(parts []engine.Engine) metrics.Snapshot {
 		if s.CheckpointDuration > agg.CheckpointDuration {
 			agg.CheckpointDuration = s.CheckpointDuration
 		}
+		agg.LineageRecords += s.LineageRecords
+		agg.LineageLive += s.LineageLive
+		agg.LineageBytes += s.LineageBytes
 	}
 	return agg
 }

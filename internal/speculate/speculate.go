@@ -24,6 +24,7 @@ import (
 	"oostream/internal/metrics"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
+	"oostream/internal/provenance"
 )
 
 // Options configure the speculative engine.
@@ -57,6 +58,14 @@ type Engine struct {
 	// trace observes lifecycle steps when non-nil (nil-checked per site).
 	trace     obsv.TraceHook
 	traceName string
+
+	// prov enables lineage records (flag-checked per site, like trace).
+	// trig*/visited carry the current trigger through construction.
+	prov    bool
+	trigSeq event.Seq
+	trigTS  event.Time
+	trigPos int
+	visited int
 }
 
 type vulnEntry struct {
@@ -119,8 +128,39 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 	}
 }
 
+// EnableProvenance implements engine.Provenancer.
+func (en *Engine) EnableProvenance() { en.prov = true }
+
 // Metrics implements engine.Engine.
 func (en *Engine) Metrics() metrics.Snapshot { return en.met.Snapshot() }
+
+// StateSnapshot implements engine.Introspectable. The speculative engine
+// retains no lineage (output is eager; records leave with their match), so
+// Lineage.Live stays 0; Vulnerable is the still-retractable match count.
+func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
+	name := en.traceName
+	if name == "" {
+		name = en.Name()
+	}
+	s := &provenance.StateSnapshot{
+		Engine:        name,
+		Started:       en.started,
+		Clock:         en.clock,
+		Safe:          en.safe(),
+		StackDepths:   make([]int, en.plan.Len()),
+		NegStoreSizes: make([]int, len(en.negStores)),
+		Vulnerable:    len(en.vulnerable),
+		Lineage:       provenance.LineageStats{Enabled: en.prov},
+	}
+	s.PurgeFrontier = s.Safe - en.plan.Window
+	for pos := 0; pos < en.plan.Len(); pos++ {
+		s.StackDepths[pos] = en.stacks.Stack(pos).Len()
+	}
+	for i, ns := range en.negStores {
+		s.NegStoreSizes[i] = ns.len()
+	}
+	return s
+}
 
 // StateSize implements engine.Engine.
 func (en *Engine) StateSize() int {
@@ -261,9 +301,27 @@ func (en *Engine) retractInvalidated(negIdx int, neg event.Event, out []plan.Mat
 			EmitSeq:   event.Seq(en.arrival),
 			EmitClock: en.clock,
 		}
+		if en.prov {
+			inv := provenance.Ref(neg, -1)
+			m.Prov = &provenance.Record{
+				Kind:          provenance.KindRetract,
+				Events:        provenance.Refs(v.events),
+				Shard:         -1,
+				WindowLo:      v.events[0].TS,
+				WindowHi:      v.events[0].TS + en.plan.Window,
+				SealTS:        v.sealTS,
+				EmitClock:     en.clock,
+				InvalidatedBy: &inv,
+			}
+			en.met.IncLineage()
+		}
 		en.met.AddMatch(true, 0, 0)
 		if en.trace != nil {
-			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpRetract, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+			te := obsv.TraceEvent{Op: obsv.OpRetract, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)}
+			if m.Prov != nil {
+				te.Match = m.Prov.MatchKey()
+			}
+			en.trace.Trace(te)
 		}
 		out = append(out, m)
 	}
@@ -279,6 +337,12 @@ func (en *Engine) construct(trigger *ais.Instance, pos int, out []plan.Match) []
 	if !en.plan.CrossSatisfiedAt(pos, mask, binding, en.met.IncPredError) {
 		return out
 	}
+	if en.prov {
+		en.trigSeq = trigger.Event.Seq
+		en.trigTS = trigger.Event.TS
+		en.trigPos = pos
+		en.visited = 0
+	}
 	var down func(p int, mask uint64)
 	var up func(p int, mask uint64)
 	down = func(p int, mask uint64) {
@@ -292,6 +356,9 @@ func (en *Engine) construct(trigger *ais.Instance, pos int, out []plan.Match) []
 			cand := s.At(i)
 			if cand.Event.TS < lowTS {
 				break
+			}
+			if en.prov {
+				en.visited++
 			}
 			binding[p] = cand.Event
 			m := mask | 1<<uint(p)
@@ -311,6 +378,9 @@ func (en *Engine) construct(trigger *ais.Instance, pos int, out []plan.Match) []
 			cand := s.At(i)
 			if cand.Event.TS > highTS {
 				break
+			}
+			if en.prov {
+				en.visited++
 			}
 			binding[p] = cand.Event
 			m := mask | 1<<uint(p)
@@ -353,9 +423,29 @@ func (en *Engine) emit(binding []event.Event, out []plan.Match) []plan.Match {
 		EmitSeq:   event.Seq(en.arrival),
 		EmitClock: en.clock,
 	}
+	if en.prov {
+		m.Prov = &provenance.Record{
+			Kind:       provenance.KindInsert,
+			Events:     provenance.Refs(events),
+			Shard:      -1,
+			WindowLo:   events[0].TS,
+			WindowHi:   events[0].TS + en.plan.Window,
+			SealTS:     sealTS,
+			TriggerSeq: en.trigSeq,
+			TriggerTS:  en.trigTS,
+			TriggerPos: en.trigPos,
+			Traversed:  en.visited,
+			EmitClock:  en.clock,
+		}
+		en.met.IncLineage()
+	}
 	en.met.AddMatch(false, en.clock-m.Last().TS, 0)
 	if en.trace != nil {
-		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)})
+		te := obsv.TraceEvent{Op: obsv.OpEmit, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)}
+		if m.Prov != nil {
+			te.Match = m.Prov.MatchKey()
+		}
+		en.trace.Trace(te)
 	}
 	out = append(out, m)
 	if sealTS > en.safe() {

@@ -1,6 +1,9 @@
 package oostream
 
-import "oostream/internal/obsv"
+import (
+	"oostream/internal/obsv"
+	"oostream/internal/provenance"
+)
 
 // Observability re-exports. The live observability layer has two parts,
 // both injected through Config (the sole injection points):
@@ -31,6 +34,35 @@ type (
 	FlightRecorder = obsv.FlightRecorder
 	// MultiHook fans one trace stream out to several hooks.
 	MultiHook = obsv.MultiHook
+)
+
+// Provenance re-exports. With Config.Provenance set, every emitted (and
+// retracted) match carries a Lineage record in Match.Prov, and engines
+// answer StateSnapshot with a live read-only view of their internal state
+// (served on /debug/state by the CLIs' -listen endpoint and rendered by
+// cmd/espexplain).
+type (
+	// Lineage is a per-match provenance record: the contributing events,
+	// key group, window bounds, trigger detail, and — for retractions —
+	// the late event that invalidated the result.
+	Lineage = provenance.Record
+	// LineageRef identifies one contributing event inside a Lineage.
+	LineageRef = provenance.EventRef
+	// StateSnapshot is a read-only view of an engine's live state; see
+	// Engine.StateSnapshot.
+	StateSnapshot = provenance.StateSnapshot
+	// KeyGroupStat is one entry of StateSnapshot.TopKeyGroups.
+	KeyGroupStat = provenance.KeyGroupStat
+	// LineageStats summarizes lineage retention inside a StateSnapshot.
+	LineageStats = provenance.LineageStats
+)
+
+// Lineage kinds, re-exported.
+const (
+	// LineageInsert marks the lineage of an emitted result.
+	LineageInsert = provenance.KindInsert
+	// LineageRetract marks the lineage of a retraction compensation.
+	LineageRetract = provenance.KindRetract
 )
 
 // Observability constructors, re-exported.

@@ -198,6 +198,7 @@ func newInner(q *Query, cfg Config) (engine.Engine, error) {
 			return nil, err
 		}
 		observeEngine(inner, cfg, string(cfg.Strategy))
+		enableProvenance(inner, cfg)
 		return inner, nil
 	}
 	if !q.plan.PartitionableBy(cfg.Partition.Attr) {
@@ -222,7 +223,21 @@ func newInner(q *Query, cfg Config) (engine.Engine, error) {
 	// the trace hook out to the shards; per-shard series were bound above
 	// and survive the nil-series fan-out.
 	observeEngine(inner, cfg, inner.Name())
+	// Enabling provenance on the routing layer propagates to every shard
+	// and turns on shard-index tagging of relayed records.
+	enableProvenance(inner, cfg)
 	return inner, nil
+}
+
+// enableProvenance turns on lineage-record construction when the config
+// asks for it and the engine supports it (all built-in strategies do).
+func enableProvenance(en engine.Engine, cfg Config) {
+	if !cfg.Provenance {
+		return
+	}
+	if pr, ok := en.(engine.Provenancer); ok {
+		pr.EnableProvenance()
+	}
 }
 
 // observeEngine binds an engine to cfg's observability layer: a registry
@@ -382,6 +397,33 @@ func (e *Engine) Metrics() Metrics { return e.inner.Metrics() }
 
 // StateSize returns the engine's current buffered-item count.
 func (e *Engine) StateSize() int { return e.inner.StateSize() }
+
+// StateSnapshot returns a read-only view of the engine's live state:
+// per-position stack depths, the heaviest key groups, negation-store
+// sizes, buffer occupancy, clock and safe horizon, purge frontier, and
+// lineage retention (see provenance.StateSnapshot re-exported as
+// StateSnapshot). Partitioned engines return an aggregate with per-shard
+// sub-snapshots. It is NOT synchronized with Process: call it from the
+// processing goroutine (between events) or while the engine is idle.
+// Returns nil when the strategy composition exposes no introspection.
+func (e *Engine) StateSnapshot() *StateSnapshot {
+	if intr, ok := e.inner.(engine.Introspectable); ok {
+		return intr.StateSnapshot()
+	}
+	return nil
+}
+
+// EnableProvenance turns on lineage-record construction, as
+// Config.Provenance does at construction time. It exists for engines that
+// bypass Config — primarily RestoreEngine/RestorePartitionedEngine, which
+// rebuild from a checkpoint that (by design) carries no lineage: matches
+// whose partial state predates the restore carry records marked
+// Truncated. Call it before processing, not mid-stream.
+func (e *Engine) EnableProvenance() {
+	if pr, ok := e.inner.(engine.Provenancer); ok {
+		pr.EnableProvenance()
+	}
+}
 
 // Checkpoint serializes the engine's state for crash recovery. The native
 // strategy and partitioned engines over native parts support it; other

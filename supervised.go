@@ -153,6 +153,22 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 				}, r)
 			}
 		}
+		if cfg.Provenance && restoreFn != nil {
+			// Checkpoints carry no lineage, so a crash restart must re-enable
+			// provenance on the restored engine; partial state that predates
+			// the restore seals with records marked Truncated.
+			inner := restoreFn
+			restoreFn = func(r io.Reader) (engine.Engine, error) {
+				en, err := inner(r)
+				if err != nil {
+					return nil, err
+				}
+				if pr, ok := en.(engine.Provenancer); ok {
+					pr.EnableProvenance()
+				}
+				return en, nil
+			}
+		}
 	}
 	return newSupervised(cfg, sc, newFn, restoreFn)
 }
@@ -250,6 +266,13 @@ func (s *SupervisedEngine) Metrics() Metrics { return s.sup.Metrics() }
 // MatchSeq returns the cumulative match-emission count — the monotone
 // sequence number exactly-once delivery is built on.
 func (s *SupervisedEngine) MatchSeq() uint64 { return s.sup.MatchSeq() }
+
+// StateSnapshot returns the inner engine's live-state view (see
+// Engine.StateSnapshot) annotated with the supervisor's match-sequence and
+// commit horizons. Like every StateSnapshot it is not synchronized with
+// Process; call it between events or while the engine is idle. Returns
+// nil when the composition exposes no introspection.
+func (s *SupervisedEngine) StateSnapshot() *StateSnapshot { return s.sup.StateSnapshot() }
 
 // Err returns the sticky failure, if any (set by a crash, an exhausted
 // restart budget, or a store error).
