@@ -6,14 +6,17 @@
 package oostream_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
 
 	"oostream"
+	"oostream/internal/engine"
 	"oostream/internal/gen"
 	"oostream/internal/kslack"
 	"oostream/internal/netsim"
+	"oostream/internal/shard"
 )
 
 const (
@@ -418,6 +421,78 @@ func BenchmarkE16ObsvOverhead(b *testing.B) {
 			Trace: oostream.NewFlightRecorder(256)}
 		run(b, q, cfg, events)
 	})
+}
+
+// BenchmarkE18Batch prices the batched admission path: the native engine
+// driven through ProcessBatch at sweep batch sizes (1 = the per-event
+// degenerate case, paying only the dispatch wrapper) with key-partitioned
+// stacks on and off. The wins are amortized purge/gauge work and deferred
+// state reclamation; output is identical to per-event processing by the
+// BatchProcessor contract (proved by internal/difftest.RunBatch).
+func BenchmarkE18Batch(b *testing.B) {
+	q := benchSeqQuery(b)
+	events := benchStream(0.20, benchK)
+	for _, size := range []int{1, 16, 256, 4096} {
+		for _, mode := range []string{"keyed", "unkeyed"} {
+			b.Run(fmt.Sprintf("batch=%d/%s", size, mode), func(b *testing.B) {
+				cfg := oostream.Config{K: benchK, DisableKeyedStacks: mode == "unkeyed"}
+				b.ReportAllocs()
+				var matches int
+				for i := 0; i < b.N; i++ {
+					en := oostream.MustNewEngine(q, cfg)
+					n := 0
+					for start := 0; start < len(events); start += size {
+						end := start + size
+						if end > len(events) {
+							end = len(events)
+						}
+						n += len(en.ProcessBatch(events[start:end]))
+					}
+					matches = n + len(en.Flush())
+				}
+				b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+				b.ReportMetric(float64(matches), "matches")
+			})
+		}
+	}
+}
+
+// BenchmarkE18BatchParallel measures the goroutine-per-shard topology fed
+// through the batched MPSC ring handoff at a fixed batch size, swept by
+// shard count. Scaling beyond bookkeeping requires spare cores; on a
+// single-CPU host the sweep prices the coordination overhead instead.
+func BenchmarkE18BatchParallel(b *testing.B) {
+	q := benchNegQuery(b)
+	events := benchStream(0.20, benchK)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d/batch=256", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var matches int
+			for i := 0; i < b.N; i++ {
+				router, err := shard.NewRouter("id", shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				par, err := shard.NewParallel(router, func(int) (engine.Engine, error) {
+					sub, err := oostream.NewEngine(q, oostream.Config{K: benchK})
+					if err != nil {
+						return nil, err
+					}
+					return sub.Inner(), nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms, err := par.DrainBatches(context.Background(), events, 256)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matches = len(ms)
+			}
+			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(matches), "matches")
+		})
+	}
 }
 
 // BenchmarkE17Provenance prices match lineage: the negation workload with

@@ -7,6 +7,13 @@
 //	go run ./cmd/espfuzz -budget 30s
 //	go run ./cmd/espfuzz -budget 10m -seed 1000000 -maxfail 5
 //	go run ./cmd/espfuzz -budget 30s -crash
+//	go run ./cmd/espfuzz -budget 30s -batch
+//
+// With -batch each trial runs the batch≡per-event differential instead:
+// every strategy is driven once per event and again through ProcessBatch
+// under singleton, whole-stream, and random batch partitions, and the runs
+// must agree exactly — matches, lineage records, trace-op multisets, and
+// heartbeats injected at batch boundaries.
 //
 // With -crash each trial instead runs the crash-point differential: the
 // supervised fault-tolerant runtime is killed at seed-derived offsets and
@@ -65,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxfail = fs.Int("maxfail", 3, "stop after this many failures")
 		quiet   = fs.Bool("q", false, "suppress per-failure reports (summary only)")
 		crash   = fs.Bool("crash", false, "run the crash-recovery differential instead of the strategy differential")
+		batch   = fs.Bool("batch", false, "run the batch≡per-event differential instead of the strategy differential")
 		listen  = fs.String("listen", "", "serve live soak progress over HTTP (/varz, /healthz, /debug/pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,7 +112,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		liveTrials.Store(int64(s.Trials))
 		liveSeed.Store(next)
 		var fail *difftest.Failure
-		if *crash {
+		switch {
+		case *crash:
 			// Alternate plain and fault-injected arrival streams so both
 			// the crash machinery and the duplicate-admission path soak.
 			c := difftest.Generate(next)
@@ -112,7 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				c = difftest.GenerateFaulty(next)
 			}
 			fail = difftest.RunCrash(c)
-		} else {
+		case *batch:
+			fail = difftest.RunBatch(difftest.Generate(next))
+		default:
 			fail = difftest.Run(difftest.Generate(next))
 		}
 		if fail != nil {
@@ -120,11 +131,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			liveFailures.Store(int64(s.Failures))
 			s.FailSeeds = append(s.FailSeeds, next)
 			if !*quiet {
-				if *crash {
+				switch {
+				case *crash:
 					// Crash failures are reported unshrunk: Shrink re-runs
 					// the strategy differential, not the crash one.
 					fmt.Fprintf(stderr, "%v\n", fail)
-				} else {
+				case *batch:
+					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkBatch(fail).Report())
+				default:
 					fmt.Fprintf(stderr, "%s\n", difftest.Shrink(fail).Report())
 				}
 			}

@@ -64,6 +64,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		shards    = fs.Int("shards", 0, "shard count with -partition (default 1)")
 		listen    = fs.String("listen", "", "serve live observability HTTP on this address (/metrics, /varz, /healthz, /debug/flight, /debug/pprof), e.g. :9090")
 		linger    = fs.Duration("linger", 0, "with -listen: keep the HTTP endpoint up this long after the trace completes")
+		batchSize = fs.Int("batch", 0, "ingest in batches of this many events (0/1 = per event; output is identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +94,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		K:          oostream.Time(*k),
 		Partition:  oostream.Partition{Attr: *partAttr, Shards: *shards},
 		Provenance: *explain,
+		Batch:      oostream.Batch{Size: *batchSize},
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
@@ -162,6 +164,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	var process func(oostream.Event) ([]oostream.Match, error)
+	var processBatch func([]oostream.Event) ([]oostream.Match, error)
 	var flush func() ([]oostream.Match, error)
 	var name string
 	var stats func() oostream.Metrics
@@ -185,7 +188,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		emit(recovered)
-		process, flush, name, stats = sen.Process, sen.Flush, sen.Strategy(), sen.Metrics
+		process, processBatch, flush, name, stats = sen.Process, sen.ProcessBatch, sen.Flush, sen.Strategy(), sen.Metrics
 		snapshot = sen.StateSnapshot
 	} else {
 		en, err := oostream.NewEngine(q, cfg)
@@ -193,6 +196,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		process = func(e oostream.Event) ([]oostream.Match, error) { return en.Process(e), nil }
+		processBatch = func(evs []oostream.Event) ([]oostream.Match, error) { return en.ProcessBatch(evs), nil }
 		flush = func() ([]oostream.Match, error) { return en.Flush(), nil }
 		name, stats = en.Strategy(), en.Metrics
 		snapshot = en.StateSnapshot
@@ -211,6 +215,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	// 1-based trace position. On -resume, admission control then drops or
 	// deduplicates everything already processed before the crash.
 	var pos oostream.Seq
+	var batch []oostream.Event
+	if *batchSize > 1 {
+		batch = make([]oostream.Event, 0, *batchSize)
+	}
+	drainBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		ms, err := processBatch(batch)
+		batch = batch[:0]
+		if err != nil {
+			return err
+		}
+		emit(ms)
+		return nil
+	}
 	for {
 		e, err := r.Read()
 		if err == io.EOF {
@@ -223,16 +243,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if e.Seq == 0 {
 			e.Seq = pos
 		}
-		ms, err := process(e)
-		if err != nil {
-			return err
+		if *batchSize > 1 {
+			batch = append(batch, e)
+			if len(batch) >= *batchSize {
+				if err := drainBatch(); err != nil {
+					return err
+				}
+			}
+		} else {
+			ms, err := process(e)
+			if err != nil {
+				return err
+			}
+			emit(ms)
 		}
-		emit(ms)
 		// Refresh /debug/state from the processing goroutine (snapshots are
 		// not synchronized with Process) at a coarse cadence.
-		if pos%64 == 0 {
+		if pos%64 == 0 && len(batch) == 0 {
 			publish()
 		}
+	}
+	if err := drainBatch(); err != nil {
+		return err
 	}
 	ms, err := flush()
 	if err != nil {

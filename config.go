@@ -2,6 +2,7 @@ package oostream
 
 import (
 	"fmt"
+	"time"
 
 	"oostream/internal/core"
 )
@@ -41,6 +42,23 @@ type Partition struct {
 	Attr string
 	// Shards is the number of sub-engines; 0 with a non-empty Attr means 1.
 	Shards int
+}
+
+// Batch configures the batched ingestion path Engine.Run (and the CLIs)
+// drive: events are accumulated into slices of up to Size and handed to
+// ProcessBatch in one call, amortizing per-event pipeline overhead. The
+// BatchProcessor contract guarantees output identical to per-event
+// processing (enforced by the differential harness), so batching is purely
+// a throughput/latency trade.
+type Batch struct {
+	// Size is the maximum events per batch. 0 or 1 keeps the classic
+	// per-event path.
+	Size int
+	// Linger bounds how long Run waits for a partial batch to fill before
+	// processing it anyway. 0 never waits: whatever is immediately
+	// available on the input channel forms the batch (latency-first;
+	// batching then adapts to backlog). Requires Size > 1.
+	Linger time.Duration
 }
 
 // Config configures an Engine.
@@ -96,6 +114,9 @@ type Config struct {
 	// trigger, emit, retract, purge, heartbeat, flush). Nil costs one
 	// predictable branch per step.
 	Trace TraceHook
+	// Batch configures batched ingestion for Engine.Run; the zero value
+	// keeps the per-event path. Direct ProcessBatch calls work regardless.
+	Batch Batch
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +150,15 @@ func (c Config) validate() error {
 	}
 	if c.OrderedOutput && c.Strategy == StrategySpeculate {
 		return fmt.Errorf("OrderedOutput cannot buffer %q retractions", StrategySpeculate)
+	}
+	if c.Batch.Size < 0 {
+		return fmt.Errorf("Batch.Size must be >= 0, got %d", c.Batch.Size)
+	}
+	if c.Batch.Linger < 0 {
+		return fmt.Errorf("Batch.Linger must be >= 0, got %s", c.Batch.Linger)
+	}
+	if c.Batch.Linger > 0 && c.Batch.Size <= 1 {
+		return fmt.Errorf("Batch.Linger requires Batch.Size > 1")
 	}
 	return nil
 }

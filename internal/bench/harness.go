@@ -171,6 +171,7 @@ func All() []Experiment {
 		{"E13", "partitioned scale-out", E13Partitioned},
 		{"E14", "keyed stacks vs. key cardinality", E14KeyCardinality},
 		{"E16", "observability overhead", E16Observability},
+		{"E18", "batched admission throughput", E18Batch},
 	}
 }
 

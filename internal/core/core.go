@@ -321,10 +321,48 @@ const minTime = event.Time(-1 << 62)
 
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
+	out := en.processOne(e, nil)
+	en.maybePurge()
+	en.publishGauges()
+	return out
+}
+
+// ProcessBatch implements engine.BatchProcessor: the per-event admission,
+// insertion, and pending-drain pipeline runs unchanged for every event,
+// but the purge pass and gauge publication are deferred to the batch
+// boundary. Under DropLate that deferral is output-invisible: purging only
+// removes instances the window bound already excludes from every future
+// enumeration (construct's walks break on the window before touching
+// them), so matches, retractions, lineage, and non-purge trace operations
+// are identical to the per-event path. Under BestEffort a bound-violating
+// event may bind state a purge would have removed, making purge timing
+// observable — so that policy keeps the per-event cadence.
+func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
+	var out []plan.Match
+	if en.opts.LatePolicy == BestEffort {
+		for i := range batch {
+			out = en.processOne(batch[i], out)
+			en.maybePurge()
+		}
+	} else {
+		for i := range batch {
+			out = en.processOne(batch[i], out)
+		}
+		en.maybePurge()
+	}
+	en.publishGauges()
+	return out
+}
+
+// processOne is the per-event pipeline shared by Process and ProcessBatch:
+// admission (metrics, trace, late check, clock), AIS insertion with
+// trigger-based construction, and the pending drain. Purging and gauge
+// publication are the caller's responsibility.
+func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	en.arrival++
 	if !en.plan.Relevant(e.Type) {
 		en.met.IncIrrelevant()
-		return nil
+		return out
 	}
 	isOOO := en.started && e.TS < en.clock
 	var lag event.Time
@@ -341,14 +379,13 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 			if en.trace != nil {
 				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 			}
-			return nil
+			return out
 		}
 	}
 	if e.TS > en.clock || !en.started {
 		en.clock = e.TS
 		en.started = true
 	}
-	var out []plan.Match
 	if !en.plan.ConstFalse {
 		if en.Keyed() {
 			out = en.insertKeyed(e, isOOO, out)
@@ -357,7 +394,13 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		}
 	}
 	out = en.drainPending(out)
-	en.maybePurge()
+	en.since++
+	return out
+}
+
+// publishGauges refreshes the state gauges: once per Process call, once
+// per batch on the ProcessBatch path.
+func (en *Engine) publishGauges() {
 	en.met.SetLiveState(en.StateSize())
 	if en.Keyed() {
 		en.met.SetKeyGroups(en.kstacks.Groups())
@@ -365,7 +408,6 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	if en.prov {
 		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
 	}
-	return out
 }
 
 // insertUnkeyed is the classic path: one global stack set and negative
@@ -470,13 +512,7 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 	out := en.drainPending(nil)
 	en.since = en.opts.PurgeEvery // force the next purge check to run
 	en.maybePurge()
-	en.met.SetLiveState(en.StateSize())
-	if en.Keyed() {
-		en.met.SetKeyGroups(en.kstacks.Groups())
-	}
-	if en.prov {
-		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
-	}
+	en.publishGauges()
 	return out
 }
 
@@ -714,12 +750,15 @@ func (en *Engine) negSkipFor(negIdx int) []bool {
 	return en.negSkip[negIdx]
 }
 
-// maybePurge runs the paper's purge rules every opts.PurgeEvery events.
+// maybePurge runs the paper's purge rules once the processed-event counter
+// (advanced by processOne) reaches opts.PurgeEvery. Process checks after
+// every event; ProcessBatch defers the check to the batch boundary (at
+// most one pass per batch — a longer effective cadence, equally correct
+// under DropLate since purging is output-invisible there).
 func (en *Engine) maybePurge() {
 	if en.opts.PurgeEvery < 0 {
 		return
 	}
-	en.since++
 	if en.since < en.opts.PurgeEvery {
 		return
 	}

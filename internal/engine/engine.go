@@ -85,6 +85,34 @@ type Advancer interface {
 	Advance(ts event.Time) []plan.Match
 }
 
+// BatchProcessor is implemented by engines with a first-class batch
+// admission path. ProcessBatch(batch) must return exactly the
+// concatenation of Process(e) over the batch in order — same matches,
+// same retractions, same lineage, same trace operations (purge timing
+// excepted: engines for which purge cadence is provably output-invisible
+// may defer it to the batch boundary). The contract is enforced by the
+// differential harness (difftest.RunBatch).
+type BatchProcessor interface {
+	// ProcessBatch ingests a batch of events in order and returns the
+	// matches they emit, amortizing per-call overhead (shared output
+	// slice, deferred purge and gauge publication).
+	ProcessBatch(batch []event.Event) []plan.Match
+}
+
+// ProcessBatch feeds a batch through an engine's native batch path when
+// it has one, falling back to per-event Process calls otherwise. Either
+// way the result equals the per-event concatenation.
+func ProcessBatch(en Engine, batch []event.Event) []plan.Match {
+	if bp, ok := en.(BatchProcessor); ok {
+		return bp.ProcessBatch(batch)
+	}
+	var out []plan.Match
+	for _, e := range batch {
+		out = append(out, en.Process(e)...)
+	}
+	return out
+}
+
 // Drain runs a whole finite stream through an engine and returns every
 // match (Process results plus Flush).
 func Drain(en Engine, events []event.Event) []plan.Match {

@@ -202,10 +202,39 @@ func (en *Engine) StateSize() int {
 
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
+	out := en.processOne(e, nil)
+	en.met.SetLiveState(en.StateSize())
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
+	return out
+}
+
+// ProcessBatch implements engine.BatchProcessor. The classic engine's
+// clock is the latest arrival's timestamp — it can move backwards — so its
+// purge horizon is semantics-bearing (a deferred purge would retain
+// instances a regressed clock then wrongly re-binds). The batch path
+// therefore keeps the full per-event pipeline including the purge and only
+// amortizes the output slice and gauge publication.
+func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
+	var out []plan.Match
+	for i := range batch {
+		out = en.processOne(batch[i], out)
+	}
+	en.met.SetLiveState(en.StateSize())
+	if en.prov {
+		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
+	return out
+}
+
+// processOne is the per-event pipeline shared by Process and ProcessBatch,
+// everything except gauge publication.
+func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	en.arrival++
 	if !en.plan.Relevant(e.Type) {
 		en.met.IncIrrelevant()
-		return nil
+		return out
 	}
 	var lag event.Time
 	if e.TS < en.maxSeen {
@@ -223,10 +252,9 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	en.clock = e.TS
 
 	if en.plan.ConstFalse {
-		return nil
+		return out
 	}
 
-	var out []plan.Match
 	for _, negIdx := range en.plan.NegativesForType(e.Type) {
 		if plan.EvalLocal(en.plan.Negatives[negIdx].Local, e, en.met.IncPredError) {
 			en.negStores[negIdx] = append(en.negStores[negIdx], e)
@@ -250,10 +278,6 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	}
 	out = en.drainPending(out)
 	en.purge()
-	en.met.SetLiveState(en.StateSize())
-	if en.prov {
-		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
-	}
 	return out
 }
 

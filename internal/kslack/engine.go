@@ -98,6 +98,30 @@ func (en *Engine) StateSize() int { return en.buf.Len() + en.inner.StateSize() }
 
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
+	out := en.processOne(e, nil)
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// ProcessBatch implements engine.BatchProcessor. The levee MUST admit
+// outer events one at a time — each push can move the watermark and
+// release buffered events whose restamped emission metadata (EmitSeq,
+// EmitClock) is defined by the outer clock at that moment — so the batch
+// path loops the per-event pipeline, handing each released run to the
+// inner engine's batch path and sharing one output slice; only the state
+// gauge is deferred to the batch boundary.
+func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
+	var out []plan.Match
+	for i := range batch {
+		out = en.processOne(batch[i], out)
+	}
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// processOne admits one outer event and feeds whatever the buffer
+// releases to the inner engine.
+func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	en.arrival++
 	var lag event.Time
 	if e.TS < en.clock {
@@ -118,7 +142,7 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 		}
 	}
-	return en.feed(released)
+	return en.feedInto(released, out)
 }
 
 // Advance implements engine.Advancer: a heartbeat moves the reorder
@@ -151,12 +175,20 @@ func (en *Engine) Flush() []plan.Match {
 }
 
 func (en *Engine) feed(released []event.Event) []plan.Match {
-	var out []plan.Match
-	for _, ev := range released {
-		out = append(out, en.restamp(en.inner.Process(ev))...)
-	}
+	out := en.feedInto(released, nil)
 	en.met.SetLiveState(en.StateSize())
 	return out
+}
+
+// feedInto runs a released run through the inner engine's batch path
+// (identical to per-event feeding by the BatchProcessor contract — the
+// outer clock and arrival counter are fixed for the whole run, so every
+// restamp is unchanged) and appends the restamped matches to out.
+func (en *Engine) feedInto(released []event.Event, out []plan.Match) []plan.Match {
+	if len(released) == 0 {
+		return out
+	}
+	return append(out, en.restamp(engine.ProcessBatch(en.inner, released))...)
 }
 
 // restamp rewrites emission metadata to the outer clock so latency reflects

@@ -98,7 +98,28 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		en.clock = e.TS
 		en.started = true
 	}
-	return en.push(matches)
+	return en.pushInto(matches, nil)
+}
+
+// ProcessBatch implements engine.BatchProcessor. Release must interleave
+// with admission per event: the inner engine can emit a match whose last
+// timestamp lies below an *earlier* event's safe point (a drained pending,
+// for example), so releasing only at the batch boundary against the final
+// clock would order the batch's emissions differently than the per-event
+// path. The wrapper therefore advances the clock and drains the heap after
+// every event, amortizing only the output slice.
+func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
+	var out []plan.Match
+	for i := range batch {
+		e := batch[i]
+		matches := en.inner.Process(e)
+		if e.TS > en.clock || !en.started {
+			en.clock = e.TS
+			en.started = true
+		}
+		out = en.pushInto(matches, out)
+	}
+	return out
 }
 
 // Advance implements engine.Advancer.
@@ -111,20 +132,20 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 		en.clock = ts
 		en.started = true
 	}
-	return en.push(matches)
+	return en.pushInto(matches, nil)
 }
 
 // Flush implements engine.Engine: everything remaining is released in
 // order.
 func (en *Engine) Flush() []plan.Match {
-	out := en.push(en.inner.Flush())
+	out := en.pushInto(en.inner.Flush(), nil)
 	for en.buf.Len() > 0 {
 		out = append(out, heap.Pop(&en.buf).(plan.Match))
 	}
 	return out
 }
 
-func (en *Engine) push(matches []plan.Match) []plan.Match {
+func (en *Engine) pushInto(matches []plan.Match, out []plan.Match) []plan.Match {
 	for _, m := range matches {
 		if m.Kind == plan.Retract {
 			panic("ordered: inner engine produced a retraction; wrap a conservative strategy")
@@ -132,7 +153,6 @@ func (en *Engine) push(matches []plan.Match) []plan.Match {
 		heap.Push(&en.buf, m)
 	}
 	safe := en.clock - en.k
-	var out []plan.Match
 	for en.buf.Len() > 0 && en.buf[0].Last().TS < safe {
 		out = append(out, heap.Pop(&en.buf).(plan.Match))
 	}

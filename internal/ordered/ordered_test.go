@@ -117,5 +117,5 @@ func TestOrderedPanicsOnRetraction(t *testing.T) {
 		}
 	}()
 	en := &Engine{inner: nil, k: 0}
-	en.push([]plan.Match{{Kind: plan.Retract, Events: []event.Event{{TS: 1}}}})
+	en.pushInto([]plan.Match{{Kind: plan.Retract, Events: []event.Event{{TS: 1}}}}, nil)
 }

@@ -1,0 +1,203 @@
+// Package ring provides a bounded multi-producer single-consumer queue
+// used to hand events from the routing goroutine (and, in stress tests,
+// many producers) to per-shard consumers without a per-item channel
+// rendezvous. The fast path is the classic bounded array queue of Vyukov:
+// each cell carries an atomic sequence stamp that encodes whose turn the
+// cell is — producers claim cells by CAS on the enqueue cursor, publish by
+// bumping the stamp, and the consumer observes published cells in order
+// with plain atomic loads. Blocking is layered on top with one-slot notify
+// channels, so the uncontended path never touches the Go scheduler.
+package ring
+
+import "sync/atomic"
+
+// cell is one slot of the ring. seq encodes the cell's turn:
+//
+//	seq == pos            the cell is free for the producer whose claim
+//	                      position is pos
+//	seq == pos+1          the cell holds the value published at pos and is
+//	                      ready for the consumer
+//	seq == pos+capacity   the cell has been consumed and is free for the
+//	                      producer one lap ahead
+type cell[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// Queue is a bounded MPSC queue. Producers may call TryPush/Push
+// concurrently; TryPop/PopWait must only be called from one consumer
+// goroutine. Close must happen after every producer has returned from its
+// final Push (the usual shape: producers finish, then the owner closes).
+type Queue[T any] struct {
+	mask  uint64
+	cells []cell[T]
+
+	enqPos atomic.Uint64
+	deqPos atomic.Uint64
+
+	closed atomic.Bool
+	// closedCh unblocks parked producers and the consumer on Close.
+	closedCh chan struct{}
+	// notEmpty/notFull are one-slot wakeup tokens: a push signals notEmpty,
+	// a pop signals notFull. Waiters re-check the ring after every wakeup,
+	// so a dropped token (channel already full) is never a lost update.
+	notEmpty chan struct{}
+	notFull  chan struct{}
+}
+
+// New builds a queue with at least the requested capacity (rounded up to a
+// power of two, minimum 2).
+func New[T any](capacity int) *Queue[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	q := &Queue[T]{
+		mask:     n - 1,
+		cells:    make([]cell[T], n),
+		closedCh: make(chan struct{}),
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+	}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap returns the queue's capacity.
+func (q *Queue[T]) Cap() int { return len(q.cells) }
+
+// Len returns an instantaneous (racy) item count.
+func (q *Queue[T]) Len() int {
+	n := int64(q.enqPos.Load()) - int64(q.deqPos.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// TryPush enqueues v if a slot is free, returning false when the queue is
+// full. Safe for concurrent producers.
+func (q *Queue[T]) TryPush(v T) bool {
+	for {
+		pos := q.enqPos.Load()
+		c := &q.cells[pos&q.mask]
+		dif := int64(c.seq.Load()) - int64(pos)
+		switch {
+		case dif == 0:
+			if q.enqPos.CompareAndSwap(pos, pos+1) {
+				c.val = v
+				c.seq.Store(pos + 1)
+				signal(q.notEmpty)
+				return true
+			}
+		case dif < 0:
+			// The consumer has not yet freed this cell: full.
+			return false
+		default:
+			// Another producer claimed pos between our loads; retry.
+		}
+	}
+}
+
+// Push blocks until v is enqueued, the queue is closed, or done is closed
+// (nil done never fires). Returns false when the value was NOT enqueued.
+func (q *Queue[T]) Push(v T, done <-chan struct{}) bool {
+	for {
+		if q.closed.Load() {
+			return false
+		}
+		if q.TryPush(v) {
+			return true
+		}
+		select {
+		case <-q.notFull:
+		case <-q.closedCh:
+			return false
+		case <-done:
+			return false
+		}
+	}
+}
+
+// TryPop dequeues the oldest item, returning false when the queue is
+// momentarily empty. Single consumer only.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	pos := q.deqPos.Load()
+	c := &q.cells[pos&q.mask]
+	if c.seq.Load() != pos+1 {
+		return zero, false
+	}
+	v := c.val
+	c.val = zero
+	c.seq.Store(pos + q.mask + 1)
+	q.deqPos.Store(pos + 1)
+	signal(q.notFull)
+	return v, true
+}
+
+// PopWait blocks until an item is available, done is closed, or the queue
+// is closed AND fully drained — so a Close never loses items already
+// pushed. The second return is false only on done/closed-and-drained.
+func (q *Queue[T]) PopWait(done <-chan struct{}) (T, bool) {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		if q.closed.Load() {
+			// Re-check: a publish may have landed between TryPop and the
+			// closed read (Close happens after producers finish, but a
+			// producer's final store can still be racing the flag read).
+			if v, ok := q.TryPop(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+		select {
+		case <-q.notEmpty:
+		case <-q.closedCh:
+		case <-done:
+			var zero T
+			return zero, false
+		}
+	}
+}
+
+// PopBatch dequeues up to len(buf) immediately-available items without
+// blocking and returns how many it wrote — the consumer's run-draining
+// primitive: one PopWait for the first item, then a PopBatch to sweep the
+// backlog into a batch.
+func (q *Queue[T]) PopBatch(buf []T) int {
+	n := 0
+	for n < len(buf) {
+		v, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		buf[n] = v
+		n++
+	}
+	return n
+}
+
+// Close marks the queue closed and wakes all waiters. Items already queued
+// remain poppable; subsequent Push calls fail. Close is idempotent and
+// must happen after the last producer's Push has returned.
+func (q *Queue[T]) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.closedCh)
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed.Load() }

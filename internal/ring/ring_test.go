@@ -1,0 +1,178 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFIFOSingleProducer checks strict ordering through wraparound.
+func TestFIFOSingleProducer(t *testing.T) {
+	q := New[int](4)
+	next := 0
+	for round := 0; round < 10; round++ {
+		for q.TryPush(next) {
+			next++
+		}
+		want := next - q.Len()
+		for {
+			v, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if v != want {
+				t.Fatalf("round %d: popped %d, want %d", round, v, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {256, 256}, {300, 512},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestTryPushFullTryPopEmpty(t *testing.T) {
+	q := New[string](2)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue returned ok")
+	}
+	if !q.TryPush("a") || !q.TryPush("b") {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.TryPush("c") {
+		t.Fatal("TryPush on full queue succeeded")
+	}
+	if v, ok := q.TryPop(); !ok || v != "a" {
+		t.Fatalf("TryPop = %q, %v; want \"a\", true", v, ok)
+	}
+	if !q.TryPush("c") {
+		t.Fatal("TryPush after a pop failed")
+	}
+}
+
+// TestCloseDrains checks PopWait returns queued items after Close and only
+// then reports closed.
+func TestCloseDrains(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if !q.Push(i, nil) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	q.Close()
+	if q.Push(99, nil) {
+		t.Fatal("Push after Close succeeded")
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.PopWait(nil)
+		if !ok || v != i {
+			t.Fatalf("PopWait = %d, %v; want %d, true", v, ok, i)
+		}
+	}
+	if _, ok := q.PopWait(nil); ok {
+		t.Fatal("PopWait after drain returned ok")
+	}
+}
+
+// TestMPSCStress drives the queue the way shard.Parallel does — several
+// producers racing event pushes with interleaved heartbeat messages, one
+// consumer batch-draining, a Close-then-drain "Flush" at the end — and
+// verifies no item is lost, duplicated, or reordered per producer. Run
+// with -race.
+func TestMPSCStress(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 5000
+		heartbeat = -1 // sentinel mixed into the stream like Advance msgs
+	)
+	q := New[[2]int](64) // {producer, value}; small cap forces blocking
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := i
+				if i%97 == 0 {
+					v = heartbeat
+				}
+				if !q.Push([2]int{p, v}, nil) {
+					t.Errorf("producer %d: push %d failed", p, i)
+					return
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	var got [producers][]int
+	var hbs int
+	go func() {
+		defer close(done)
+		buf := make([][2]int, 32)
+		for {
+			v, ok := q.PopWait(nil)
+			if !ok {
+				return // closed and drained: the consumer's Flush point
+			}
+			n := 1
+			buf[0] = v
+			n += q.PopBatch(buf[1:])
+			for _, it := range buf[:n] {
+				if it[1] == heartbeat {
+					hbs++
+					continue
+				}
+				got[it[0]] = append(got[it[0]], it[1])
+			}
+		}
+	}()
+
+	wg.Wait()
+	q.Close()
+	<-done
+
+	wantHbs := 0
+	for p := 0; p < producers; p++ {
+		want := 0
+		for i := 0; i < perProd; i++ {
+			if i%97 == 0 {
+				wantHbs++
+				continue
+			}
+			if want >= len(got[p]) {
+				t.Fatalf("producer %d: lost items after %d", p, want)
+			}
+			if got[p][want] != i {
+				t.Fatalf("producer %d: item %d = %d, want %d", p, want, got[p][want], i)
+			}
+			want++
+		}
+		if want != len(got[p]) {
+			t.Fatalf("producer %d: got %d items, want %d", p, len(got[p]), want)
+		}
+	}
+	if hbs != wantHbs {
+		t.Fatalf("heartbeats seen = %d, want %d", hbs, wantHbs)
+	}
+}
+
+// TestPushAbort checks the done channel unblocks a producer parked on a
+// full queue.
+func TestPushAbort(t *testing.T) {
+	q := New[int](2)
+	q.TryPush(1)
+	q.TryPush(2)
+	done := make(chan struct{})
+	close(done)
+	if q.Push(3, done) {
+		t.Fatal("Push into full queue with closed done succeeded")
+	}
+}

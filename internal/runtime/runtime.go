@@ -10,6 +10,7 @@ package runtime
 
 import (
 	"context"
+	"time"
 
 	"oostream/internal/engine"
 	"oostream/internal/event"
@@ -43,6 +44,89 @@ func (p *Pipeline) Run(ctx context.Context, in <-chan event.Event, out chan<- pl
 			if err := emitAll(ctx, p.engine.Process(e), out); err != nil {
 				return err
 			}
+		}
+	}
+}
+
+// RunBatched is Run over the engine's batch path: it blocks for the first
+// event of a batch, then fills greedily up to size — without waiting when
+// linger is zero (whatever is queued on in forms the batch), or waiting up
+// to linger for stragglers otherwise — and hands the batch to
+// engine.ProcessBatch in one call. Output is identical to Run by the
+// BatchProcessor contract; only throughput and latency change. size <= 1
+// falls back to Run.
+func (p *Pipeline) RunBatched(ctx context.Context, in <-chan event.Event, out chan<- plan.Match, size int, linger time.Duration) error {
+	if size <= 1 {
+		return p.Run(ctx, in, out)
+	}
+	defer close(out)
+	batch := make([]event.Event, 0, size)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := emitAll(ctx, engine.ProcessBatch(p.engine, batch), out)
+		batch = batch[:0]
+		return err
+	}
+	finish := func() error {
+		if err := flush(); err != nil {
+			return err
+		}
+		return emitAll(ctx, p.engine.Flush(), out)
+	}
+	var timer *time.Timer
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case e, ok := <-in:
+			if !ok {
+				return finish()
+			}
+			batch = append(batch, e)
+		}
+		var deadline <-chan time.Time
+		if linger > 0 {
+			if timer == nil {
+				timer = time.NewTimer(linger)
+			} else {
+				timer.Reset(linger)
+			}
+			deadline = timer.C
+		}
+	fill:
+		for len(batch) < size {
+			if linger > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case e, ok := <-in:
+					if !ok {
+						return finish()
+					}
+					batch = append(batch, e)
+				case <-deadline:
+					deadline = nil // fired and drained; don't re-stop below
+					break fill
+				}
+			} else {
+				select {
+				case e, ok := <-in:
+					if !ok {
+						return finish()
+					}
+					batch = append(batch, e)
+				default:
+					break fill
+				}
+			}
+		}
+		if deadline != nil && !timer.Stop() {
+			<-timer.C
+		}
+		if err := flush(); err != nil {
+			return err
 		}
 	}
 }

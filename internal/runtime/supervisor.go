@@ -284,6 +284,37 @@ func (s *Supervisor) ProcessE(e event.Event) ([]plan.Match, error) {
 	return out, nil
 }
 
+// ProcessBatchE offers a batch of events. The fault-tolerance machinery is
+// strictly per event — each event is WAL-appended before it is processed,
+// and each event's matches are committed past the durable horizon before
+// the next event is offered — so an interrupted batch behaves exactly like
+// an interrupted per-event stream: recovery replays the logged prefix and
+// suppresses matches already delivered, never double-emitting past the
+// commit horizon. The batch entry therefore amortizes only the call and
+// output-slice overhead, deliberately not the durability barriers.
+// Processing stops at the first error; matches from events already
+// committed are returned alongside it.
+func (s *Supervisor) ProcessBatchE(batch []event.Event) ([]plan.Match, error) {
+	var out []plan.Match
+	for _, e := range batch {
+		ms, err := s.ProcessE(e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// ProcessBatch implements engine.BatchProcessor; failures park in Err.
+func (s *Supervisor) ProcessBatch(batch []event.Event) []plan.Match {
+	out, err := s.ProcessBatchE(batch)
+	if err != nil {
+		s.fail(err)
+	}
+	return out
+}
+
 // Flush implements engine.Engine; failures park in Err.
 func (s *Supervisor) Flush() []plan.Match {
 	out, err := s.FlushE()

@@ -12,11 +12,27 @@ import (
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
 	"oostream/internal/provenance"
+	"oostream/internal/ring"
 )
 
-// Parallel runs each shard's engine on its own goroutine, connected by
-// one-slot channels. Output order across shards is nondeterministic but
-// the match multiset equals the sequential Engine's.
+// shardRingCap is the per-shard feed ring's capacity. Deep enough that the
+// router stays ahead of a momentarily busy shard, small enough that a
+// stalled shard applies backpressure quickly.
+const shardRingCap = 256
+
+// shardMaxBatch bounds how many events a shard consumer accumulates before
+// it must run the engine: the run-draining consumer batches whatever is
+// already queued, and this caps the resulting ProcessBatch size (and the
+// latency of the first match behind it).
+const shardMaxBatch = 128
+
+// Parallel runs each shard's engine on its own goroutine, fed through a
+// bounded MPSC ring instead of a per-event channel rendezvous: the router
+// enqueues, and each shard consumer drains whatever run has accumulated
+// into one ProcessBatch call — batching adapts to the backlog, so a slow
+// shard amortizes per-call overhead exactly when it needs to. Output order
+// across shards is nondeterministic but the match multiset equals the
+// sequential Engine's.
 type Parallel struct {
 	router *Router
 	parts  []engine.Engine
@@ -102,25 +118,87 @@ func (p *Parallel) Run(ctx context.Context, in <-chan event.Event, out chan<- pl
 // timestamp received on hb is broadcast to all shards as an Advance call,
 // interleaved with event delivery — re-synchronizing the per-shard clocks
 // through stream silence exactly as the sequential Engine's Advance does.
-// A nil hb makes it equivalent to Run. hb is never closed by the caller's
-// contract; the feed loop stops reading it once in closes.
+// A heartbeat also flushes each consumer's accumulated batch first, so it
+// sequences at a batch boundary and never releases matches early relative
+// to events routed before it. A nil hb makes it equivalent to Run. hb is
+// never closed by the caller's contract; the feed loop stops reading it
+// once in closes.
 func (p *Parallel) RunWithHeartbeats(ctx context.Context, in <-chan event.Event, hb <-chan event.Time, out chan<- plan.Match) error {
+	return p.runLoop(ctx, out, func(ctx context.Context, push func(int, shardMsg) bool, broadcast func(shardMsg) bool) error {
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case ts := <-hb:
+				if !broadcast(shardMsg{heartbeat: true, ts: ts}) {
+					return ctx.Err()
+				}
+			case e, ok := <-in:
+				if !ok {
+					return nil
+				}
+				shard, err := p.router.Route(e)
+				if err != nil {
+					continue // drop: cannot belong to any partitioned match
+				}
+				if !push(shard, shardMsg{ev: e}) {
+					return ctx.Err()
+				}
+			}
+		}
+	})
+}
+
+// RunBatches is Run for a pre-batched input stream: each received slice is
+// routed event by event onto the shard rings in one pass, preserving the
+// slice's arrival order per shard. The consumers re-batch per shard, so
+// upstream batch boundaries don't constrain engine batch sizes.
+func (p *Parallel) RunBatches(ctx context.Context, in <-chan []event.Event, out chan<- plan.Match) error {
+	return p.runLoop(ctx, out, func(ctx context.Context, push func(int, shardMsg) bool, _ func(shardMsg) bool) error {
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case batch, ok := <-in:
+				if !ok {
+					return nil
+				}
+				for _, e := range batch {
+					shard, err := p.router.Route(e)
+					if err != nil {
+						continue // drop: cannot belong to any partitioned match
+					}
+					if !push(shard, shardMsg{ev: e}) {
+						return ctx.Err()
+					}
+				}
+			}
+		}
+	})
+}
+
+// runLoop owns the shared plumbing: shard goroutines fed by MPSC rings, a
+// merge channel with a forwarder, and the feeder callback supplied by the
+// Run variants (its push/broadcast return false once the group is
+// cancelled). Rings are closed when the feeder returns, letting consumers
+// drain their backlog and Flush.
+func (p *Parallel) runLoop(ctx context.Context, out chan<- plan.Match, feeder func(context.Context, func(int, shardMsg) bool, func(shardMsg) bool) error) error {
 	defer close(out)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	feeds := make([]chan shardMsg, len(p.parts))
+	feeds := make([]*ring.Queue[shardMsg], len(p.parts))
 	merged := make(chan plan.Match, 1)
 	errs := make(chan error, len(p.parts))
 	var wg sync.WaitGroup
 	for i, part := range p.parts {
-		feeds[i] = make(chan shardMsg, 1)
+		feeds[i] = ring.New[shardMsg](shardRingCap)
 		wg.Add(1)
-		go func(shard int, en engine.Engine, feed <-chan shardMsg) {
+		go func(shard int, en engine.Engine, feed *ring.Queue[shardMsg]) {
 			defer wg.Done()
 			err := p.runShard(ctx, shard, en, feed, merged)
 			if err != nil {
-				// A dead shard stops reading its feed; cancel the group so
+				// A dead shard stops draining its ring; cancel the group so
 				// the feeder never wedges delivering to it.
 				cancel()
 			}
@@ -164,40 +242,20 @@ func (p *Parallel) RunWithHeartbeats(ctx context.Context, in <-chan event.Event,
 		}
 	}()
 
-	var runErr error
-feed:
-	for {
-		select {
-		case <-ctx.Done():
-			runErr = ctx.Err()
-			break feed
-		case ts := <-hb:
-			for _, feed := range feeds {
-				select {
-				case feed <- shardMsg{heartbeat: true, ts: ts}:
-				case <-ctx.Done():
-					runErr = ctx.Err()
-					break feed
-				}
-			}
-		case e, ok := <-in:
-			if !ok {
-				break feed
-			}
-			shard, err := p.router.Route(e)
-			if err != nil {
-				continue // drop: cannot belong to any partitioned match
-			}
-			select {
-			case feeds[shard] <- shardMsg{ev: e}:
-			case <-ctx.Done():
-				runErr = ctx.Err()
-				break feed
+	push := func(shard int, msg shardMsg) bool {
+		return feeds[shard].Push(msg, ctx.Done())
+	}
+	broadcast := func(msg shardMsg) bool {
+		for _, feed := range feeds {
+			if !feed.Push(msg, ctx.Done()) {
+				return false
 			}
 		}
+		return true
 	}
+	runErr := feeder(ctx, push, broadcast)
 	for _, feed := range feeds {
-		close(feed)
+		feed.Close()
 	}
 	// A shard failure (engine panic) cancels the group, so plain
 	// cancellation errors from sibling shards must not mask the root
@@ -229,7 +287,13 @@ func guard(f func() []plan.Match) (out []plan.Match, err error) {
 	return f(), nil
 }
 
-func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, feed <-chan shardMsg, merged chan<- plan.Match) error {
+// runShard is one shard's consumer: it blocks for the next message, then
+// sweeps whatever else is already queued, accumulating contiguous events
+// into a batch that runs through the engine's batch path in one call.
+// Heartbeats flush the accumulated batch before advancing, so they take
+// effect exactly at a batch boundary (events routed before the heartbeat
+// are fully processed first; matches are never released early).
+func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, feed *ring.Queue[shardMsg], merged chan<- plan.Match) error {
 	send := func(matches []plan.Match, err error) error {
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", shard, err)
@@ -246,25 +310,55 @@ func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, fe
 		}
 		return nil
 	}
+	batch := make([]event.Event, 0, shardMaxBatch)
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := send(guard(func() []plan.Match { return engine.ProcessBatch(en, batch) }))
+		batch = batch[:0]
+		return err
+	}
 	for {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case msg, ok := <-feed:
-			if !ok {
-				return send(guard(en.Flush))
+		msg, ok := feed.PopWait(ctx.Done())
+		if !ok {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
+			// Ring closed and drained: end of stream.
+			if err := flushBatch(); err != nil {
+				return err
+			}
+			return send(guard(en.Flush))
+		}
+		for {
 			if msg.heartbeat {
+				if err := flushBatch(); err != nil {
+					return err
+				}
 				if adv, isAdv := en.(engine.Advancer); isAdv {
 					if err := send(guard(func() []plan.Match { return adv.Advance(msg.ts) })); err != nil {
 						return err
 					}
 				}
-				continue
+			} else {
+				batch = append(batch, msg.ev)
+				if len(batch) >= shardMaxBatch {
+					if err := flushBatch(); err != nil {
+						return err
+					}
+				}
 			}
-			if err := send(guard(func() []plan.Match { return en.Process(msg.ev) })); err != nil {
-				return err
+			msg, ok = feed.TryPop()
+			if !ok {
+				break
 			}
+		}
+		// The ring is momentarily empty: run what accumulated rather than
+		// waiting for more (batching adapts to backlog, idle streams keep
+		// per-event latency).
+		if err := flushBatch(); err != nil {
+			return err
 		}
 	}
 }
@@ -283,6 +377,44 @@ func (p *Parallel) Drain(ctx context.Context, events []event.Event) ([]plan.Matc
 		for _, e := range events {
 			select {
 			case in <- e:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var matches []plan.Match
+	for m := range out {
+		matches = append(matches, m)
+	}
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return matches, nil
+}
+
+// DrainBatches is Drain over the batched entry: the finite event slice is
+// delivered in batchSize chunks through RunBatches (batchSize <= 0 sends
+// one whole-stream batch) and the complete match multiset returned.
+func (p *Parallel) DrainBatches(ctx context.Context, events []event.Event, batchSize int) ([]plan.Match, error) {
+	if batchSize <= 0 {
+		batchSize = len(events)
+		if batchSize == 0 {
+			batchSize = 1
+		}
+	}
+	in := make(chan []event.Event)
+	out := make(chan plan.Match, 16)
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.RunBatches(ctx, in, out) }()
+	go func() {
+		defer close(in)
+		for start := 0; start < len(events); start += batchSize {
+			end := start + batchSize
+			if end > len(events) {
+				end = len(events)
+			}
+			select {
+			case in <- events[start:end]:
 			case <-ctx.Done():
 				return
 			}

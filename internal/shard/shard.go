@@ -150,6 +150,43 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	return ms
 }
 
+// ProcessBatch implements engine.BatchProcessor: consecutive events that
+// route to the same shard are handed to that shard's batch path as one
+// subslice. Because shards are independent (an event only ever affects its
+// own shard's matches), regrouping consecutive same-shard runs emits
+// exactly the per-event concatenation.
+func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
+	var out []plan.Match
+	start := 0
+	cur := -1
+	flush := func(end int) {
+		if cur < 0 || start == end {
+			return
+		}
+		ms := engine.ProcessBatch(en.parts[cur], batch[start:end])
+		if en.prov {
+			tagShard(ms, cur)
+		}
+		out = append(out, ms...)
+	}
+	for i := range batch {
+		shard, err := en.router.Route(batch[i])
+		if err != nil {
+			flush(i)
+			start, cur = i+1, -1
+			en.routeErrors++
+			en.met.IncPredError(err)
+			continue
+		}
+		if shard != cur {
+			flush(i)
+			start, cur = i, shard
+		}
+	}
+	flush(len(batch))
+	return out
+}
+
 // tagShard stamps the emitting shard's index into relayed lineage records.
 func tagShard(ms []plan.Match, shard int) {
 	for i := range ms {

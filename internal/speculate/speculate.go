@@ -182,10 +182,36 @@ func (en *Engine) safe() event.Time {
 
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
+	out := en.processOne(e, nil)
+	en.maybePurge()
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// ProcessBatch implements engine.BatchProcessor. Vulnerable-entry expiry
+// stays per event (it is cheap and keeps the retraction scan small), but
+// the purge pass — output-invisible here for the same window-bound reason
+// as the native engine's, and this engine always drops bound violators —
+// and the state gauge are deferred to the batch boundary.
+func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
+	var out []plan.Match
+	for i := range batch {
+		out = en.processOne(batch[i], out)
+	}
+	en.maybePurge()
+	en.met.SetLiveState(en.StateSize())
+	return out
+}
+
+// processOne is the per-event pipeline shared by Process and ProcessBatch:
+// admission, negative-store insertion with retraction of invalidated
+// matches, AIS insertion with trigger-based construction, and vulnerable
+// expiry. Purging and the gauge are the caller's responsibility.
+func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	en.arrival++
 	if !en.plan.Relevant(e.Type) {
 		en.met.IncIrrelevant()
-		return nil
+		return out
 	}
 	isOOO := en.started && e.TS < en.clock
 	var lag event.Time
@@ -201,13 +227,12 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		if en.trace != nil {
 			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 		}
-		return nil
+		return out
 	}
 	if e.TS > en.clock || !en.started {
 		en.clock = e.TS
 		en.started = true
 	}
-	var out []plan.Match
 	if !en.plan.ConstFalse {
 		for _, negIdx := range en.plan.NegativesForType(e.Type) {
 			if plan.EvalLocal(en.plan.Negatives[negIdx].Local, e, en.met.IncPredError) {
@@ -237,8 +262,7 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 		}
 	}
 	en.expireVulnerable()
-	en.maybePurge()
-	en.met.SetLiveState(en.StateSize())
+	en.since++
 	return out
 }
 
@@ -473,11 +497,13 @@ func (en *Engine) expireVulnerable() {
 	}
 }
 
+// maybePurge runs the purge rules once the processed-event counter
+// (advanced by processOne) reaches opts.PurgeEvery; ProcessBatch checks
+// only at batch boundaries.
 func (en *Engine) maybePurge() {
 	if en.opts.PurgeEvery < 0 {
 		return
 	}
-	en.since++
 	if en.since < en.opts.PurgeEvery {
 		return
 	}

@@ -170,6 +170,7 @@ type Engine struct {
 	inner   engine.Engine
 	nextSeq event.Seq
 	sealed  bool
+	batch   Batch
 }
 
 // NewEngine builds an engine for the query. See Config for the strategy,
@@ -185,7 +186,7 @@ func NewEngine(q *Query, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: inner}, nil
+	return &Engine{inner: inner, batch: cfg.Batch}, nil
 }
 
 // newInner builds the engine behind the facade: a single strategy engine,
@@ -361,6 +362,31 @@ func (e *Engine) Process(ev Event) []Match {
 	return e.inner.Process(ev)
 }
 
+// ProcessBatch ingests a slice of events through the engine's batch path
+// and returns the matches they emit, in the same order per-event Process
+// calls would (the BatchProcessor contract, enforced by the differential
+// harness). Batching amortizes per-event overhead — shared output slice,
+// purge passes and gauge updates deferred to the batch boundary — without
+// changing output, retractions, lineage, or trace semantics.
+//
+// Seq auto-assignment matches Process and is written into the caller's
+// slice in place (events already carrying a Seq keep it). Like Process, it
+// panics when called after Flush.
+func (e *Engine) ProcessBatch(events []Event) []Match {
+	if e.sealed {
+		panic("oostream: ProcessBatch called after Flush; the stream is sealed")
+	}
+	for i := range events {
+		if events[i].Seq == 0 {
+			e.nextSeq++
+			events[i].Seq = e.nextSeq
+		} else if events[i].Seq > e.nextSeq {
+			e.nextSeq = events[i].Seq
+		}
+	}
+	return engine.ProcessBatch(e.inner, events)
+}
+
 // ProcessAll ingests a finite slice and returns all matches, including the
 // end-of-stream flush.
 func (e *Engine) ProcessAll(events []Event) []Match {
@@ -487,6 +513,13 @@ func NewPartitionedEngine(q *Query, cfg Config, byAttr string, shards int) (*Eng
 // forwarding matches to out; it flushes on end-of-stream and closes out
 // before returning. Auto-assignment of Seq is NOT applied on this path —
 // feed events with sequence numbers (generators assign them).
+//
+// When Config.Batch.Size > 1, Run drives the engine's batch path: events
+// are accumulated (up to Size, waiting at most Linger for a partial batch)
+// and handed to ProcessBatch in one call. Output is identical either way.
 func (e *Engine) Run(ctx context.Context, in <-chan Event, out chan<- Match) error {
+	if e.batch.Size > 1 {
+		return runtime.NewPipeline(e.inner).RunBatched(ctx, in, out, e.batch.Size, e.batch.Linger)
+	}
 	return runtime.NewPipeline(e.inner).Run(ctx, in, out)
 }

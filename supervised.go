@@ -233,6 +233,23 @@ func (s *SupervisedEngine) Process(ev Event) ([]Match, error) {
 	return s.sup.ProcessE(ev)
 }
 
+// ProcessBatch offers a slice of events through the supervised batch
+// entry. Durability semantics are identical to per-event Process calls:
+// each event is logged before processing and its matches are committed
+// before the next event is offered, so a crash mid-batch recovers exactly
+// as a crash mid-stream would — replayed, deduplicated, and never
+// double-emitting past the commit horizon. Every event must carry a
+// unique non-zero Seq. Processing stops at the first error; matches
+// already committed are returned alongside it.
+func (s *SupervisedEngine) ProcessBatch(events []Event) ([]Match, error) {
+	for _, ev := range events {
+		if ev.Seq == 0 {
+			return nil, fmt.Errorf("supervised engine requires caller-assigned event Seq values")
+		}
+	}
+	return s.sup.ProcessBatchE(events)
+}
+
 // ProcessAll offers a finite slice and returns all matches including the
 // end-of-stream flush.
 func (s *SupervisedEngine) ProcessAll(events []Event) ([]Match, error) {
