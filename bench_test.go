@@ -513,3 +513,59 @@ func BenchmarkE17Provenance(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE19MultiQuery prices shared admission: a QuerySet holding N
+// sparse two-step queries over a 200-type universe versus a loop of N
+// independent native engines fed the same stream. The QuerySet pays
+// reorder/purge once per event and dispatches through its type index; the
+// loop pays full admission per (engine, event) pair. Per-query output
+// equivalence is proved by internal/difftest.RunMulti; here the cost gap
+// is the measurement.
+func BenchmarkE19MultiQuery(b *testing.B) {
+	const nTypes = 200
+	types := make([]string, nTypes)
+	for i := range types {
+		types[i] = fmt.Sprintf("T%d", i)
+	}
+	events := gen.Shuffle(gen.Uniform(benchItems, types, 8, 10, 91),
+		gen.Disorder{Ratio: 0.20, MaxDelay: 200, Seed: 92})
+	for _, n := range []int{10, 100} {
+		queries := make([]*oostream.Query, n)
+		for i := range queries {
+			a, c := (i*7)%nTypes, (i*13+1)%nTypes
+			if a == c {
+				c = (c + 1) % nTypes
+			}
+			queries[i] = oostream.MustCompile(fmt.Sprintf(
+				"PATTERN SEQ(T%d x0, T%d x1) WHERE x0.id = x1.id WITHIN 400", a, c), nil)
+		}
+		b.Run(fmt.Sprintf("queries=%d/queryset", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var matches int
+			for i := 0; i < b.N; i++ {
+				set := oostream.MustNewQuerySet(oostream.QuerySetConfig{K: 200})
+				for j, q := range queries {
+					if err := set.Register(fmt.Sprintf("q%d", j), q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				matches = len(set.ProcessAll(events))
+			}
+			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(matches), "matches")
+		})
+		b.Run(fmt.Sprintf("queries=%d/loop", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var matches int
+			for i := 0; i < b.N; i++ {
+				matches = 0
+				for _, q := range queries {
+					en := oostream.MustNewEngine(q, oostream.Config{K: 200})
+					matches += len(en.ProcessAll(events))
+				}
+			}
+			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(matches), "matches")
+		})
+	}
+}

@@ -11,10 +11,18 @@
 //	espbench -json                 # JSON output (one array of tables)
 //	espbench -cpuprofile cpu.out   # pprof CPU profile of the run
 //	espbench -memprofile mem.out   # pprof heap profile after the run
+//	espbench -queries 100          # multi-query benchmark at one query count
+//
+// -queries N runs only the multi-query shared-admission benchmark (E19's
+// harness) at the single given query count — the cheap CI smoke form of
+// the full E19 sweep.
+//
+// JSON output stamps each table with host metadata (CPU count,
+// GOMAXPROCS, Go version) so recorded baselines carry provenance.
 //
 // The committed BENCH_native.json baseline is regenerated with:
 //
-//	go run ./cmd/espbench -exp E2,E10,E14,E18 -json > BENCH_native.json
+//	go run ./cmd/espbench -exp E2,E10,E14,E18,E19 -json > BENCH_native.json
 package main
 
 import (
@@ -50,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 		listen     = fs.String("listen", "", "serve live observability HTTP on this address while experiments run (/metrics, /varz, /healthz, /debug/pprof)")
+		queries    = fs.Int("queries", 0, "run only the multi-query benchmark at this registered-query count (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +94,23 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown scale %q (want smoke or full)", *scaleName)
 	}
 
+	if *queries > 0 {
+		if *expList != "" {
+			return fmt.Errorf("-queries is exclusive with -exp")
+		}
+		tbl := bench.MultiQuery(scale, []int{*queries})
+		tbl.Host = bench.HostInfo()
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode([]*bench.Table{tbl})
+		}
+		if *csv {
+			return tbl.RenderCSV(stdout)
+		}
+		return tbl.Render(stdout)
+	}
+
 	experiments := bench.All()
 	if *expList != "" {
 		experiments = experiments[:0]
@@ -110,8 +136,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var tables []*bench.Table
+	host := bench.HostInfo()
 	for _, e := range experiments {
 		tbl := e.Run(scale)
+		tbl.Host = host
 		var err error
 		switch {
 		case *jsonOut:

@@ -15,6 +15,13 @@
 // must agree exactly — matches, lineage records, trace-op multisets, and
 // heartbeats injected at batch boundaries.
 //
+// With -multi each trial runs the multi-query differential instead: a
+// QuerySet with several registered queries (shared admission, event-type
+// index, prefix gating) must equal, per query, both the oracle and
+// independent single-query engines — across strategies, batch ingestion,
+// lineage, live Register/Unregister, and supervised kill/recover with the
+// v2 checkpoint format.
+//
 // With -crash each trial instead runs the crash-point differential: the
 // supervised fault-tolerant runtime is killed at seed-derived offsets and
 // recovered from its durable store (checkpoints + write-ahead log), and
@@ -73,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet   = fs.Bool("q", false, "suppress per-failure reports (summary only)")
 		crash   = fs.Bool("crash", false, "run the crash-recovery differential instead of the strategy differential")
 		batch   = fs.Bool("batch", false, "run the batch≡per-event differential instead of the strategy differential")
+		multi   = fs.Bool("multi", false, "run the multi-query QuerySet differential instead of the strategy differential")
 		listen  = fs.String("listen", "", "serve live soak progress over HTTP (/varz, /healthz, /debug/pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +131,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fail = difftest.RunCrash(c)
 		case *batch:
 			fail = difftest.RunBatch(difftest.Generate(next))
+		case *multi:
+			fail = difftest.RunMulti(difftest.Generate(next))
 		default:
 			fail = difftest.Run(difftest.Generate(next))
 		}
@@ -138,6 +148,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "%v\n", fail)
 				case *batch:
 					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkBatch(fail).Report())
+				case *multi:
+					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkMulti(fail).Report())
 				default:
 					fmt.Fprintf(stderr, "%s\n", difftest.Shrink(fail).Report())
 				}

@@ -18,6 +18,13 @@
 //	^C (or crash)
 //	esprun -query ... -trace trace.jsonl -checkpoint-dir state/ -resume
 //
+// With -queries the run is multi-query: the file holds one query per line
+// (optionally "id: QUERY ..."; blank lines and #-comments skipped), all
+// evaluated over the single stream by a shared-admission QuerySet, and
+// every match is printed with its owning query id. Combined with
+// -checkpoint-dir the whole registry is supervised under the v2
+// checkpoint format.
+//
 // With -explain every emitted match is followed by its lineage record —
 // the contributing events, key group, window bounds, and (for
 // retractions) the late event that invalidated the result. With -listen
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -48,8 +56,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("esprun", flag.ContinueOnError)
 	var (
-		queryText = fs.String("query", "", "query text (required unless -query-file)")
+		queryText = fs.String("query", "", "query text (required unless -query-file or -queries)")
 		queryFile = fs.String("query-file", "", "file containing the query text")
+		queries   = fs.String("queries", "", "multi-query file: one query per line (optionally \"id: QUERY ...\"), run as a shared QuerySet")
 		traceFile = fs.String("trace", "", "trace file (default stdin)")
 		strategy  = fs.String("strategy", "native", "strategy: native, inorder, kslack, speculate")
 		k         = fs.Int64("k", 1000, "disorder bound K (logical ms)")
@@ -77,17 +86,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		src = string(raw)
 	}
-	if src == "" {
-		return fmt.Errorf("a query is required (-query or -query-file)")
+	if src == "" && *queries == "" {
+		return fmt.Errorf("a query is required (-query, -query-file, or -queries)")
+	}
+	if src != "" && *queries != "" {
+		return fmt.Errorf("-queries is exclusive with -query/-query-file")
 	}
 
-	q, err := oostream.Compile(src, nil)
-	if err != nil {
-		return err
-	}
-	if *planOnly {
-		_, err := fmt.Fprint(stdout, q.Explain())
-		return err
+	var q *oostream.Query
+	var registry []namedQuery
+	if *queries != "" {
+		var err error
+		if registry, err = readQueries(*queries); err != nil {
+			return err
+		}
+		if *planOnly {
+			for _, nq := range registry {
+				if _, err := fmt.Fprintf(stdout, "-- %s --\n%s", nq.id, nq.q.Explain()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if *partAttr != "" {
+			return fmt.Errorf("-partition is not supported with -queries")
+		}
+	} else {
+		var err error
+		if q, err = oostream.Compile(src, nil); err != nil {
+			return err
+		}
+		if *planOnly {
+			_, err := fmt.Fprint(stdout, q.Explain())
+			return err
+		}
 	}
 	cfg := oostream.Config{
 		Strategy:   oostream.Strategy(*strategy),
@@ -155,7 +187,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if *quiet || (*maxPrint > 0 && printed >= *maxPrint) {
 				continue
 			}
-			fmt.Fprintln(stdout, m)
+			if m.Query != "" {
+				fmt.Fprintf(stdout, "[%s] %s\n", m.Query, m)
+			} else {
+				fmt.Fprintln(stdout, m)
+			}
 			if *explain && m.Prov != nil {
 				fmt.Fprintf(stdout, "  lineage: %s\n", m.Prov)
 			}
@@ -169,12 +205,57 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var name string
 	var stats func() oostream.Metrics
 	var snapshot func() *oostream.StateSnapshot
-	if *ckptDir != "" {
-		if !*resume {
-			if entries, err := os.ReadDir(*ckptDir); err == nil && len(entries) > 0 {
-				return fmt.Errorf("%s already holds state; pass -resume to continue it (or point at an empty directory)", *ckptDir)
+	if *ckptDir != "" && !*resume {
+		if entries, err := os.ReadDir(*ckptDir); err == nil && len(entries) > 0 {
+			return fmt.Errorf("%s already holds state; pass -resume to continue it (or point at an empty directory)", *ckptDir)
+		}
+	}
+	switch {
+	case registry != nil && *ckptDir != "":
+		qcfg := oostream.QuerySetConfig{
+			Strategy: cfg.Strategy, K: cfg.K,
+			Provenance: cfg.Provenance, Observer: cfg.Observer, Trace: cfg.Trace,
+		}
+		s, err := oostream.NewSupervisedQuerySet(qcfg, oostream.SupervisorConfig{
+			Dir:             *ckptDir,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		for _, nq := range registry {
+			if err := s.Register(nq.id, nq.q); err != nil {
+				return err
 			}
 		}
+		recovered, err := s.Start()
+		if err != nil {
+			return err
+		}
+		emit(recovered)
+		process, processBatch, flush, stats = s.Process, s.ProcessBatch, s.Flush, s.Metrics
+		name = fmt.Sprintf("queryset(%s)×%d", cfg.Strategy, len(registry))
+	case registry != nil:
+		qcfg := oostream.QuerySetConfig{
+			Strategy: cfg.Strategy, K: cfg.K,
+			Provenance: cfg.Provenance, Observer: cfg.Observer, Trace: cfg.Trace,
+		}
+		set, err := oostream.NewQuerySet(qcfg)
+		if err != nil {
+			return err
+		}
+		for _, nq := range registry {
+			if err := set.Register(nq.id, nq.q); err != nil {
+				return err
+			}
+		}
+		process = func(e oostream.Event) ([]oostream.Match, error) { return set.Process(e), nil }
+		processBatch = func(evs []oostream.Event) ([]oostream.Match, error) { return set.ProcessBatch(evs), nil }
+		flush = func() ([]oostream.Match, error) { return set.Flush(), nil }
+		stats = set.Metrics
+		name = fmt.Sprintf("queryset(%s)×%d", cfg.Strategy, len(registry))
+	case *ckptDir != "":
 		sen, err := oostream.NewSupervisedEngine(q, cfg, oostream.SupervisorConfig{
 			Dir:             *ckptDir,
 			CheckpointEvery: *ckptEvery,
@@ -190,7 +271,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		emit(recovered)
 		process, processBatch, flush, name, stats = sen.Process, sen.ProcessBatch, sen.Flush, sen.Strategy(), sen.Metrics
 		snapshot = sen.StateSnapshot
-	} else {
+	default:
 		en, err := oostream.NewEngine(q, cfg)
 		if err != nil {
 			return err
@@ -277,4 +358,44 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "strategy=%s matches=%d %s\n", name, total, stats())
 	return nil
+}
+
+// namedQuery is one entry of a -queries file.
+type namedQuery struct {
+	id string
+	q  *oostream.Query
+}
+
+// readQueries parses a multi-query file: one query per line, blank lines
+// and #-comments skipped. A line may carry an explicit id as "id: QUERY
+// ..."; otherwise ids are assigned as q1, q2, … by position.
+func readQueries(path string) ([]namedQuery, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []namedQuery
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id := fmt.Sprintf("q%d", len(out)+1)
+		if !strings.HasPrefix(line, "PATTERN") {
+			head, rest, ok := strings.Cut(line, ":")
+			if !ok || strings.TrimSpace(head) == "" {
+				return nil, fmt.Errorf("%s:%d: want \"PATTERN ...\" or \"id: PATTERN ...\"", path, i+1)
+			}
+			id, line = strings.TrimSpace(head), strings.TrimSpace(rest)
+		}
+		q, err := oostream.Compile(line, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d (%s): %w", path, i+1, id, err)
+		}
+		out = append(out, namedQuery{id: id, q: q})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no queries found", path)
+	}
+	return out, nil
 }

@@ -172,6 +172,7 @@ func All() []Experiment {
 		{"E14", "keyed stacks vs. key cardinality", E14KeyCardinality},
 		{"E16", "observability overhead", E16Observability},
 		{"E18", "batched admission throughput", E18Batch},
+		{"E19", "multi-query shared admission", E19MultiQuery},
 	}
 }
 

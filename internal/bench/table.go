@@ -26,6 +26,9 @@ type Table struct {
 	Rows [][]string
 	// Notes carries qualitative observations (who wins, expected shape).
 	Notes []string
+	// Host identifies the machine the experiment ran on; cmd/espbench
+	// stamps it on JSON output so recorded baselines carry provenance.
+	Host *Host `json:",omitempty"`
 }
 
 // AddRow appends a row from formatted values.

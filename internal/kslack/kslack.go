@@ -32,6 +32,36 @@ func NewBuffer(k event.Time) *Buffer {
 // K returns the configured slack.
 func (b *Buffer) K() event.Time { return b.k }
 
+// MaxSeen returns the maximum timestamp observed (via Push or Advance) and
+// whether anything has been observed at all.
+func (b *Buffer) MaxSeen() (event.Time, bool) { return b.maxSeen, b.started }
+
+// Pending returns a sorted copy of the still-buffered events, for
+// checkpointing. The buffer is unchanged.
+func (b *Buffer) Pending() []event.Event {
+	out := make([]event.Event, len(b.heap))
+	copy(out, b.heap)
+	event.SortByTime(out)
+	return out
+}
+
+// restoreInto loads checkpointed state: the watermark position
+// (maxSeen/started) and the still-buffered events — all above the implied
+// watermark, as Pending returned them.
+func (b *Buffer) restoreInto(maxSeen event.Time, started bool, pending []event.Event) {
+	b.maxSeen, b.started = maxSeen, started
+	b.heap = append(b.heap[:0], pending...)
+	heap.Init(&b.heap)
+}
+
+// RestoreBuffer rebuilds a buffer from checkpointed state (see Pending and
+// MaxSeen for the capture side).
+func RestoreBuffer(k event.Time, maxSeen event.Time, started bool, pending []event.Event) *Buffer {
+	b := NewBuffer(k)
+	b.restoreInto(maxSeen, started, pending)
+	return b
+}
+
 // Len returns the number of buffered events.
 func (b *Buffer) Len() int { return len(b.heap) }
 

@@ -50,6 +50,11 @@ type Match struct {
 	// (Key/SameResults) — two matches over the same events are the same
 	// match regardless of how their construction was traced.
 	Prov *provenance.Record
+	// Query is the id of the owning query when the match was produced by a
+	// multi-query Set (internal/queryset); empty for single-query engines.
+	// Like Prov it is excluded from Key/SameResults: identity is the event
+	// set, and per-query comparison filters on this field first.
+	Query string
 }
 
 // Key is a canonical identity for the match: the arrival sequence numbers of

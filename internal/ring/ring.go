@@ -85,8 +85,11 @@ func signal(ch chan struct{}) {
 }
 
 // TryPush enqueues v if a slot is free, returning false when the queue is
-// full. Safe for concurrent producers.
+// full or closed. Safe for concurrent producers.
 func (q *Queue[T]) TryPush(v T) bool {
+	if q.closed.Load() {
+		return false
+	}
 	for {
 		pos := q.enqPos.Load()
 		c := &q.cells[pos&q.mask]

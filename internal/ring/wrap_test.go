@@ -1,0 +1,96 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWraparoundExactCapacity drives the queue through many full-capacity
+// cycles so the power-of-two head/tail indices wrap while the queue sits
+// exactly at the full/empty boundary — the spot where an off-by-one in the
+// sequence arithmetic would lose or duplicate a slot. A concurrent
+// consumer drains in heartbeat-style batches (PopWait then PopBatch, the
+// shard.Parallel flush shape) while the producer refills, so the boundary
+// is crossed under contention rather than in lockstep. Run with -race.
+func TestWraparoundExactCapacity(t *testing.T) {
+	const cycles = 2000
+	q := New[int](4)
+	capacity := q.Cap()
+	total := cycles * capacity
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := 0
+		for c := 0; c < cycles; c++ {
+			// Fill to exactly capacity before yielding: TryPush must accept
+			// precisely Cap() items from empty and refuse the next.
+			for i := 0; i < capacity; i++ {
+				if !q.Push(next, nil) {
+					t.Errorf("cycle %d: push %d failed", c, next)
+					return
+				}
+				next++
+			}
+		}
+	}()
+
+	got := make([]int, 0, total)
+	buf := make([]int, capacity)
+	for len(got) < total {
+		v, ok := q.PopWait(nil)
+		if !ok {
+			t.Fatal("PopWait reported closed mid-stream")
+		}
+		got = append(got, v)
+		n := q.PopBatch(buf)
+		if n > capacity {
+			t.Fatalf("PopBatch returned %d items from a %d-cap queue", n, capacity)
+		}
+		got = append(got, buf[:n]...)
+	}
+	wg.Wait()
+
+	if len(got) != total {
+		t.Fatalf("drained %d items, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d; wraparound broke FIFO order", i, v)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: Len=%d", q.Len())
+	}
+}
+
+// TestPushAfterClose pins the close semantics producers rely on: after
+// Close, TryPush and Push refuse new items (Push returns instead of
+// parking forever), Closed reports true, items queued before the close
+// stay poppable, and a second Close is a no-op.
+func TestPushAfterClose(t *testing.T) {
+	q := New[int](4)
+	if !q.TryPush(1) || !q.TryPush(2) {
+		t.Fatal("pushes before close failed")
+	}
+	q.Close()
+	q.Close() // idempotent
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if q.TryPush(3) {
+		t.Fatal("TryPush after Close succeeded")
+	}
+	if q.Push(3, nil) {
+		t.Fatal("Push after Close succeeded")
+	}
+	for want := 1; want <= 2; want++ {
+		if v, ok := q.TryPop(); !ok || v != want {
+			t.Fatalf("TryPop after Close = %d, %v; want %d, true", v, ok, want)
+		}
+	}
+	if _, ok := q.PopWait(nil); ok {
+		t.Fatal("PopWait returned an item from a closed, drained queue")
+	}
+}

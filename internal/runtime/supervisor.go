@@ -387,6 +387,50 @@ func (s *Supervisor) StateSize() int {
 // sequence number the exactly-once machinery is built on).
 func (s *Supervisor) MatchSeq() uint64 { return s.matchSeq }
 
+// Engine exposes the live inner engine for read-only inspection (query
+// listings, per-query metrics). The instance is replaced on every restart;
+// do not retain it across calls. Mutations must go through Mutate.
+func (s *Supervisor) Engine() engine.Engine { return s.en }
+
+// Mutate applies a control-plane change (e.g. a multi-query Register or
+// Unregister) to the live engine and makes it durable by forcing a
+// checkpoint, so the mutation survives a kill/recover: the WAL only
+// replays events, never mutations, so a mutation is durable exactly when
+// a checkpoint capturing it is.
+//
+// Matches returned by fn (an Unregister's final flush) are handed back
+// OUTSIDE the exactly-once horizon: they carry no match sequence numbers
+// and no commit marker, because replay cannot regenerate them — counting
+// them against the horizon would misalign suppression for every later
+// event-driven emission. A crash racing the mutation therefore re-runs it
+// from the caller's perspective (the pre-mutation checkpoint restores),
+// making mutation-flush output at-least-once rather than exactly-once.
+//
+// An error from fn leaves the supervisor healthy (the mutation is assumed
+// rejected before changing state); a checkpoint failure is sticky.
+func (s *Supervisor) Mutate(fn func(en engine.Engine) ([]plan.Match, error)) ([]plan.Match, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.running {
+		return nil, errors.New("supervisor: Start not called")
+	}
+	if s.flushed {
+		return nil, errors.New("supervisor: stream already flushed")
+	}
+	if !s.canSnapshot() {
+		return nil, errors.New("supervisor: mutations require a checkpoint-capable engine and a Restore factory")
+	}
+	ms, err := fn(s.en)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkpoint(); err != nil {
+		return ms, s.fail(err)
+	}
+	return ms, nil
+}
+
 // StateSnapshot implements engine.Introspectable: the inner engine's view
 // annotated with the supervisor's match-sequence and commit horizons.
 // Returns nil when no engine is built yet or the inner engine exposes no

@@ -369,6 +369,9 @@ func (e *Engine) Process(ev Event) []Match {
 // purge passes and gauge updates deferred to the batch boundary — without
 // changing output, retractions, lineage, or trace semantics.
 //
+// A nil or empty batch is a documented no-op: it returns nil and leaves
+// all subsequent output unchanged.
+//
 // Seq auto-assignment matches Process and is written into the caller's
 // slice in place (events already carrying a Seq keep it). Like Process, it
 // panics when called after Flush.

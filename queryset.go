@@ -1,0 +1,500 @@
+package oostream
+
+import (
+	"fmt"
+	"io"
+
+	"oostream/internal/core"
+	"oostream/internal/engine"
+	"oostream/internal/obsv"
+	"oostream/internal/plan"
+	"oostream/internal/queryset"
+	"oostream/internal/recovery"
+	"oostream/internal/runtime"
+)
+
+// QueryStats is one registered query's dispatch accounting inside a
+// QuerySet: how many released events the type index offered to its engine
+// and how many the prefix gate skipped.
+type QueryStats = queryset.QueryStats
+
+// QuerySetConfig configures a QuerySet — the multi-query engine that
+// shares admission, reordering, and purge scheduling across every
+// registered query. A single-query Engine (NewEngine) is the degenerate
+// case: a QuerySet with one registered query computes the same results,
+// paying a small dispatch overhead for the ability to add more.
+type QuerySetConfig struct {
+	// Strategy selects the per-query inner engine; default StrategyNative.
+	// Inner engines run at K=0 — the shared reorder buffer carries all
+	// disorder tolerance — so StrategyInOrder is exact under the bound
+	// inside a QuerySet (equivalent to a single-query StrategyKSlack
+	// engine), unlike the standalone in-order engine.
+	Strategy Strategy
+	// K is the shared disorder bound (slack) in logical milliseconds,
+	// paid once at the shared buffer instead of once per query.
+	K Time
+	// AdvanceEvery is the watermark fan-out cadence in released events
+	// (0 = default 256): every engine is advanced to the shared watermark
+	// at this cadence, bounding negation-sealing latency and purge
+	// staleness. It never affects final output.
+	AdvanceEvery int
+	// Provenance enables lineage records on every registered query's
+	// matches, exactly as Config.Provenance does for a single engine.
+	Provenance bool
+	// Observer, when non-nil, publishes one "queryset" series with the
+	// shared-admission counters plus one "qs/<id>" series per registered
+	// query (the existing per-engine identity scheme).
+	Observer *Observer
+	// Trace, when non-nil, receives per-query lifecycle trace events,
+	// tagged with the "qs/<id>" engine identity.
+	Trace TraceHook
+}
+
+func (cfg QuerySetConfig) withDefaults() QuerySetConfig {
+	if cfg.Strategy == "" {
+		cfg.Strategy = StrategyNative
+	}
+	return cfg
+}
+
+func (cfg QuerySetConfig) validate() error {
+	switch cfg.Strategy {
+	case StrategyNative, StrategyInOrder, StrategyKSlack, StrategySpeculate:
+	default:
+		return fmt.Errorf("unknown strategy %q", cfg.Strategy)
+	}
+	if cfg.K < 0 {
+		return fmt.Errorf("K must be >= 0, got %d", cfg.K)
+	}
+	if cfg.AdvanceEvery < 0 {
+		return fmt.Errorf("AdvanceEvery must be >= 0, got %d", cfg.AdvanceEvery)
+	}
+	return nil
+}
+
+// innerFactory builds per-query inner engines: the configured strategy at
+// K=0 (the shared buffer reorders), observed under the "qs/<id>" identity.
+func (cfg QuerySetConfig) innerFactory() func(id string, p *plan.Plan) (engine.Engine, error) {
+	ecfg := Config{Strategy: cfg.Strategy}.withDefaults()
+	obsCfg := Config{Observer: cfg.Observer, Trace: cfg.Trace}
+	return func(id string, p *plan.Plan) (engine.Engine, error) {
+		en, err := newSingle(&Query{plan: p}, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		observeEngine(en, obsCfg, "qs/"+id)
+		return en, nil
+	}
+}
+
+// restoreFactory rebuilds per-query engines from checkpoint blobs; only
+// the native strategy supports engine snapshots.
+func (cfg QuerySetConfig) restoreFactory() func(id string, p *plan.Plan, r io.Reader) (engine.Engine, error) {
+	if cfg.Strategy != StrategyNative {
+		return nil
+	}
+	obsCfg := Config{Observer: cfg.Observer, Trace: cfg.Trace}
+	return func(id string, p *plan.Plan, r io.Reader) (engine.Engine, error) {
+		en, err := core.Restore(p, r)
+		if err != nil {
+			return nil, err
+		}
+		observeEngine(en, obsCfg, "qs/"+id)
+		return en, nil
+	}
+}
+
+func (cfg QuerySetConfig) setOptions() queryset.Options {
+	return queryset.Options{
+		K:            cfg.K,
+		AdvanceEvery: cfg.AdvanceEvery,
+		NewEngine:    cfg.innerFactory(),
+		Compile: func(src string) (*plan.Plan, error) {
+			// The source was schema-checked when first compiled; restore
+			// recompiles the canonical text without re-checking.
+			return plan.ParseAndCompile(src, nil)
+		},
+		RestoreEngine: cfg.restoreFactory(),
+	}
+}
+
+// finishSet applies the config's provenance and observability bindings to
+// a built (or restored) Set.
+func (cfg QuerySetConfig) finishSet(set *queryset.Set) {
+	if cfg.Provenance {
+		set.EnableProvenance()
+	}
+	if cfg.Observer != nil || cfg.Trace != nil {
+		var s *obsv.Series
+		if cfg.Observer != nil {
+			s = cfg.Observer.Series("queryset")
+		}
+		set.Observe(s, cfg.Trace)
+	}
+}
+
+// QuerySet evaluates many registered queries over one event stream,
+// processing each event once: a shared K-slack admission/reorder pass, an
+// event-type index dispatching only to queries whose components can
+// consume the event, and prefix gating that skips queries whose pattern
+// cannot have started for the event's key group. Every emitted Match
+// carries the owning query's id in Match.Query.
+//
+// Like Engine, a QuerySet is not safe for concurrent calls.
+type QuerySet struct {
+	set     *queryset.Set
+	nextSeq Seq
+	sealed  bool
+}
+
+// NewQuerySet builds an empty QuerySet; add queries with Register.
+func NewQuerySet(cfg QuerySetConfig) (*QuerySet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	set, err := queryset.New(cfg.setOptions())
+	if err != nil {
+		return nil, err
+	}
+	cfg.finishSet(set)
+	return &QuerySet{set: set}, nil
+}
+
+// MustNewQuerySet is NewQuerySet for known-good configuration.
+func MustNewQuerySet(cfg QuerySetConfig) *QuerySet {
+	qs, err := NewQuerySet(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return qs
+}
+
+// RestoreQuerySet rebuilds a QuerySet from a Checkpoint (format v2): the
+// shared buffer, the full query registry (sources are recompiled), and
+// every per-query engine state. Only StrategyNative supports it.
+func RestoreQuerySet(cfg QuerySetConfig, r io.Reader) (*QuerySet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy != StrategyNative {
+		return nil, fmt.Errorf("strategy %q does not support checkpointing", cfg.Strategy)
+	}
+	set, err := queryset.Restore(cfg.setOptions(), r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.finishSet(set)
+	return &QuerySet{set: set}, nil
+}
+
+// Register adds a compiled query under id. The query observes events the
+// shared buffer releases after registration; it returns an error on a
+// duplicate or empty id, or after Flush.
+func (qs *QuerySet) Register(id string, q *Query) error {
+	return qs.set.Register(id, q.plan)
+}
+
+// Unregister removes a query, finalizes it against the events released so
+// far, and returns its final matches (tagged with the id). Events still
+// held in the shared reorder buffer are not seen by the departing query;
+// call Advance first to drain up to a known horizon when that matters.
+func (qs *QuerySet) Unregister(id string) ([]Match, error) {
+	return qs.set.Unregister(id)
+}
+
+// Queries returns the registered query ids in registration order.
+func (qs *QuerySet) Queries() []string { return qs.set.Queries() }
+
+// Process ingests one event, auto-assigning Seq exactly like
+// Engine.Process, and returns the matches it releases across all
+// registered queries, each tagged with its query id. Panics after Flush.
+func (qs *QuerySet) Process(ev Event) []Match {
+	if qs.sealed {
+		panic("oostream: Process called after Flush; the stream is sealed")
+	}
+	qs.assignSeq(&ev)
+	return qs.set.Process(ev)
+}
+
+// ProcessBatch ingests a slice of events through the batch path. A nil or
+// empty batch is a documented no-op returning nil. Output is identical to
+// per-event Process calls. Seq auto-assignment matches Process and is
+// written into the caller's slice in place.
+func (qs *QuerySet) ProcessBatch(events []Event) []Match {
+	if qs.sealed {
+		panic("oostream: ProcessBatch called after Flush; the stream is sealed")
+	}
+	for i := range events {
+		qs.assignSeq(&events[i])
+	}
+	return qs.set.ProcessBatch(events)
+}
+
+// ProcessAll ingests a finite slice and returns all matches, including
+// the end-of-stream flush.
+func (qs *QuerySet) ProcessAll(events []Event) []Match {
+	var out []Match
+	for _, ev := range events {
+		out = append(out, qs.Process(ev)...)
+	}
+	return append(out, qs.Flush()...)
+}
+
+func (qs *QuerySet) assignSeq(ev *Event) {
+	if ev.Seq == 0 {
+		qs.nextSeq++
+		ev.Seq = qs.nextSeq
+	} else if ev.Seq > qs.nextSeq {
+		qs.nextSeq = ev.Seq
+	}
+}
+
+// Advance sends a heartbeat: stream time has reached ts. The shared
+// buffer releases everything at or below ts − K and every registered
+// engine advances to the new watermark, sealing pending negation output
+// and purging state through silent periods.
+func (qs *QuerySet) Advance(ts Time) []Match {
+	if qs.sealed {
+		panic("oostream: Advance called after Flush; the stream is sealed")
+	}
+	return qs.set.Advance(ts)
+}
+
+// Flush seals the stream: the shared buffer drains and every query is
+// finalized in registration order. Process panics afterwards; a second
+// Flush is a no-op returning nil.
+func (qs *QuerySet) Flush() []Match {
+	if qs.sealed {
+		return nil
+	}
+	qs.sealed = true
+	return qs.set.Flush()
+}
+
+// Metrics returns the shared-admission counters: events in, late drops at
+// the shared buffer, irrelevant types, and the aggregate state gauge.
+func (qs *QuerySet) Metrics() Metrics { return qs.set.Metrics() }
+
+// QueryMetrics returns one registered query's inner-engine counters.
+func (qs *QuerySet) QueryMetrics(id string) (Metrics, bool) { return qs.set.QueryMetrics(id) }
+
+// Stats returns per-query dispatch/skip accounting in registration order.
+func (qs *QuerySet) Stats() []QueryStats { return qs.set.Stats() }
+
+// StateSize returns buffered events plus the state of every engine.
+func (qs *QuerySet) StateSize() int { return qs.set.StateSize() }
+
+// Checkpoint serializes the QuerySet in checkpoint format v2: the shared
+// reorder buffer plus one namespaced state blob per registered query, so
+// a restore rebuilds the full registry (see RestoreQuerySet). Every inner
+// engine must support checkpointing (StrategyNative).
+func (qs *QuerySet) Checkpoint(w io.Writer) error { return qs.set.Checkpoint(w) }
+
+// Raw exposes the engine behind the facade for harnesses that compose
+// engines directly (the Set implements the same contract as any engine;
+// matches are tagged with their query id).
+func (qs *QuerySet) Raw() RawEngine { return qs.set }
+
+// SupervisedQuerySet is a QuerySet wrapped in the fault-tolerant runtime:
+// events are WAL-logged before processing, matches are committed to the
+// exactly-once horizon on emission, and checkpoints use format v2 with
+// per-query state namespaces — so live Register/Unregister survives a
+// kill/recover (each mutation forces a checkpoint; the WAL replays events
+// only).
+//
+// Like SupervisedEngine, events must carry caller-assigned unique Seq
+// values. Live mutation requires the native strategy (per-query snapshots);
+// other strategies run WAL-only with a fixed pre-Start registry.
+//
+// One caveat mirrors Supervisor.Mutate: the final flush returned by a
+// live Unregister sits outside the exactly-once horizon — a crash racing
+// the mutation re-runs it, making that output at-least-once.
+type SupervisedQuerySet struct {
+	sup     *runtime.Supervisor
+	initial []namedQuery
+	started bool
+}
+
+type namedQuery struct {
+	id string
+	q  *Query
+}
+
+// NewSupervisedQuerySet builds a supervised QuerySet persisting to
+// sc.Dir. Register initial queries before Start on a fresh directory; on
+// a resumed directory the checkpointed registry wins and pre-Start
+// registrations are ignored (reconcile via Queries after Start).
+func NewSupervisedQuerySet(cfg QuerySetConfig, sc SupervisorConfig) (*SupervisedQuerySet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	opts := cfg.setOptions()
+	s := &SupervisedQuerySet{}
+	newFn := func() (engine.Engine, error) {
+		set, err := queryset.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.finishSet(set)
+		for _, nq := range s.initial {
+			if err := set.Register(nq.id, nq.q.plan); err != nil {
+				return nil, err
+			}
+		}
+		return set, nil
+	}
+	var restoreFn func(io.Reader) (engine.Engine, error)
+	if cfg.Strategy == StrategyNative {
+		restoreFn = func(r io.Reader) (engine.Engine, error) {
+			set, err := queryset.Restore(opts, r)
+			if err != nil {
+				return nil, err
+			}
+			cfg.finishSet(set)
+			return set, nil
+		}
+	}
+	store, err := recovery.Open(sc.Dir, sc.storeOptions())
+	if err != nil {
+		return nil, err
+	}
+	sup, err := runtime.NewSupervisor(store, runtime.SupervisorOptions{
+		New:             newFn,
+		Restore:         restoreFn,
+		K:               cfg.K,
+		Policy:          sc.Policy,
+		DeadLetter:      sc.DeadLetter,
+		CheckpointEvery: sc.CheckpointEvery,
+		MaxRestarts:     sc.MaxRestarts,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if cfg.Observer != nil || cfg.Trace != nil {
+		var series *obsv.Series
+		if cfg.Observer != nil {
+			series = cfg.Observer.Series("supervised(queryset)")
+		}
+		sup.Observe(series, cfg.Trace)
+	}
+	s.sup = sup
+	return s, nil
+}
+
+// Start recovers durable state (restoring the checkpointed query registry
+// when one exists) and readies the set; it returns the matches a previous
+// crash interrupted.
+func (s *SupervisedQuerySet) Start() ([]Match, error) {
+	out, err := s.sup.Start()
+	if err != nil {
+		return nil, err
+	}
+	s.started = true
+	return out, nil
+}
+
+// Register adds a query. Before Start it stages the query for the fresh
+// registry; after Start it is a durable live mutation — applied to the
+// running set and sealed with a forced v2 checkpoint, so it survives a
+// kill/recover (native strategy only).
+func (s *SupervisedQuerySet) Register(id string, q *Query) error {
+	if !s.started {
+		for _, nq := range s.initial {
+			if nq.id == id {
+				return fmt.Errorf("queryset: query id %q already registered", id)
+			}
+		}
+		s.initial = append(s.initial, namedQuery{id: id, q: q})
+		return nil
+	}
+	_, err := s.sup.Mutate(func(en engine.Engine) ([]plan.Match, error) {
+		return nil, en.(*queryset.Set).Register(id, q.plan)
+	})
+	return err
+}
+
+// Unregister removes a query. After Start it is a durable live mutation;
+// the returned final matches sit outside the exactly-once horizon (see
+// the type comment).
+func (s *SupervisedQuerySet) Unregister(id string) ([]Match, error) {
+	if !s.started {
+		for i, nq := range s.initial {
+			if nq.id == id {
+				s.initial = append(s.initial[:i], s.initial[i+1:]...)
+				return nil, nil
+			}
+		}
+		return nil, fmt.Errorf("queryset: query id %q is not registered", id)
+	}
+	return s.sup.Mutate(func(en engine.Engine) ([]plan.Match, error) {
+		return en.(*queryset.Set).Unregister(id)
+	})
+}
+
+// Queries returns the live registry in registration order (after Start).
+func (s *SupervisedQuerySet) Queries() []string {
+	if set, ok := s.sup.Engine().(*queryset.Set); ok {
+		return set.Queries()
+	}
+	ids := make([]string, len(s.initial))
+	for i, nq := range s.initial {
+		ids[i] = nq.id
+	}
+	return ids
+}
+
+// Process offers one event; it must carry a unique non-zero Seq. Returned
+// matches are committed as delivered before the call returns.
+func (s *SupervisedQuerySet) Process(ev Event) ([]Match, error) {
+	if ev.Seq == 0 {
+		return nil, fmt.Errorf("supervised query set requires caller-assigned event Seq values")
+	}
+	return s.sup.ProcessE(ev)
+}
+
+// ProcessBatch offers a slice of events with per-event durability
+// semantics (see SupervisedEngine.ProcessBatch). A nil or empty batch is
+// a no-op.
+func (s *SupervisedQuerySet) ProcessBatch(events []Event) ([]Match, error) {
+	for _, ev := range events {
+		if ev.Seq == 0 {
+			return nil, fmt.Errorf("supervised query set requires caller-assigned event Seq values")
+		}
+	}
+	return s.sup.ProcessBatchE(events)
+}
+
+// Flush seals the stream durably.
+func (s *SupervisedQuerySet) Flush() ([]Match, error) { return s.sup.FlushE() }
+
+// Metrics returns the shared-admission counters merged with the
+// fault-tolerance counters.
+func (s *SupervisedQuerySet) Metrics() Metrics { return s.sup.Metrics() }
+
+// QueryMetrics returns one registered query's inner-engine counters.
+func (s *SupervisedQuerySet) QueryMetrics(id string) (Metrics, bool) {
+	if set, ok := s.sup.Engine().(*queryset.Set); ok {
+		return set.QueryMetrics(id)
+	}
+	return Metrics{}, false
+}
+
+// MatchSeq returns the cumulative committed match-emission count.
+func (s *SupervisedQuerySet) MatchSeq() uint64 { return s.sup.MatchSeq() }
+
+// Err returns the sticky failure, if any.
+func (s *SupervisedQuerySet) Err() error { return s.sup.Err() }
+
+// Kill simulates a process crash for testing; reopen the directory with a
+// fresh SupervisedQuerySet to recover.
+func (s *SupervisedQuerySet) Kill() { s.sup.Kill() }
+
+// Close cleanly seals the durable store.
+func (s *SupervisedQuerySet) Close() error { return s.sup.Close() }
