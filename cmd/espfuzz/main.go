@@ -8,6 +8,7 @@
 //	go run ./cmd/espfuzz -budget 10m -seed 1000000 -maxfail 5
 //	go run ./cmd/espfuzz -budget 30s -crash
 //	go run ./cmd/espfuzz -budget 30s -batch
+//	go run ./cmd/espfuzz -budget 30s -adaptive
 //
 // With -batch each trial runs the batch≡per-event differential instead:
 // every strategy is driven once per event and again through ProcessBatch
@@ -21,6 +22,12 @@
 // independent single-query engines — across strategies, batch ingestion,
 // lineage, live Register/Unregister, and supervised kill/recover with the
 // v2 checkpoint format.
+//
+// With -adaptive each trial runs the adaptive disorder-control
+// differential instead: dynamic-K engines must equal the oracle over
+// exactly the events they admitted (and a static run at K = max observed),
+// overload shedding must be fully accounted, and the hybrid meta-engine
+// must survive forced strategy switches with the net multiset intact.
 //
 // With -crash each trial instead runs the crash-point differential: the
 // supervised fault-tolerant runtime is killed at seed-derived offsets and
@@ -81,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		crash   = fs.Bool("crash", false, "run the crash-recovery differential instead of the strategy differential")
 		batch   = fs.Bool("batch", false, "run the batch≡per-event differential instead of the strategy differential")
 		multi   = fs.Bool("multi", false, "run the multi-query QuerySet differential instead of the strategy differential")
+		adapt   = fs.Bool("adaptive", false, "run the adaptive disorder-control differential (dynamic K, shedding, hybrid switching) instead of the strategy differential")
 		listen  = fs.String("listen", "", "serve live soak progress over HTTP (/varz, /healthz, /debug/pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -133,6 +141,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fail = difftest.RunBatch(difftest.Generate(next))
 		case *multi:
 			fail = difftest.RunMulti(difftest.Generate(next))
+		case *adapt:
+			fail = difftest.RunAdaptive(difftest.Generate(next))
 		default:
 			fail = difftest.Run(difftest.Generate(next))
 		}
@@ -150,6 +160,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkBatch(fail).Report())
 				case *multi:
 					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkMulti(fail).Report())
+				case *adapt:
+					// Adaptive failures are reported unshrunk: Shrink re-runs
+					// the strategy differential, not the adaptive one.
+					fmt.Fprintf(stderr, "%s\n", fail.Report())
 				default:
 					fmt.Fprintf(stderr, "%s\n", difftest.Shrink(fail).Report())
 				}

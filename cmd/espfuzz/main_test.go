@@ -65,3 +65,21 @@ func TestCrashSoakSmoke(t *testing.T) {
 		t.Fatalf("%d failures on clean seeds: %s", s.Failures, errOut.String())
 	}
 }
+
+func TestAdaptiveSoakSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-budget", "2s", "-seed", "1", "-adaptive"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if s.Trials < 10 {
+		t.Fatalf("only %d adaptive trials in 2s; harness slowed drastically", s.Trials)
+	}
+	if s.Failures != 0 {
+		t.Fatalf("%d failures on clean seeds: %s", s.Failures, errOut.String())
+	}
+}

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,8 +61,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		queryFile = fs.String("query-file", "", "file containing the query text")
 		queries   = fs.String("queries", "", "multi-query file: one query per line (optionally \"id: QUERY ...\"), run as a shared QuerySet")
 		traceFile = fs.String("trace", "", "trace file (default stdin)")
-		strategy  = fs.String("strategy", "native", "strategy: native, inorder, kslack, speculate")
+		strategy  = fs.String("strategy", "native", "strategy: native, inorder, kslack, speculate, hybrid")
 		k         = fs.Int64("k", 1000, "disorder bound K (logical ms)")
+		adaptOn   = fs.Bool("adaptive", false, "derive K online as a lag quantile (-k then only seeds the controller)")
+		adaptJSON = fs.String("adaptive-config", "", `full adaptive controller config as JSON, e.g. '{"enabled":true,"quantile":0.99,"margin":1.5}' (overrides -adaptive)`)
+		sloJSON   = fs.String("slo", "", `hybrid switch policy as JSON, e.g. '{"maxLatency":2000,"maxRetractionRate":0.05}'`)
+		limJSON   = fs.String("limits", "", `overload degradation limits as JSON, e.g. '{"maxBufferedEvents":100000,"maxLag":5000}'`)
 		quiet     = fs.Bool("quiet", false, "suppress per-match output")
 		maxPrint  = fs.Int("max-print", 20, "print at most this many matches (0 = all)")
 		planOnly  = fs.Bool("plan", false, "print the compiled plan and exit")
@@ -127,6 +132,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Partition:  oostream.Partition{Attr: *partAttr, Shards: *shards},
 		Provenance: *explain,
 		Batch:      oostream.Batch{Size: *batchSize},
+	}
+	var ac oostream.Adaptive
+	if *adaptJSON != "" {
+		if err := json.Unmarshal([]byte(*adaptJSON), &ac); err != nil {
+			return fmt.Errorf("-adaptive-config: %w", err)
+		}
+	} else {
+		ac.Enabled = *adaptOn
+	}
+	if *sloJSON != "" {
+		if err := json.Unmarshal([]byte(*sloJSON), &ac.SLO); err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+	}
+	if *limJSON != "" {
+		if err := json.Unmarshal([]byte(*limJSON), &ac.Limits); err != nil {
+			return fmt.Errorf("-limits: %w", err)
+		}
+	}
+	cfg.Adaptive = ac
+	adaptiveSet := ac != (oostream.Adaptive{})
+	if adaptiveSet && *queries != "" {
+		return fmt.Errorf("adaptive disorder control is per-engine; not supported with -queries")
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
@@ -357,6 +385,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "… %d more matches (raise -max-print)\n", total-printed)
 	}
 	fmt.Fprintf(stdout, "strategy=%s matches=%d %s\n", name, total, stats())
+	if (adaptiveSet || cfg.Strategy == oostream.StrategyHybrid) && snapshot != nil {
+		if s := snapshot(); s != nil && s.Adaptive != nil {
+			a := s.Adaptive
+			fmt.Fprintf(stdout, "adaptive: k=%d nominal=%d max=%d resizes=%d shed=%d degraded=%v",
+				a.EffectiveK, a.NominalK, a.MaxKObserved, a.Resizes, a.Shedded, a.Degraded)
+			if a.Mode != "" {
+				fmt.Fprintf(stdout, " mode=%s switches=%d", a.Mode, a.Switches)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
 	return nil
 }
 

@@ -230,3 +230,55 @@ func TestRunResume(t *testing.T) {
 		t.Errorf("resume output: %s", out.String())
 	}
 }
+
+func TestRunAdaptiveFlags(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WITHIN 50",
+		"-trace", path, "-k", "100", "-adaptive",
+		"-limits", `{"maxBufferedEvents":100000}`,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matches=2") {
+		t.Errorf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "adaptive: k=") {
+		t.Errorf("adaptive summary missing: %s", out.String())
+	}
+}
+
+func TestRunHybridStrategy(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "PATTERN SEQ(A a, B b) WITHIN 50",
+		"-trace", path, "-k", "100", "-strategy", "hybrid",
+		"-slo", `{"maxLatency":2000,"maxRetractionRate":0.05}`,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "strategy=hybrid matches=2") {
+		t.Errorf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "mode=") {
+		t.Errorf("hybrid mode missing from adaptive summary: %s", out.String())
+	}
+}
+
+func TestRunAdaptiveFlagErrors(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	for _, args := range [][]string{
+		{"-query", "PATTERN SEQ(A a, B b) WITHIN 50", "-trace", path, "-adaptive-config", "{not json"},
+		{"-query", "PATTERN SEQ(A a, B b) WITHIN 50", "-trace", path, "-slo", "{not json"},
+		{"-query", "PATTERN SEQ(A a, B b) WITHIN 50", "-trace", path, "-limits", "{not json"},
+		{"-query", "PATTERN SEQ(A a, B b) WITHIN 50", "-trace", path, "-strategy", "inorder", "-adaptive"},
+	} {
+		if err := run(args, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

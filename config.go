@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"oostream/internal/adaptive"
 	"oostream/internal/core"
 )
 
@@ -23,12 +24,34 @@ const (
 	// StrategySpeculate emits eagerly and compensates with retractions
 	// (the aggressive extension).
 	StrategySpeculate Strategy = "speculate"
+	// StrategyHybrid runs speculate OR native inside a switching
+	// meta-engine: it speculates while disorder is low and falls back to
+	// native sealing when the retraction rate or the adaptive disorder
+	// bound breaches Config.Adaptive.SLO, handing off at sealed watermarks
+	// so the net output stays exact across switches. The meta-engine always
+	// runs an adaptive controller (set Config.Adaptive.Enabled for dynamic
+	// K; otherwise K stays pinned at Config.K).
+	StrategyHybrid Strategy = "hybrid"
 )
 
 // Strategies lists every available strategy, in evaluation-table order.
 func Strategies() []Strategy {
-	return []Strategy{StrategyInOrder, StrategyKSlack, StrategyNative, StrategySpeculate}
+	return []Strategy{StrategyInOrder, StrategyKSlack, StrategyNative, StrategySpeculate, StrategyHybrid}
 }
+
+// Adaptive disorder-control configuration, re-exported from the internal
+// controller package. Adaptive.Enabled derives K online from a lag
+// quantile; Adaptive.SLO drives the hybrid strategy's switching;
+// Adaptive.Limits bounds state and lag via degradation (shedding). The
+// zero value disables all three.
+type (
+	// Adaptive configures the dynamic-K controller (see Config.Adaptive).
+	Adaptive = adaptive.Config
+	// SLO holds the hybrid strategy's switching targets.
+	SLO = adaptive.SLO
+	// Limits holds the overload-degradation bounds.
+	Limits = adaptive.Limits
+)
 
 // Partition configures hash-partitioned scale-out inside Config: when
 // Attr is non-empty, NewEngine hash-partitions the stream on that
@@ -117,6 +140,16 @@ type Config struct {
 	// Batch configures batched ingestion for Engine.Run; the zero value
 	// keeps the per-event path. Direct ProcessBatch calls work regardless.
 	Batch Batch
+	// Adaptive configures dynamic disorder control: Enabled re-derives K
+	// online as a lag quantile (Config.K then only seeds the controller,
+	// via InitialK when set, else K); Limits adds overload degradation
+	// (deterministic oldest-first shedding when state or lag exceeds the
+	// bounds); SLO drives StrategyHybrid's switching. Applies to the
+	// native, kslack, speculate, and hybrid strategies; incompatible with
+	// StrategyInOrder, BestEffortLate, and (Enabled) OrderedOutput. With
+	// Partition set, every shard runs its own controller over its share of
+	// the stream.
+	Adaptive Adaptive
 }
 
 func (c Config) withDefaults() Config {
@@ -160,7 +193,51 @@ func (c Config) validate() error {
 	if c.Batch.Linger > 0 && c.Batch.Size <= 1 {
 		return fmt.Errorf("Batch.Linger requires Batch.Size > 1")
 	}
+	if _, err := c.adaptiveConfig().Normalized(); err != nil {
+		return fmt.Errorf("Adaptive: %w", err)
+	}
+	if c.adaptiveActive() {
+		if c.Strategy == StrategyInOrder {
+			return fmt.Errorf("Adaptive disorder control is meaningless for %q (no disorder bound)", StrategyInOrder)
+		}
+		if c.BestEffortLate {
+			return fmt.Errorf("Adaptive disorder control requires dropping late events (BestEffortLate breaks the static-max-K equivalence)")
+		}
+	}
+	if c.Adaptive.Enabled && c.OrderedOutput {
+		return fmt.Errorf("OrderedOutput needs a fixed reorder bound; it cannot follow a dynamic K")
+	}
+	if c.Strategy == StrategyHybrid && c.OrderedOutput {
+		return fmt.Errorf("OrderedOutput cannot buffer %q retractions", StrategyHybrid)
+	}
 	return nil
+}
+
+// adaptiveActive reports whether the config calls for an adaptive
+// controller on the non-hybrid strategies: dynamic K or degradation
+// limits. (StrategyHybrid always runs a controller.)
+func (c Config) adaptiveActive() bool {
+	return c.Adaptive.Enabled || c.Adaptive.Limits != (Limits{})
+}
+
+// adaptiveConfig maps the facade config to the controller's: Config.K
+// seeds InitialK unless the Adaptive block sets its own.
+func (c Config) adaptiveConfig() Adaptive {
+	ac := c.Adaptive
+	if ac.InitialK == 0 {
+		ac.InitialK = c.K
+	}
+	return ac
+}
+
+// adaptiveController builds the per-engine controller, or nil when the
+// config doesn't call for one. Each call returns a fresh controller —
+// partitioned configs get one per shard, each owned (fed) by its engine.
+func (c Config) adaptiveController() (*adaptive.Controller, error) {
+	if !c.adaptiveActive() {
+		return nil, nil
+	}
+	return adaptive.NewController(c.adaptiveConfig())
 }
 
 func (c Config) corePolicy() core.LatePolicy {

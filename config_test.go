@@ -1,0 +1,80 @@
+package oostream
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigValidateRejections pins every rejection the facade config
+// makes, so an accidental relaxation (or a new strategy forgetting a
+// compatibility rule) fails loudly. Each case must be rejected with a
+// message containing the fragment.
+func TestConfigValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative K", Config{K: -1}, "K must be >= 0"},
+		{"shards without attr", Config{Partition: Partition{Shards: 2}}, "without Partition.Attr"},
+		{"negative shards", Config{Partition: Partition{Attr: "sensor", Shards: -1}}, "Shards must be >= 0"},
+		{"best-effort non-native", Config{Strategy: StrategyKSlack, BestEffortLate: true}, "BestEffortLate applies only"},
+		{"trigger-opt non-native", Config{Strategy: StrategyKSlack, DisableTriggerOpt: true}, "DisableTriggerOpt applies only"},
+		{"keyed-stacks non-native", Config{Strategy: StrategySpeculate, DisableKeyedStacks: true}, "DisableKeyedStacks applies only"},
+		{"ordered speculate", Config{Strategy: StrategySpeculate, OrderedOutput: true}, "cannot buffer"},
+		{"negative batch size", Config{Batch: Batch{Size: -1}}, "Batch.Size must be >= 0"},
+		{"negative linger", Config{Batch: Batch{Linger: -time.Second}}, "Batch.Linger must be >= 0"},
+		{"linger without batching", Config{Batch: Batch{Size: 1, Linger: time.Second}}, "requires Batch.Size > 1"},
+		{"negative initial K", Config{Adaptive: Adaptive{Enabled: true, InitialK: -1}}, "Adaptive"},
+		{"quantile out of range", Config{Adaptive: Adaptive{Enabled: true, Quantile: 1.5}}, "Adaptive"},
+		{"margin below one", Config{Adaptive: Adaptive{Enabled: true, Margin: 0.5}}, "Adaptive"},
+		{"min above max", Config{Adaptive: Adaptive{Enabled: true, MinK: 10, MaxK: 5}}, "Adaptive"},
+		{"negative buffer limit", Config{Adaptive: Adaptive{Limits: Limits{MaxBufferedEvents: -1}}}, "Adaptive"},
+		{"adaptive inorder", Config{Strategy: StrategyInOrder, Adaptive: Adaptive{Enabled: true}}, "no disorder bound"},
+		{"limits inorder", Config{Strategy: StrategyInOrder, Adaptive: Adaptive{Limits: Limits{MaxBufferedEvents: 10}}}, "no disorder bound"},
+		{"adaptive best-effort", Config{Adaptive: Adaptive{Enabled: true}, BestEffortLate: true}, "static-max-K"},
+		{"adaptive ordered", Config{Adaptive: Adaptive{Enabled: true}, OrderedOutput: true}, "dynamic K"},
+		{"ordered hybrid", Config{Strategy: StrategyHybrid, OrderedOutput: true}, "cannot buffer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.withDefaults().validate()
+			if err == nil {
+				t.Fatalf("config %+v accepted, want rejection containing %q", tc.cfg, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestConfigValidateAccepts pins the combinations that must keep working.
+func TestConfigValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero value", Config{}},
+		{"static kslack", Config{Strategy: StrategyKSlack, K: 100}},
+		{"adaptive native", Config{K: 100, Adaptive: Adaptive{Enabled: true}}},
+		{"adaptive kslack with limits", Config{Strategy: StrategyKSlack, K: 100,
+			Adaptive: Adaptive{Enabled: true, Limits: Limits{MaxBufferedEvents: 1000}}}},
+		{"limits only (degradation without dynamic K)", Config{Strategy: StrategySpeculate, K: 50,
+			Adaptive: Adaptive{Limits: Limits{MaxLag: 500}}}},
+		{"hybrid static", Config{Strategy: StrategyHybrid, K: 100}},
+		{"hybrid adaptive with SLO", Config{Strategy: StrategyHybrid, K: 100,
+			Adaptive: Adaptive{Enabled: true, SLO: SLO{MaxLatency: 200, MaxRetractionRate: 0.05}}}},
+		{"ordered static non-adaptive", Config{Strategy: StrategyKSlack, K: 10, OrderedOutput: true}},
+		{"partitioned adaptive", Config{K: 100, Partition: Partition{Attr: "sensor", Shards: 4},
+			Adaptive: Adaptive{Enabled: true}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.withDefaults().validate(); err != nil {
+				t.Fatalf("config %+v rejected: %v", tc.cfg, err)
+			}
+		})
+	}
+}

@@ -180,3 +180,9 @@ func TestResultThroughput(t *testing.T) {
 		t.Errorf("runOne: %+v", res)
 	}
 }
+
+func BenchmarkE20Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		E20Adaptive(Smoke)
+	}
+}

@@ -173,6 +173,7 @@ func All() []Experiment {
 		{"E16", "observability overhead", E16Observability},
 		{"E18", "batched admission throughput", E18Batch},
 		{"E19", "multi-query shared admission", E19MultiQuery},
+		{"E20", "adaptive disorder control under drift", E20Adaptive},
 	}
 }
 

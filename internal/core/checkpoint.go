@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"oostream/internal/adaptive"
 	"oostream/internal/ais"
 	"oostream/internal/event"
 	"oostream/internal/plan"
@@ -55,6 +56,14 @@ type checkpointFile struct {
 	Stacks     [][]event.Event     `json:"stacks"`
 	NegStores  [][]event.Event     `json:"negStores"`
 	Pending    []checkpointPending `json:"pending"`
+	// Frontier and Adaptive carry the dynamic-K state: the monotone safe
+	// clock and the controller (config, learned histogram, hysteresis
+	// streaks), so a restored engine resumes with the learned bound instead
+	// of re-learning from InitialK. Absent (zero/nil) for static-K engines
+	// — and absent from pre-adaptive checkpoints, which therefore restore
+	// unchanged.
+	Frontier event.Time      `json:"frontier,omitempty"`
+	Adaptive *adaptive.State `json:"adaptive,omitempty"`
 }
 
 type checkpointPending struct {
@@ -136,6 +145,11 @@ func (en *Engine) Checkpoint(w io.Writer) error {
 		Since:      en.since,
 		Stacks:     en.flatStacks(),
 		NegStores:  en.flatNegStores(),
+	}
+	if ad := en.opts.Adaptive; ad != nil {
+		st := ad.Export()
+		cf.Adaptive = &st
+		cf.Frontier = en.frontier
 	}
 	for _, pm := range en.pending {
 		cf.Pending = append(cf.Pending, checkpointPending{
@@ -258,15 +272,27 @@ func Restore(p *plan.Plan, r io.Reader) (*Engine, error) {
 	if len(cf.Stacks) != p.Len() || len(cf.NegStores) != len(p.Negatives) {
 		return nil, fmt.Errorf("checkpoint shape mismatch: %d stacks / %d negstores", len(cf.Stacks), len(cf.NegStores))
 	}
-	en, err := New(p, Options{
+	opts := Options{
 		K:                 cf.K,
 		LatePolicy:        LatePolicy(cf.LatePolicy),
 		DisableTriggerOpt: cf.NoTrigOpt,
 		DisableKeying:     cf.NoKeyed,
 		PurgeEvery:        cf.PurgeEvery,
-	})
+	}
+	if cf.Adaptive != nil {
+		ctrl, err := adaptive.Restore(*cf.Adaptive)
+		if err != nil {
+			return nil, fmt.Errorf("restore adaptive controller: %w", err)
+		}
+		opts.Adaptive = ctrl
+		opts.AdaptiveFeed = true
+	}
+	en, err := New(p, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cf.Adaptive != nil {
+		en.frontier = cf.Frontier
 	}
 	en.clock = cf.Clock
 	en.started = cf.Started

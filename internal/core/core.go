@@ -53,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 
+	"oostream/internal/adaptive"
 	"oostream/internal/ais"
 	"oostream/internal/engine"
 	"oostream/internal/event"
@@ -92,6 +93,17 @@ type Options struct {
 	// PurgeEvery runs a purge pass every PurgeEvery processed events.
 	// 0 selects the default (64); negative disables purging (ablation).
 	PurgeEvery int
+	// Adaptive, when non-nil, makes K dynamic: the safe clock becomes a
+	// monotone frontier over (clock − controller's effective K) instead of
+	// clock − K, so the bound can grow immediately and shrink without ever
+	// moving the frontier backwards — everything the purge horizons assume
+	// about the safe clock keeps holding. Incompatible with BestEffort
+	// (the adaptive ≡ static-max-K equivalence requires DropLate).
+	Adaptive *adaptive.Controller
+	// AdaptiveFeed marks this engine as the controller's owner: it feeds
+	// watermark-lag observations and live-state sizes. False for engines
+	// sharing a controller someone else feeds (hybrid sub-engines, shards).
+	AdaptiveFeed bool
 }
 
 const defaultPurgeEvery = 64
@@ -108,6 +120,9 @@ func (o Options) normalized() (Options, error) {
 	}
 	if o.PurgeEvery == 0 {
 		o.PurgeEvery = defaultPurgeEvery
+	}
+	if o.Adaptive != nil && o.LatePolicy == BestEffort {
+		return o, fmt.Errorf("adaptive K is incompatible with the best-effort late policy")
 	}
 	return o, nil
 }
@@ -142,6 +157,15 @@ type Engine struct {
 	// clock is the maximum timestamp seen (not the latest arrival's).
 	clock   event.Time
 	started bool
+	// frontier is the adaptive safe clock: the max over history of
+	// (clock − effective K), monotone non-decreasing even when K shrinks.
+	// Every admitted event's timestamp is ≥ the frontier at admission
+	// ≥ clock − (max K ever published), which is what makes the adaptive
+	// run output-equivalent to a static run at K = max K observed. Unused
+	// (minTime) when opts.Adaptive is nil.
+	frontier event.Time
+	// shedded counts events discarded by overload degradation.
+	shedded uint64
 	arrival uint64
 	since   int
 	// liveStack and liveNeg count live stack instances and buffered
@@ -200,6 +224,7 @@ func New(p *plan.Plan, opts Options) (*Engine, error) {
 	en := &Engine{
 		plan:         p,
 		opts:         opts,
+		frontier:     minTime,
 		binding:      make([]event.Event, p.Len()),
 		negScratch:   make([]event.Event, p.Len()+1),
 		localScratch: make([]event.Event, 1),
@@ -308,13 +333,30 @@ func (en *Engine) recomputeStateSize() int {
 	return total
 }
 
-// safe returns the safe clock maxTS − K: every event with a timestamp below
-// it has arrived (under the disorder bound).
+// safe returns the safe clock: every event with a timestamp below it has
+// arrived (under the disorder bound). maxTS − K for static K; the monotone
+// frontier when K is adaptive.
 func (en *Engine) safe() event.Time {
 	if !en.started {
 		return minTime
 	}
+	if en.opts.Adaptive != nil {
+		return en.frontier
+	}
 	return en.clock - en.opts.K
+}
+
+// advanceFrontier folds the controller's current effective K into the
+// monotone frontier. Cheap (one atomic load); called around every clock
+// move so a growing bound takes effect immediately and a shrinking one
+// only lets future clock advances move the frontier faster.
+func (en *Engine) advanceFrontier() {
+	if en.opts.Adaptive == nil || !en.started {
+		return
+	}
+	if cand := en.clock - en.opts.Adaptive.EffectiveK(); cand > en.frontier {
+		en.frontier = cand
+	}
 }
 
 const minTime = event.Time(-1 << 62)
@@ -370,10 +412,28 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 		lag = en.clock - e.TS
 	}
 	en.met.IncIn(isOOO, lag)
+	if en.opts.AdaptiveFeed {
+		// Same observation point as Series.WatermarkLag — bound violators
+		// included, so a late storm is evidence to grow K, not invisible.
+		en.opts.Adaptive.ObserveLag(lag)
+	}
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 	}
+	// Sample the frontier before the late check: every event admitted below
+	// is then provably within the current effective K of the clock.
+	en.advanceFrontier()
 	if en.started && e.TS < en.safe() {
+		if ad := en.opts.Adaptive; ad != nil && ad.Degraded() && e.TS >= en.clock-ad.NominalK() {
+			// The event violates only the degradation-clamped bound, not the
+			// nominal one: it was deliberately shed, not late.
+			en.shedded++
+			en.met.IncShedded()
+			if en.trace != nil {
+				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpShed, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+			}
+			return out
+		}
 		en.met.IncLate()
 		if en.opts.LatePolicy == DropLate {
 			if en.trace != nil {
@@ -385,6 +445,7 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	if e.TS > en.clock || !en.started {
 		en.clock = e.TS
 		en.started = true
+		en.advanceFrontier()
 	}
 	if !en.plan.ConstFalse {
 		if en.Keyed() {
@@ -395,6 +456,9 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	}
 	out = en.drainPending(out)
 	en.since++
+	if en.opts.AdaptiveFeed {
+		en.opts.Adaptive.NoteState(en.StateSize())
+	}
 	return out
 }
 
@@ -407,6 +471,10 @@ func (en *Engine) publishGauges() {
 	}
 	if en.prov {
 		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
+	}
+	if ad := en.opts.Adaptive; ad != nil {
+		en.met.SetCurrentK(ad.EffectiveK())
+		en.met.SetDegraded(ad.Degraded())
 	}
 }
 
@@ -506,6 +574,7 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 		en.clock = ts
 		en.started = true
 	}
+	en.advanceFrontier()
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpHeartbeat, Engine: en.traceName, TS: ts})
 	}
@@ -826,6 +895,18 @@ func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
 		},
 	}
 	s.PurgeFrontier = s.Safe - en.plan.Window
+	if ad := en.opts.Adaptive; ad != nil {
+		cs := ad.Snapshot()
+		s.Adaptive = &provenance.AdaptiveStats{
+			Enabled:      cs.Enabled,
+			EffectiveK:   cs.EffectiveK,
+			NominalK:     cs.NominalK,
+			MaxKObserved: cs.MaxKObserved,
+			Degraded:     cs.Degraded,
+			Shedded:      en.shedded,
+			Resizes:      cs.Resizes,
+		}
+	}
 	if en.Keyed() {
 		s.KeyAttr = en.keyAttr
 		s.KeyGroups = en.kstacks.Groups()

@@ -169,6 +169,13 @@ func sameOrderedTagged(want, got []plan.Match) string {
 // standalone equivalent of a K-slack engine.
 func multiStrategies(c Case, queries []multiQuery) *Failure {
 	for _, st := range oostream.Strategies() {
+		if st == oostream.StrategyHybrid {
+			// QuerySet rejects the hybrid strategy: inner engines run behind
+			// the shared reorder buffer, so the meta-engine never observes
+			// disorder. Hybrid is covered by the single-engine adaptive
+			// differential instead.
+			continue
+		}
 		set, err := newMultiSet(oostream.QuerySetConfig{Strategy: st, K: c.K, AdvanceEvery: multiAdvanceEvery(c)}, queries)
 		if err != nil {
 			return &Failure{Case: c, Check: "multi-" + string(st), Diff: err.Error()}

@@ -1,6 +1,7 @@
 package kslack
 
 import (
+	"oostream/internal/adaptive"
 	"oostream/internal/engine"
 	"oostream/internal/event"
 	"oostream/internal/metrics"
@@ -30,6 +31,14 @@ type Engine struct {
 	// rewrites each relayed record's emit clock to the outer clock (the
 	// inner engine's clock lags by K).
 	prov bool
+	// adapt, when non-nil, makes the slack dynamic: the buffer re-reads
+	// the controller's effective K at every push. adaptFeed marks this
+	// engine as the controller's owner — it feeds lag observations and
+	// buffer occupancy; a follower (one shard of a partitioned engine
+	// sharing a controller, or a hybrid sub-engine) only reads.
+	adapt     *adaptive.Controller
+	adaptFeed bool
+	shedded   uint64
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -37,6 +46,15 @@ var _ engine.Engine = (*Engine)(nil)
 // NewEngine wraps inner with a K-slack reorder buffer.
 func NewEngine(k event.Time, inner engine.Engine) *Engine {
 	return &Engine{buf: NewBuffer(k), inner: inner}
+}
+
+// NewAdaptiveEngine wraps inner with a reorder buffer whose slack is the
+// controller's effective K, re-read at every push. When feed is true this
+// engine owns the controller: it feeds watermark-lag observations and
+// buffer occupancy (driving K derivation and overload degradation); pass
+// false for engines sharing a controller someone else feeds.
+func NewAdaptiveEngine(ctrl *adaptive.Controller, feed bool, inner engine.Engine) *Engine {
+	return &Engine{buf: NewBufferDynamic(ctrl.EffectiveK), inner: inner, adapt: ctrl, adaptFeed: feed}
 }
 
 // Name implements engine.Engine.
@@ -79,6 +97,18 @@ func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
 		BufferLen: en.buf.Len(),
 		Lineage:   provenance.LineageStats{Enabled: en.prov},
 	}
+	if en.adapt != nil {
+		cs := en.adapt.Snapshot()
+		s.Adaptive = &provenance.AdaptiveStats{
+			Enabled:      cs.Enabled,
+			EffectiveK:   cs.EffectiveK,
+			NominalK:     cs.NominalK,
+			MaxKObserved: cs.MaxKObserved,
+			Degraded:     cs.Degraded,
+			Shedded:      en.shedded,
+			Resizes:      cs.Resizes,
+		}
+	}
 	if intr, ok := en.inner.(engine.Introspectable); ok {
 		inner := intr.StateSnapshot()
 		s.Inner = inner
@@ -100,7 +130,18 @@ func (en *Engine) StateSize() int { return en.buf.Len() + en.inner.StateSize() }
 func (en *Engine) Process(e event.Event) []plan.Match {
 	out := en.processOne(e, nil)
 	en.met.SetLiveState(en.StateSize())
+	en.publishAdaptive()
 	return out
+}
+
+// publishAdaptive refreshes the controller-derived gauges (batch cadence,
+// like the live-state gauge).
+func (en *Engine) publishAdaptive() {
+	if en.adapt == nil {
+		return
+	}
+	en.met.SetCurrentK(en.adapt.EffectiveK())
+	en.met.SetDegraded(en.adapt.Degraded())
 }
 
 // ProcessBatch implements engine.BatchProcessor. The levee MUST admit
@@ -116,6 +157,7 @@ func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
 		out = en.processOne(batch[i], out)
 	}
 	en.met.SetLiveState(en.StateSize())
+	en.publishAdaptive()
 	return out
 }
 
@@ -128,6 +170,11 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 		lag = en.clock - e.TS
 	}
 	en.met.IncIn(e.TS < en.clock, lag)
+	if en.adaptFeed {
+		// Same observation point as Series.WatermarkLag — bound violators
+		// included, so a late storm is evidence to grow K, not invisible.
+		en.adapt.ObserveLag(lag)
+	}
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 	}
@@ -142,7 +189,25 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 		}
 	}
-	return en.feedInto(released, out)
+	out = en.feedInto(released, out)
+	if en.adapt != nil {
+		// Degradation check runs on the post-push occupancy (before
+		// shedding trims it) so the controller sees the overload; shedding
+		// then bounds the buffer deterministically, oldest first.
+		if en.adaptFeed {
+			en.adapt.NoteState(en.buf.Len())
+		}
+		if limit := en.adapt.Limits().MaxBufferedEvents; limit > 0 {
+			for _, shed := range en.buf.ShedOldest(limit) {
+				en.shedded++
+				en.met.IncShedded()
+				if en.trace != nil {
+					en.trace.Trace(obsv.TraceEvent{Op: obsv.OpShed, Engine: en.traceName, Type: shed.Type, TS: shed.TS, Seq: shed.Seq})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Advance implements engine.Advancer: a heartbeat moves the reorder

@@ -15,22 +15,47 @@ import (
 )
 
 // Buffer is a K-slack reorder buffer. The zero value is not usable; use
-// NewBuffer.
+// NewBuffer or NewBufferDynamic.
 type Buffer struct {
-	k       event.Time
-	heap    eventHeap
-	maxSeen event.Time
-	started bool
-	dropped uint64
+	k event.Time
+	// bound, when non-nil, makes the slack dynamic: it is loaded (one
+	// atomic read in the adaptive controller) at every push/advance and
+	// folded into a monotone frontier, so a shrinking bound can never move
+	// the watermark backwards — releases stay sorted no matter how K moves.
+	bound    func() event.Time
+	frontier event.Time
+	heap     eventHeap
+	maxSeen  event.Time
+	started  bool
+	dropped  uint64
 }
 
-// NewBuffer creates a reorder buffer with slack k (logical milliseconds).
+// NewBuffer creates a reorder buffer with static slack k (logical
+// milliseconds).
 func NewBuffer(k event.Time) *Buffer {
 	return &Buffer{k: k}
 }
 
-// K returns the configured slack.
-func (b *Buffer) K() event.Time { return b.k }
+// NewBufferDynamic creates a reorder buffer whose slack is re-read from
+// bound at every push/advance (typically adaptive.Controller.EffectiveK).
+// The release watermark is the monotone frontier max over history of
+// (maxSeen − bound()): a growing bound takes effect immediately (the
+// frontier stops advancing), a shrinking bound only lets future arrivals
+// advance it faster. Every admitted event's timestamp is ≥ the frontier at
+// admission ≥ maxSeen − max bound ever returned, so the released stream
+// equals what a static buffer with K = max bound observed would release
+// over the same admitted events.
+func NewBufferDynamic(bound func() event.Time) *Buffer {
+	return &Buffer{bound: bound, frontier: minTime}
+}
+
+// K returns the configured slack (the current bound for dynamic buffers).
+func (b *Buffer) K() event.Time {
+	if b.bound != nil {
+		return b.bound()
+	}
+	return b.k
+}
 
 // MaxSeen returns the maximum timestamp observed (via Push or Advance) and
 // whether anything has been observed at all.
@@ -68,14 +93,30 @@ func (b *Buffer) Len() int { return len(b.heap) }
 // Dropped returns how many events were discarded for violating the bound.
 func (b *Buffer) Dropped() uint64 { return b.dropped }
 
-// Watermark returns the current release watermark maxSeen − K. Events at or
-// below the watermark have been released (or dropped).
+// Watermark returns the current release watermark: maxSeen − K for static
+// buffers, the monotone frontier for dynamic ones. Events at or below the
+// watermark have been released (or dropped).
 func (b *Buffer) Watermark() event.Time {
 	if !b.started {
 		// Nothing seen: nothing is releasable yet.
 		return minTime
 	}
+	if b.bound != nil {
+		return b.frontier
+	}
 	return b.maxSeen - b.k
+}
+
+// syncFrontier folds the current dynamic bound into the monotone frontier.
+// Called after every maxSeen move (and bound read): the frontier only ever
+// advances.
+func (b *Buffer) syncFrontier() {
+	if b.bound == nil || !b.started {
+		return
+	}
+	if cand := b.maxSeen - b.bound(); cand > b.frontier {
+		b.frontier = cand
+	}
 }
 
 const minTime = event.Time(-1 << 62)
@@ -97,6 +138,7 @@ func (b *Buffer) Push(e event.Event) []event.Event {
 		b.maxSeen = e.TS
 		b.started = true
 	}
+	b.syncFrontier()
 	return b.release()
 }
 
@@ -108,7 +150,24 @@ func (b *Buffer) Advance(ts event.Time) []event.Event {
 		b.maxSeen = ts
 		b.started = true
 	}
+	b.syncFrontier()
 	return b.release()
+}
+
+// ShedOldest pops and returns the oldest buffered events until at most
+// limit remain — the overload-degradation path. Shed events are discarded
+// outright, never delivered downstream: the remaining heap minimum only
+// rises, so subsequent releases stay sorted, and the net output over the
+// surviving events is exactly what a run fed only the survivors produces.
+func (b *Buffer) ShedOldest(limit int) []event.Event {
+	if limit < 0 || len(b.heap) <= limit {
+		return nil
+	}
+	out := make([]event.Event, 0, len(b.heap)-limit)
+	for len(b.heap) > limit {
+		out = append(out, heap.Pop(&b.heap).(event.Event))
+	}
+	return out
 }
 
 // Flush releases everything regardless of the watermark (end of stream).

@@ -109,6 +109,18 @@ type Snapshot struct {
 	LineageLive int
 	// LineageBytes gauges the estimated heap retained by live records.
 	LineageBytes int
+
+	// SheddedEvents counts events discarded by overload degradation (the
+	// Limits policy) — distinct from EventsLate (bound violators).
+	SheddedEvents uint64
+	// Switches counts hybrid meta-engine strategy switches.
+	Switches uint64
+	// CurrentK gauges the effective disorder bound being enforced; MaxK is
+	// its peak (the static K the adaptive run is equivalent to).
+	CurrentK int64
+	MaxK     int64
+	// Degraded reports whether overload degradation is active.
+	Degraded bool
 }
 
 // IncIn counts an ingested event; ooo marks it out of timestamp order and
@@ -207,6 +219,24 @@ func (c *Collector) ObserveCheckpoint(bytes int, d time.Duration) {
 	s.CheckpointNanos.Set(int64(d))
 }
 
+// IncShedded counts one event discarded by overload degradation.
+func (c *Collector) IncShedded() { c.Series().SheddedEvents.Inc() }
+
+// IncSwitch counts one hybrid strategy switch.
+func (c *Collector) IncSwitch() { c.Series().Switches.Inc() }
+
+// SetCurrentK gauges the effective disorder bound being enforced.
+func (c *Collector) SetCurrentK(k event.Time) { c.Series().CurrentK.Set(int64(k)) }
+
+// SetDegraded gauges the overload-degradation flag.
+func (c *Collector) SetDegraded(on bool) {
+	var v int64
+	if on {
+		v = 1
+	}
+	c.Series().Degraded.Set(v)
+}
+
 // IncLineage counts one lineage record built by the provenance layer.
 func (c *Collector) IncLineage() { c.Series().LineageRecords.Inc() }
 
@@ -253,6 +283,12 @@ func (c *Collector) Snapshot() Snapshot {
 		LineageRecords: s.LineageRecords.Load(),
 		LineageLive:    int(s.LineageLive.Load()),
 		LineageBytes:   int(s.LineageBytes.Load()),
+
+		SheddedEvents: s.SheddedEvents.Load(),
+		Switches:      s.Switches.Load(),
+		CurrentK:      s.CurrentK.Load(),
+		MaxK:          s.CurrentK.Peak(),
+		Degraded:      s.Degraded.Load() != 0,
 	}
 }
 

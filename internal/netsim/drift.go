@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+
+	"oostream/internal/event"
+)
+
+// Phase binds a link model to a span of send time: the phase governs every
+// delivery whose send timestamp is below Until. Phases let an experiment
+// model non-stationary networks — a quiet morning, a congested afternoon —
+// which is exactly the regime an adaptive disorder bound must track.
+type Phase struct {
+	// Until is the exclusive upper send-time bound of this phase. The last
+	// phase may use 0 to mean "until the end of the stream".
+	Until event.Time
+	// Link is the delivery model in force during the phase.
+	Link LinkConfig
+}
+
+// DriftConfig makes the delivery model non-stationary in two independent
+// ways, composing with Config.Link (which remains the fallback when no
+// phase matches):
+//
+//   - Phases replace the link model wholesale by send time, producing slow
+//     drifts (the mean delay ramps up when the stream crosses a phase
+//     boundary).
+//   - Bursts model transient congestion: each delivery has probability
+//     BurstP of opening a congestion episode whose length (in deliveries)
+//     is exponential with mean BurstMeanLen; every delivery inside an
+//     episode has its jitter multiplied by BurstX. Episodes follow
+//     production order, so a burst hits a contiguous span of sends — the
+//     "massively late all at once" shape that defeats a static K chosen
+//     from steady-state percentiles.
+type DriftConfig struct {
+	// Phases are consulted in order; the first phase with send < Until (or
+	// Until == 0) wins. Empty means the base link applies throughout.
+	Phases []Phase
+	// BurstP is the per-delivery probability of opening a congestion
+	// episode; 0 disables bursts.
+	BurstP float64
+	// BurstMeanLen is the mean episode length in deliveries (default 1).
+	BurstMeanLen float64
+	// BurstX multiplies jitter inside an episode; values ≤ 1 disable
+	// bursts.
+	BurstX float64
+}
+
+// Validate checks the drift configuration.
+func (d DriftConfig) Validate() error {
+	var prev event.Time
+	for i, ph := range d.Phases {
+		if ph.Until == 0 {
+			if i != len(d.Phases)-1 {
+				return fmt.Errorf("phase %d: Until=0 (open-ended) only allowed on the last phase", i)
+			}
+		} else if ph.Until <= prev {
+			return fmt.Errorf("phase %d: Until=%d not increasing (previous %d)", i, ph.Until, prev)
+		}
+		if ph.Link.JitterMean < 0 || ph.Link.HeavyTailP < 0 || ph.Link.HeavyTailP > 1 {
+			return fmt.Errorf("phase %d: invalid link config %+v", i, ph.Link)
+		}
+		prev = ph.Until
+	}
+	if d.BurstP < 0 || d.BurstP > 1 {
+		return fmt.Errorf("BurstP must be in [0,1], got %g", d.BurstP)
+	}
+	if d.BurstMeanLen < 0 {
+		return fmt.Errorf("BurstMeanLen must be non-negative, got %g", d.BurstMeanLen)
+	}
+	if d.BurstX < 0 {
+		return fmt.Errorf("BurstX must be non-negative, got %g", d.BurstX)
+	}
+	return nil
+}
+
+// linkAt resolves the link model for a delivery sent at the given time,
+// falling back to def when no phase matches.
+func (d DriftConfig) linkAt(send event.Time, def LinkConfig) LinkConfig {
+	for _, ph := range d.Phases {
+		if ph.Until == 0 || send < ph.Until {
+			return ph.Link
+		}
+	}
+	return def
+}
+
+// burstsOn reports whether the burst machinery is active.
+func (d DriftConfig) burstsOn() bool {
+	return d.BurstP > 0 && d.BurstX > 1
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/gen"
+)
+
+// driftConfig: quiet phase until t=5000, then a congested phase with 8x
+// the jitter, plus occasional congestion bursts.
+func driftConfig(seed int64) Config {
+	cfg := baseConfig(seed)
+	cfg.Drift = &DriftConfig{
+		Phases: []Phase{
+			{Until: 5_000, Link: LinkConfig{BaseDelay: 5, JitterMean: 8}},
+			{Until: 0, Link: LinkConfig{BaseDelay: 10, JitterMean: 64, HeavyTailP: 0.05, HeavyTailX: 10}},
+		},
+		BurstP:       0.002,
+		BurstMeanLen: 20,
+		BurstX:       6,
+	}
+	return cfg
+}
+
+func TestDriftValidate(t *testing.T) {
+	bad := []DriftConfig{
+		{Phases: []Phase{{Until: 0, Link: DefaultLink()}, {Until: 100, Link: DefaultLink()}}},
+		{Phases: []Phase{{Until: 100, Link: DefaultLink()}, {Until: 100, Link: DefaultLink()}}},
+		{Phases: []Phase{{Until: 100, Link: LinkConfig{JitterMean: -1}}}},
+		{BurstP: 1.5},
+		{BurstP: 0.1, BurstMeanLen: -1},
+		{BurstP: 0.1, BurstX: -2},
+	}
+	for i, d := range bad {
+		cfg := baseConfig(1)
+		cfg.Drift = &d
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid drift config %+v accepted", i, d)
+		}
+	}
+	good := driftConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid drift config rejected: %v", err)
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	events := gen.Uniform(2_000, []string{"A", "B"}, 4, 10, 1)
+	a, _, pa, err := Deliver(events, driftConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, pb, _ := Deliver(events, driftConfig(7))
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			t.Fatal("nondeterministic delivery under drift")
+		}
+	}
+	if pa != pb {
+		t.Fatalf("nondeterministic profile: %v vs %v", pa, pb)
+	}
+}
+
+// TestDriftShiftsDelayDistribution is the point of the model: the realized
+// disorder in the congested phase must dominate the quiet phase, so a K
+// chosen from the quiet phase under-provisions the congested one.
+func TestDriftShiftsDelayDistribution(t *testing.T) {
+	events := gen.Uniform(20_000, []string{"A", "B"}, 4, 1, 1)
+	out, delays, prof, err := Deliver(events, driftConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Bursts == 0 {
+		t.Fatal("no congestion bursts opened")
+	}
+	var quiet, congested []event.Time
+	for i, e := range out {
+		if e.TS < 5_000 {
+			quiet = append(quiet, delays[i])
+		} else {
+			congested = append(congested, delays[i])
+		}
+	}
+	maxOf := func(ds []event.Time) event.Time {
+		var m event.Time
+		for _, d := range ds {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	meanOf := func(ds []event.Time) float64 {
+		var s event.Time
+		for _, d := range ds {
+			s += d
+		}
+		return float64(s) / float64(len(ds))
+	}
+	if len(quiet) == 0 || len(congested) == 0 {
+		t.Fatalf("phases not both populated: %d/%d", len(quiet), len(congested))
+	}
+	if meanOf(congested) < 2*meanOf(quiet) {
+		t.Errorf("congested mean delay %.1f not ≫ quiet %.1f", meanOf(congested), meanOf(quiet))
+	}
+	if maxOf(congested) <= maxOf(quiet) {
+		t.Errorf("congested max delay %d not above quiet %d", maxOf(congested), maxOf(quiet))
+	}
+}
+
+// TestDriftPreservesMultiset: drift only changes arrival order, never the
+// event set.
+func TestDriftPreservesMultiset(t *testing.T) {
+	events := gen.Uniform(1_000, []string{"A", "B"}, 4, 10, 1)
+	out, _, _, err := Deliver(events, driftConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(events) {
+		t.Fatalf("length changed: %d vs %d", len(out), len(events))
+	}
+	seen := map[event.Seq]bool{}
+	for _, e := range out {
+		if seen[e.Seq] {
+			t.Fatal("duplicate delivery under drift")
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestDriftComposesWithFaults: the drift model must ride along under
+// DeliverFaults (drops/dups/stalls) without breaking its invariants.
+func TestDriftComposesWithFaults(t *testing.T) {
+	events := gen.Uniform(2_000, []string{"A", "B"}, 4, 10, 1)
+	cfg := driftConfig(13)
+	rng := rand.New(rand.NewSource(13))
+	out, delays, prof, rep, err := DeliverFaults(events, cfg, FaultConfig{DropP: 0.01, DupP: 0.01, StallP: 0.001, StallMean: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(delays) {
+		t.Fatalf("lengths diverge: %d vs %d", len(out), len(delays))
+	}
+	want := len(events) - rep.Dropped + rep.Duplicated
+	if len(out) != want {
+		t.Fatalf("delivered %d, want %d (%v)", len(out), want, rep)
+	}
+	if prof.OOORatio <= 0 {
+		t.Error("no disorder realized under drift+faults")
+	}
+}

@@ -68,6 +68,10 @@ type Config struct {
 	Link LinkConfig
 	// Failure is the failure model; zero value disables failures.
 	Failure FailureConfig
+	// Drift, when non-nil, makes the link model non-stationary: phased
+	// link replacement by send time plus transient congestion bursts (see
+	// DriftConfig). It composes with Failure and with DeliverFaults.
+	Drift *DriftConfig
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -79,6 +83,11 @@ func (c Config) Validate() error {
 	}
 	if c.Link.JitterMean < 0 || c.Link.HeavyTailP < 0 || c.Link.HeavyTailP > 1 {
 		return fmt.Errorf("invalid link config %+v", c.Link)
+	}
+	if c.Drift != nil {
+		if err := c.Drift.Validate(); err != nil {
+			return fmt.Errorf("drift: %w", err)
+		}
 	}
 	return nil
 }
@@ -96,6 +105,8 @@ type Profile struct {
 	DelayP50, DelayP99 event.Time
 	// Failures is the number of outages simulated.
 	Failures int
+	// Bursts is the number of congestion episodes opened (Drift only).
+	Bursts int
 }
 
 // String renders the profile on one line.
@@ -162,6 +173,7 @@ func DeliverRand(events []event.Event, cfg Config, rng *rand.Rand) ([]event.Even
 		arrival event.Time
 	}
 	deliveries := make([]delivery, len(events))
+	burstLeft, bursts := 0, 0
 	for i, e := range events {
 		src := i % cfg.Sources
 		if cfg.PartitionAttr != "" {
@@ -177,10 +189,26 @@ func DeliverRand(events []event.Event, cfg Config, rng *rand.Rand) ([]event.Even
 				break
 			}
 		}
-		delay := float64(cfg.Link.BaseDelay)
-		jitter := expFloat(rng, cfg.Link.JitterMean)
-		if rng.Float64() < cfg.Link.HeavyTailP {
-			jitter *= cfg.Link.HeavyTailX
+		link := cfg.Link
+		if cfg.Drift != nil {
+			link = cfg.Drift.linkAt(send, cfg.Link)
+		}
+		delay := float64(link.BaseDelay)
+		jitter := expFloat(rng, link.JitterMean)
+		if rng.Float64() < link.HeavyTailP {
+			jitter *= link.HeavyTailX
+		}
+		// Congestion bursts span contiguous deliveries in production
+		// order: once an episode opens, BurstX applies until it drains.
+		if cfg.Drift != nil && cfg.Drift.burstsOn() {
+			if burstLeft > 0 {
+				jitter *= cfg.Drift.BurstX
+				burstLeft--
+			} else if rng.Float64() < cfg.Drift.BurstP {
+				jitter *= cfg.Drift.BurstX
+				burstLeft = int(expDuration(rng, cfg.Drift.BurstMeanLen)) - 1
+				bursts++
+			}
 		}
 		delay += jitter
 		deliveries[i] = delivery{e: e, arrival: send + event.Time(math.Round(delay))}
@@ -206,6 +234,7 @@ func DeliverRand(events []event.Event, cfg Config, rng *rand.Rand) ([]event.Even
 	prof := Profile{
 		Events:   len(out),
 		Failures: len(outages),
+		Bursts:   bursts,
 	}
 	if len(out) > 0 {
 		prof.OOORatio = float64(ooo) / float64(len(out))

@@ -155,12 +155,25 @@ type Series struct {
 	// overhead of provenance is itself observable.
 	LineageRecords Counter
 
+	// SheddedEvents counts events discarded by overload degradation (the
+	// Limits policy) — deliberately shed, distinct from EventsLate (bound
+	// violators) and Dropped (admission control). Switches counts hybrid
+	// meta-engine strategy switches.
+	SheddedEvents Counter
+	Switches      Counter
+
 	LiveState       Gauge
 	KeyGroups       Gauge
 	CheckpointBytes Gauge
 	CheckpointNanos Gauge
 	LineageLive     Gauge
 	LineageBytes    Gauge
+
+	// CurrentK gauges the effective disorder bound the engine is enforcing
+	// right now (the adaptive controller's output; constant for static K).
+	// Degraded is 1 while overload degradation is active.
+	CurrentK Gauge
+	Degraded Gauge
 
 	LogicalLat   Hist
 	ArrivalLat   Hist
@@ -311,6 +324,11 @@ func (s *Series) varz() map[string]any {
 		"lineage_records":       s.LineageRecords.Load(),
 		"lineage_live":          s.LineageLive.Load(),
 		"lineage_bytes":         s.LineageBytes.Load(),
+		"shedded_events":        s.SheddedEvents.Load(),
+		"hybrid_switches":       s.Switches.Load(),
+		"current_k":             s.CurrentK.Load(),
+		"max_k":                 s.CurrentK.Peak(),
+		"degraded":              s.Degraded.Load(),
 		"watermark_lag_mean_ms": lag.Mean(),
 		"watermark_lag_max_ms":  lag.Max,
 		"latency_mean_ms":       lat.Mean(),
@@ -343,6 +361,8 @@ var promCounters = []struct {
 	{"oostream_restarts_total", "Supervised restarts from a checkpoint after a panic", func(s *Series) uint64 { return s.Restarts.Load() }},
 	{"oostream_checkpoints_total", "Durable checkpoints written", func(s *Series) uint64 { return s.Checkpoints.Load() }},
 	{"oostream_lineage_records_total", "Lineage records built by the provenance layer", func(s *Series) uint64 { return s.LineageRecords.Load() }},
+	{"oostream_shedded_events_total", "Events discarded by overload degradation (Limits policy)", func(s *Series) uint64 { return s.SheddedEvents.Load() }},
+	{"oostream_hybrid_switches_total", "Hybrid meta-engine strategy switches", func(s *Series) uint64 { return s.Switches.Load() }},
 }
 
 // promGauges maps Prometheus gauge names to series gauges.
@@ -359,6 +379,9 @@ var promGauges = []struct {
 	{"oostream_checkpoint_duration_ns", "Wall time of the most recent durable checkpoint", func(s *Series) int64 { return s.CheckpointNanos.Load() }},
 	{"oostream_lineage_live", "Lineage records currently retained by pending matches", func(s *Series) int64 { return s.LineageLive.Load() }},
 	{"oostream_lineage_bytes", "Estimated heap retained by live lineage records", func(s *Series) int64 { return s.LineageBytes.Load() }},
+	{"oostream_current_k", "Effective disorder bound being enforced (logical ms)", func(s *Series) int64 { return s.CurrentK.Load() }},
+	{"oostream_max_k", "Largest effective disorder bound ever enforced", func(s *Series) int64 { return s.CurrentK.Peak() }},
+	{"oostream_degraded", "1 while overload degradation is shedding events", func(s *Series) int64 { return s.Degraded.Load() }},
 }
 
 // promHists maps Prometheus histogram names to series histograms.

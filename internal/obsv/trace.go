@@ -43,6 +43,13 @@ const (
 	OpRestart
 	// OpFlush: the stream was sealed.
 	OpFlush
+	// OpShed: an event was deliberately discarded by overload degradation
+	// (the Limits policy), distinct from OpDrop's bound violation. N is 0.
+	OpShed
+	// OpSwitch: the hybrid meta-engine switched strategy. Type carries the
+	// new mode ("speculate" or "native"); TS is the sealed handoff
+	// watermark; N is the number of tail events replayed.
+	OpSwitch
 )
 
 // String names the operation.
@@ -72,6 +79,10 @@ func (o Op) String() string {
 		return "restart"
 	case OpFlush:
 		return "flush"
+	case OpShed:
+		return "shed"
+	case OpSwitch:
+		return "switch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

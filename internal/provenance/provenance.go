@@ -239,11 +239,39 @@ type StateSnapshot struct {
 	Committed uint64 `json:"committed,omitempty"`
 	// Lineage reports the provenance subsystem's own footprint.
 	Lineage LineageStats `json:"lineage"`
+	// Adaptive reports the disorder controller's state when the engine runs
+	// with dynamic K, SLO-driven switching, or overload degradation.
+	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
 	// Inner is the wrapped engine's snapshot (kslack's in-order engine).
 	Inner *StateSnapshot `json:"inner,omitempty"`
 	// Shards holds per-shard snapshots for partitioned engines; the parent
 	// aggregates them.
 	Shards []*StateSnapshot `json:"shards,omitempty"`
+}
+
+// AdaptiveStats is the disorder controller's introspection view: what
+// bound the engine is enforcing right now, the largest bound ever enforced
+// (the static K the run is output-equivalent to), and the degradation and
+// hybrid-switch counters.
+type AdaptiveStats struct {
+	// Enabled reports whether K is being derived dynamically.
+	Enabled bool `json:"enabled"`
+	// EffectiveK is the bound being enforced right now; NominalK the
+	// quantile-derived bound before degradation clamping.
+	EffectiveK event.Time `json:"effectiveK"`
+	NominalK   event.Time `json:"nominalK"`
+	// MaxKObserved is the largest effective K ever published.
+	MaxKObserved event.Time `json:"maxKObserved"`
+	// Degraded reports whether overload degradation is shedding.
+	Degraded bool `json:"degraded"`
+	// Shedded counts events discarded by degradation.
+	Shedded uint64 `json:"shedded"`
+	// Resizes counts how many times the derived K changed.
+	Resizes uint64 `json:"resizes"`
+	// Mode is the hybrid meta-engine's current strategy ("speculate" or
+	// "native"; empty for non-hybrid engines); Switches counts handoffs.
+	Mode     string `json:"mode,omitempty"`
+	Switches uint64 `json:"switches,omitempty"`
 }
 
 // Aggregate sums sub-snapshots into a parent named engine, keeping the
@@ -295,6 +323,31 @@ func Aggregate(engine string, subs []*StateSnapshot) *StateSnapshot {
 		agg.Lineage.Live += s.Lineage.Live
 		agg.Lineage.Bytes += s.Lineage.Bytes
 		agg.Lineage.Truncated = agg.Lineage.Truncated || s.Lineage.Truncated
+		if s.Adaptive != nil {
+			if agg.Adaptive == nil {
+				agg.Adaptive = &AdaptiveStats{}
+			}
+			a := agg.Adaptive
+			a.Enabled = a.Enabled || s.Adaptive.Enabled
+			// Per-shard bounds can differ; report the largest (the bound
+			// that gates the slowest shard).
+			if s.Adaptive.EffectiveK > a.EffectiveK {
+				a.EffectiveK = s.Adaptive.EffectiveK
+			}
+			if s.Adaptive.NominalK > a.NominalK {
+				a.NominalK = s.Adaptive.NominalK
+			}
+			if s.Adaptive.MaxKObserved > a.MaxKObserved {
+				a.MaxKObserved = s.Adaptive.MaxKObserved
+			}
+			a.Degraded = a.Degraded || s.Adaptive.Degraded
+			a.Shedded += s.Adaptive.Shedded
+			a.Resizes += s.Adaptive.Resizes
+			a.Switches += s.Adaptive.Switches
+			if a.Mode == "" {
+				a.Mode = s.Adaptive.Mode
+			}
+		}
 		groups = append(groups, s.TopKeyGroups...)
 	}
 	agg.TopKeyGroups = TopK(groups, defaultTopK)

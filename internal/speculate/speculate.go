@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"oostream/internal/adaptive"
 	"oostream/internal/ais"
 	"oostream/internal/engine"
 	"oostream/internal/event"
@@ -35,6 +36,12 @@ type Options struct {
 	// PurgeEvery runs a purge pass every PurgeEvery events (0 = default
 	// 64, negative = never).
 	PurgeEvery int
+	// Adaptive, when non-nil, makes K dynamic exactly as in the native
+	// engine: the safe clock becomes a monotone frontier over
+	// (clock − controller's effective K). AdaptiveFeed marks this engine as
+	// the controller's owner (it feeds lag observations and state sizes).
+	Adaptive     *adaptive.Controller
+	AdaptiveFeed bool
 }
 
 const defaultPurgeEvery = 64
@@ -52,9 +59,15 @@ type Engine struct {
 	vulnSeq    uint64
 	clock      event.Time
 	started    bool
-	arrival    uint64
-	since      int
-	met        metrics.Collector
+	// frontier is the adaptive safe clock (see core.Engine.frontier):
+	// monotone max over history of (clock − effective K). minTime when
+	// opts.Adaptive is nil.
+	frontier event.Time
+	// shedded counts events discarded by overload degradation.
+	shedded uint64
+	arrival uint64
+	since   int
+	met     metrics.Collector
 	// trace observes lifecycle steps when non-nil (nil-checked per site).
 	trace     obsv.TraceHook
 	traceName string
@@ -95,6 +108,7 @@ func New(p *plan.Plan, opts Options) (*Engine, error) {
 	en := &Engine{
 		plan:       p,
 		opts:       opts,
+		frontier:   minTime,
 		stacks:     ais.New(p.Len()),
 		negStores:  make([]*negStore, len(p.Negatives)),
 		vulnerable: make(map[string]*vulnEntry),
@@ -153,6 +167,18 @@ func (en *Engine) StateSnapshot() *provenance.StateSnapshot {
 		Lineage:       provenance.LineageStats{Enabled: en.prov},
 	}
 	s.PurgeFrontier = s.Safe - en.plan.Window
+	if ad := en.opts.Adaptive; ad != nil {
+		cs := ad.Snapshot()
+		s.Adaptive = &provenance.AdaptiveStats{
+			Enabled:      cs.Enabled,
+			EffectiveK:   cs.EffectiveK,
+			NominalK:     cs.NominalK,
+			MaxKObserved: cs.MaxKObserved,
+			Degraded:     cs.Degraded,
+			Shedded:      en.shedded,
+			Resizes:      cs.Resizes,
+		}
+	}
 	for pos := 0; pos < en.plan.Len(); pos++ {
 		s.StackDepths[pos] = en.stacks.Stack(pos).Len()
 	}
@@ -177,7 +203,21 @@ func (en *Engine) safe() event.Time {
 	if !en.started {
 		return minTime
 	}
+	if en.opts.Adaptive != nil {
+		return en.frontier
+	}
 	return en.clock - en.opts.K
+}
+
+// advanceFrontier folds the controller's current effective K into the
+// monotone frontier (see core.Engine.advanceFrontier).
+func (en *Engine) advanceFrontier() {
+	if en.opts.Adaptive == nil || !en.started {
+		return
+	}
+	if cand := en.clock - en.opts.Adaptive.EffectiveK(); cand > en.frontier {
+		en.frontier = cand
+	}
 }
 
 // Process implements engine.Engine.
@@ -185,7 +225,16 @@ func (en *Engine) Process(e event.Event) []plan.Match {
 	out := en.processOne(e, nil)
 	en.maybePurge()
 	en.met.SetLiveState(en.StateSize())
+	en.publishAdaptive()
 	return out
+}
+
+// publishAdaptive refreshes the controller-derived gauges.
+func (en *Engine) publishAdaptive() {
+	if ad := en.opts.Adaptive; ad != nil {
+		en.met.SetCurrentK(ad.EffectiveK())
+		en.met.SetDegraded(ad.Degraded())
+	}
 }
 
 // ProcessBatch implements engine.BatchProcessor. Vulnerable-entry expiry
@@ -200,6 +249,7 @@ func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
 	}
 	en.maybePurge()
 	en.met.SetLiveState(en.StateSize())
+	en.publishAdaptive()
 	return out
 }
 
@@ -219,10 +269,22 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 		lag = en.clock - e.TS
 	}
 	en.met.IncIn(isOOO, lag)
+	if en.opts.AdaptiveFeed {
+		en.opts.Adaptive.ObserveLag(lag)
+	}
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpAdmit, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 	}
+	en.advanceFrontier()
 	if en.started && e.TS < en.safe() {
+		if ad := en.opts.Adaptive; ad != nil && ad.Degraded() && e.TS >= en.clock-ad.NominalK() {
+			en.shedded++
+			en.met.IncShedded()
+			if en.trace != nil {
+				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpShed, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
+			}
+			return out
+		}
 		en.met.IncLate()
 		if en.trace != nil {
 			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
@@ -232,6 +294,7 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	if e.TS > en.clock || !en.started {
 		en.clock = e.TS
 		en.started = true
+		en.advanceFrontier()
 	}
 	if !en.plan.ConstFalse {
 		for _, negIdx := range en.plan.NegativesForType(e.Type) {
@@ -263,6 +326,9 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	}
 	en.expireVulnerable()
 	en.since++
+	if en.opts.AdaptiveFeed {
+		en.opts.Adaptive.NoteState(en.StateSize())
+	}
 	return out
 }
 
@@ -274,6 +340,7 @@ func (en *Engine) Advance(ts event.Time) []plan.Match {
 		en.clock = ts
 		en.started = true
 	}
+	en.advanceFrontier()
 	if en.trace != nil {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpHeartbeat, Engine: en.traceName, TS: ts})
 	}
@@ -294,6 +361,63 @@ func (en *Engine) Flush() []plan.Match {
 		en.trace.Trace(obsv.TraceEvent{Op: obsv.OpFlush, Engine: en.traceName, TS: en.clock})
 	}
 	return nil
+}
+
+// RetractVulnerable compensates every still-vulnerable match whose seal
+// timestamp lies above cut, in original emission order, and finalizes
+// (silently drops) the rest. The hybrid meta-engine calls this when
+// switching away from speculation at a sealed watermark C = cut: matches
+// sealing at or below the cut are final — no event that could invalidate
+// them will ever be admitted again, and the replacement engine's replay
+// of the tail suppresses re-emissions at or below the cut, so retracting
+// them would lose results. Matches sealing above the cut are retracted
+// here and re-derived (or not) by the replay. The vulnerable set is
+// emptied either way.
+func (en *Engine) RetractVulnerable(cut event.Time) []plan.Match {
+	var hit []*vulnEntry
+	for _, v := range en.vulnerable {
+		if v.retracted || v.sealTS <= cut {
+			continue
+		}
+		hit = append(hit, v)
+	}
+	sort.Slice(hit, func(i, j int) bool { return hit[i].order < hit[j].order })
+	var out []plan.Match
+	for _, v := range hit {
+		m := plan.Match{
+			Kind:      plan.Retract,
+			Events:    v.events,
+			EmitSeq:   event.Seq(en.arrival),
+			EmitClock: en.clock,
+		}
+		if en.prov {
+			m.Prov = &provenance.Record{
+				Kind:      provenance.KindRetract,
+				Events:    provenance.Refs(v.events),
+				Shard:     -1,
+				WindowLo:  v.events[0].TS,
+				WindowHi:  v.events[0].TS + en.plan.Window,
+				SealTS:    v.sealTS,
+				EmitClock: en.clock,
+				// InvalidatedBy stays nil: no negative event invalidated the
+				// match — the strategy switch withdrew it for re-derivation.
+			}
+			en.met.IncLineage()
+		}
+		en.met.AddMatch(true, 0, 0)
+		if en.trace != nil {
+			te := obsv.TraceEvent{Op: obsv.OpRetract, Engine: en.traceName, TS: m.Last().TS, Seq: m.EmitSeq, N: len(m.Events)}
+			if m.Prov != nil {
+				te.Match = m.Prov.MatchKey()
+			}
+			en.trace.Trace(te)
+		}
+		out = append(out, m)
+	}
+	en.vulnerable = make(map[string]*vulnEntry)
+	en.expiry = nil
+	en.met.SetLiveState(en.StateSize())
+	return out
 }
 
 // retractInvalidated compensates emitted matches whose gap the new negative

@@ -35,9 +35,11 @@ import (
 	"fmt"
 	"io"
 
+	"oostream/internal/adaptive"
 	"oostream/internal/core"
 	"oostream/internal/engine"
 	"oostream/internal/event"
+	"oostream/internal/hybrid"
 	"oostream/internal/inorder"
 	"oostream/internal/kslack"
 	"oostream/internal/metrics"
@@ -263,16 +265,27 @@ func observeEngine(en engine.Engine, cfg Config, name string) {
 // newSingle builds one strategy engine (plus the ordered-output wrapper),
 // ignoring cfg.Partition, Observer, and Trace — callers apply those.
 func newSingle(q *Query, cfg Config) (engine.Engine, error) {
+	// Each engine (each shard, under Partition) owns a fresh controller:
+	// it feeds its own lag observations and state sizes, so K adapts to the
+	// disorder each shard actually sees.
+	ctrl, err := cfg.adaptiveController()
+	if err != nil {
+		return nil, err
+	}
 	var inner engine.Engine
 	switch cfg.Strategy {
 	case StrategyNative:
-		en, err := core.New(q.plan, core.Options{
+		opts := core.Options{
 			K:                 cfg.K,
 			LatePolicy:        cfg.corePolicy(),
 			DisableTriggerOpt: cfg.DisableTriggerOpt,
 			DisableKeying:     cfg.DisableKeyedStacks,
 			PurgeEvery:        cfg.PurgeEvery,
-		})
+		}
+		if ctrl != nil {
+			opts.Adaptive, opts.AdaptiveFeed = ctrl, true
+		}
+		en, err := core.New(q.plan, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -280,9 +293,30 @@ func newSingle(q *Query, cfg Config) (engine.Engine, error) {
 	case StrategyInOrder:
 		inner = inorder.New(q.plan)
 	case StrategyKSlack:
-		inner = kslack.NewEngine(cfg.K, inorder.New(q.plan))
+		if ctrl != nil {
+			inner = kslack.NewAdaptiveEngine(ctrl, true, inorder.New(q.plan))
+		} else {
+			inner = kslack.NewEngine(cfg.K, inorder.New(q.plan))
+		}
 	case StrategySpeculate:
-		en, err := speculate.New(q.plan, speculate.Options{K: cfg.K, PurgeEvery: cfg.PurgeEvery})
+		opts := speculate.Options{K: cfg.K, PurgeEvery: cfg.PurgeEvery}
+		if ctrl != nil {
+			opts.Adaptive, opts.AdaptiveFeed = ctrl, true
+		}
+		en, err := speculate.New(q.plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		inner = en
+	case StrategyHybrid:
+		// The hybrid meta-engine always runs a controller (it owns the
+		// feed); with Adaptive disabled the effective K stays pinned at
+		// Config.K and only the SLO switching logic runs.
+		hctrl, err := adaptive.NewController(cfg.adaptiveConfig())
+		if err != nil {
+			return nil, err
+		}
+		en, err := hybrid.New(q.plan, hybrid.Options{Controller: hctrl, PurgeEvery: cfg.PurgeEvery})
 		if err != nil {
 			return nil, err
 		}

@@ -60,6 +60,10 @@ func (cfg QuerySetConfig) withDefaults() QuerySetConfig {
 func (cfg QuerySetConfig) validate() error {
 	switch cfg.Strategy {
 	case StrategyNative, StrategyInOrder, StrategyKSlack, StrategySpeculate:
+	case StrategyHybrid:
+		// Inner engines see the shared buffer's sorted output, so the
+		// meta-engine would never observe disorder and never switch.
+		return fmt.Errorf("strategy %q is not meaningful inside a QuerySet: inner engines run behind the shared reorder buffer", StrategyHybrid)
 	default:
 		return fmt.Errorf("unknown strategy %q", cfg.Strategy)
 	}
