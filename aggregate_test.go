@@ -1,0 +1,260 @@
+package oostream
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// aggQuery compiles a small grouped aggregate over an id-linked pair
+// pattern; every test that needs a generic AGGREGATE query shares it.
+func aggQuery(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasAggregate() {
+		t.Fatalf("query %q compiled without an aggregate", src)
+	}
+	return q
+}
+
+func aggEvent(typ string, ts Time, seq Seq, id, v int64) Event {
+	return Event{Type: typ, TS: ts, Seq: seq, Attrs: Attrs{"id": Int(id), "v": Int(v)}}
+}
+
+// TestAggregateHandComputed pins the full emitted window set of a tiny
+// tumbling SUM stream against values computed by hand, through the Result
+// view.
+func TestAggregateHandComputed(t *testing.T) {
+	q := aggQuery(t, "AGGREGATE SUM(b.v) OVER SEQ(A a, B b) WHERE a.id = b.id WITHIN 10")
+	en := MustNewEngine(q, Config{K: 2})
+	events := []Event{
+		aggEvent("A", 1, 1, 1, 0),
+		aggEvent("B", 3, 2, 1, 5),  // match (A@1,B@3) -> window (0,10]
+		aggEvent("A", 12, 3, 2, 0),
+		aggEvent("B", 15, 4, 2, 7), // match (A@12,B@15) -> window (10,20]
+		aggEvent("B", 16, 5, 9, 1), // no A with id 9: contributes nothing
+	}
+	rs := en.ProcessAllResults(events)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(rs), rs)
+	}
+	want := []struct {
+		end Time
+		sum int64
+	}{{10, 5}, {20, 7}}
+	for i, r := range rs {
+		if r.Kind() != ResultAggregate {
+			t.Fatalf("result %d kind = %s, want aggregate", i, r.Kind())
+		}
+		if r.Retracted() {
+			t.Fatalf("result %d retracted in sealed mode", i)
+		}
+		a, ok := r.Aggregate()
+		if !ok {
+			t.Fatalf("result %d has no aggregate payload", i)
+		}
+		if a.Func != "SUM" || a.WindowEnd != want[i].end || a.WindowStart != want[i].end-10 {
+			t.Errorf("result %d window = %s(%d,%d], want SUM(%d,%d]",
+				i, a.Func, a.WindowStart, a.WindowEnd, want[i].end-10, want[i].end)
+		}
+		if a.Value != Int(want[i].sum) || a.Count != 1 {
+			t.Errorf("result %d value = %s count=%d, want %d count=1", i, a.Value, a.Count, want[i].sum)
+		}
+		if a.HasGroup {
+			t.Errorf("result %d grouped without GROUP BY", i)
+		}
+		if r.String() == "" {
+			t.Errorf("result %d has empty String()", i)
+		}
+	}
+}
+
+// TestAggregateAllStrategiesAgree runs a grouped AVG with HAVING through
+// every strategy on a disordered stream; applied retractions must converge
+// every strategy to the in-order engine's output on the sorted stream.
+func TestAggregateAllStrategiesAgree(t *testing.T) {
+	q := aggQuery(t, `
+		AGGREGATE AVG(b.v) OVER SEQ(A a, B b)
+		WHERE a.id = b.id
+		WITHIN 8 SLIDE 4
+		GROUP BY a.id
+		HAVING w.count >= 1`)
+	sorted := []Event{
+		aggEvent("A", 1, 1, 1, 0),
+		aggEvent("B", 2, 2, 1, 4),
+		aggEvent("A", 3, 3, 2, 0),
+		aggEvent("B", 5, 4, 2, 6),
+		aggEvent("B", 6, 5, 1, 2),
+		aggEvent("A", 9, 6, 1, 0),
+		aggEvent("B", 12, 7, 1, 8),
+		aggEvent("A", 14, 8, 2, 0),
+		aggEvent("B", 17, 9, 2, 3),
+	}
+	disordered := []Event{
+		sorted[1], sorted[0], sorted[3], sorted[2], sorted[5],
+		sorted[4], sorted[6], sorted[8], sorted[7],
+	}
+	want := make([]Match, 0)
+	for _, r := range MustNewEngine(q, Config{Strategy: StrategyInOrder}).ProcessAllResults(sorted) {
+		want = append(want, r.Match())
+	}
+	if len(want) == 0 {
+		t.Fatal("no windows in sanity workload")
+	}
+	for _, s := range Strategies() {
+		in := disordered
+		if s == StrategyInOrder {
+			// The in-order strategy presumes sorted arrival.
+			in = sorted
+		}
+		got := make([]Match, 0)
+		for _, r := range MustNewEngine(q, Config{Strategy: s, K: 3}).ProcessAllResults(in) {
+			got = append(got, r.Match())
+		}
+		if ok, diff := SameResults(want, got); !ok {
+			t.Errorf("strategy %s diverges:\n%s", s, diff)
+		}
+	}
+}
+
+// TestAggregatePartitionedGroupBy checks that sharding on the GROUP BY
+// attribute yields the same window set as the unpartitioned engine.
+func TestAggregatePartitionedGroupBy(t *testing.T) {
+	q := aggQuery(t, `
+		AGGREGATE COUNT(*) OVER SEQ(A a, B b)
+		WHERE a.id = b.id
+		WITHIN 10
+		GROUP BY a.id`)
+	var events []Event
+	seq := Seq(1)
+	for k := Time(0); k < 40; k += 7 {
+		for id := int64(0); id < 5; id++ {
+			events = append(events, aggEvent("A", k+Time(id), seq, id, 0))
+			seq++
+			events = append(events, aggEvent("B", k+Time(id)+2, seq, id, 1))
+			seq++
+		}
+	}
+	want := MustNewEngine(q, Config{K: 5}).ProcessAll(events)
+	if len(want) == 0 {
+		t.Fatal("no windows in sanity workload")
+	}
+	sharded, err := NewEngine(q, Config{K: 5, Partition: Partition{Attr: "id", Shards: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sharded.ProcessAll(events)
+	if ok, diff := SameResults(want, got); !ok {
+		t.Errorf("partitioned aggregation diverges:\n%s", diff)
+	}
+}
+
+// TestAggregateCheckpointRoundTrip snapshots a native aggregate engine
+// mid-stream and checks the restored engine finishes the stream with the
+// same windows as the uninterrupted run.
+func TestAggregateCheckpointRoundTrip(t *testing.T) {
+	q := aggQuery(t, `
+		AGGREGATE MAX(b.v) OVER SEQ(A a, B b)
+		WHERE a.id = b.id
+		WITHIN 6 SLIDE 3
+		GROUP BY a.id`)
+	var events []Event
+	seq := Seq(1)
+	for k := Time(0); k < 30; k++ {
+		events = append(events, aggEvent("A", k, seq, int64(k)%3, int64(k)%5))
+		seq++
+		events = append(events, aggEvent("B", k+1, seq, int64(k)%3, int64(k)%7))
+		seq++
+	}
+	cut := len(events) / 2
+
+	whole := MustNewEngine(q, Config{K: 4})
+	var want []Match
+	for _, ev := range events {
+		want = append(want, whole.Process(ev)...)
+	}
+	want = append(want, whole.Flush()...)
+
+	first := MustNewEngine(q, Config{K: 4})
+	var got []Match
+	for _, ev := range events[:cut] {
+		got = append(got, first.Process(ev)...)
+	}
+	var buf bytes.Buffer
+	if err := first.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(q, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[cut:] {
+		got = append(got, restored.Process(ev)...)
+	}
+	got = append(got, restored.Flush()...)
+	if ok, diff := SameResults(want, got); !ok {
+		t.Errorf("restored run diverges from uninterrupted run:\n%s", diff)
+	}
+}
+
+// TestAggregateRunResults drives the channel pipeline under the Result
+// view.
+func TestAggregateRunResults(t *testing.T) {
+	q := aggQuery(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WHERE a.id = b.id WITHIN 10")
+	en := MustNewEngine(q, Config{K: 2})
+	in := make(chan Event, 8)
+	out := make(chan Result, 8)
+	go func() {
+		in <- aggEvent("A", 1, 1, 1, 0)
+		in <- aggEvent("B", 3, 2, 1, 1)
+		close(in)
+	}()
+	errc := make(chan error, 1)
+	go func() { errc <- en.RunResults(context.Background(), in, out) }()
+	var rs []Result
+	for r := range out {
+		rs = append(rs, r)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1: %v", len(rs), rs)
+	}
+	a, ok := rs[0].Aggregate()
+	if !ok || a.Func != "COUNT" || a.Count != 1 {
+		t.Fatalf("aggregate = %+v ok=%v, want COUNT of 1", a, ok)
+	}
+}
+
+// TestResultViewOfPatternMatch checks the Result view of a plain pattern
+// query: kind match, no aggregate payload, underlying match intact.
+func TestResultViewOfPatternMatch(t *testing.T) {
+	q := MustCompile("PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 10", nil)
+	if q.HasAggregate() {
+		t.Fatal("pattern query reports an aggregate")
+	}
+	en := MustNewEngine(q, Config{K: 1})
+	en.ProcessResults(aggEvent("A", 1, 1, 1, 0))
+	rs := en.ProcessResults(aggEvent("B", 2, 2, 1, 0))
+	rs = append(rs, en.FlushResults()...)
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.Kind() != ResultMatch {
+		t.Fatalf("kind = %s, want match", r.Kind())
+	}
+	if _, ok := r.Aggregate(); ok {
+		t.Error("pattern match has an aggregate payload")
+	}
+	if len(r.Match().Events) != 2 {
+		t.Errorf("underlying match has %d events, want 2", len(r.Match().Events))
+	}
+	if ResultMatch.String() != "match" || ResultAggregate.String() != "aggregate" {
+		t.Error("ResultKind.String misnames the kinds")
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"oostream"
 	"oostream/internal/engine"
+	"oostream/internal/fiba"
 	"oostream/internal/gen"
 	"oostream/internal/kslack"
 	"oostream/internal/netsim"
@@ -316,7 +318,8 @@ func BenchmarkE13Partitioned(b *testing.B) {
 			b.ReportAllocs()
 			var matches int
 			for i := 0; i < b.N; i++ {
-				en, err := oostream.NewPartitionedEngine(q, oostream.Config{K: benchK}, "id", shards)
+				en, err := oostream.NewEngine(q, oostream.Config{K: benchK,
+					Partition: oostream.Partition{Attr: "id", Shards: shards}})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -478,7 +481,7 @@ func BenchmarkE18BatchParallel(b *testing.B) {
 					if err != nil {
 						return nil, err
 					}
-					return sub.Inner(), nil
+					return sub.Raw().(engine.Engine), nil
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -566,6 +569,110 @@ func BenchmarkE19MultiQuery(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
 			b.ReportMetric(float64(matches), "matches")
+		})
+	}
+}
+
+// BenchmarkE21Fiba compares the two ways to maintain a sliding MAX over an
+// out-of-order element stream, data structures alone (no pattern engine):
+// the FiBA tree answering each window from O(log n) cached partials, versus
+// the brute-force sorted slice that rescans every in-window element at
+// every seal. MAX has no subtract-on-evict shortcut, so the rescan is the
+// honest alternative. At dense windows (many elements, fine slide) the
+// rescan degenerates quadratically while the tree stays logarithmic; the
+// elems/win axis locates the crossover. E21 in EXPERIMENTS.md runs the
+// same comparison end-to-end through the aggregate operator.
+func BenchmarkE21Fiba(b *testing.B) {
+	const (
+		n     = 100_000
+		k     = 1_000 // disorder bound: late elements land within k of the clock
+		slide = oostream.Time(10)
+	)
+	// Deterministic element stream: ts marches 1/element, ~10% delivered
+	// late by up to k, values from a fixed LCG.
+	type elem struct {
+		ts  oostream.Time
+		seq uint64
+		val int64
+	}
+	elems := make([]elem, n)
+	rng := uint64(1)
+	for i := range elems {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		elems[i] = elem{ts: oostream.Time(i), seq: uint64(i), val: int64(rng >> 40)}
+	}
+	for i := range elems {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		if rng%10 == 0 {
+			d := int(rng>>32) % k
+			if j := i - d; j >= 0 {
+				elems[i], elems[j] = elems[j], elems[i]
+			}
+		}
+	}
+	for _, window := range []oostream.Time{1_000, 16_000, 64_000} {
+		label := fmt.Sprintf("elems/win=%d", window)
+		b.Run(label+"/fiba", func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				t := fiba.New()
+				var clock, nextEnd oostream.Time
+				nextEnd = slide
+				for _, e := range elems {
+					t.Insert(fiba.Key{TS: e.ts, Seq: e.seq}, fiba.Of(oostream.Int(e.val)), nil)
+					if e.ts > clock {
+						clock = e.ts
+						for nextEnd < clock-k {
+							p := t.Query(fiba.Key{TS: nextEnd - window, Seq: fiba.MaxSeq},
+								fiba.Key{TS: nextEnd, Seq: fiba.MaxSeq})
+							if v, ok := p.Max.AsInt(); ok {
+								sink ^= v
+							}
+							t.PurgeThrough(fiba.Key{TS: nextEnd + slide - window, Seq: fiba.MaxSeq}, nil)
+							nextEnd += slide
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "elems/s")
+			_ = sink
+		})
+		b.Run(label+"/rescan", func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				var buf []elem // sorted by ts
+				var clock, nextEnd oostream.Time
+				nextEnd = slide
+				for _, e := range elems {
+					at := sort.Search(len(buf), func(j int) bool { return buf[j].ts > e.ts })
+					buf = append(buf, elem{})
+					copy(buf[at+1:], buf[at:])
+					buf[at] = e
+					if e.ts > clock {
+						clock = e.ts
+						for nextEnd < clock-k {
+							lo := sort.Search(len(buf), func(j int) bool { return buf[j].ts > nextEnd-window })
+							hi := sort.Search(len(buf), func(j int) bool { return buf[j].ts > nextEnd })
+							if lo < hi {
+								max := buf[lo].val
+								for _, x := range buf[lo+1 : hi] {
+									if x.val > max {
+										max = x.val
+									}
+								}
+								sink ^= max
+							}
+							drop := sort.Search(len(buf), func(j int) bool { return buf[j].ts > nextEnd+slide-window })
+							buf = buf[drop:]
+							nextEnd += slide
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "elems/s")
+			_ = sink
 		})
 	}
 }

@@ -16,7 +16,10 @@
 // retention) and a trace-op histogram. Match identities ("|"-joined event
 // sequence numbers) appear on emit/retract trace events only when the
 // producing run had provenance enabled (esprun -explain, or
-// Config.Provenance).
+// Config.Provenance). Windowed-aggregate emissions are addressed the same
+// way — their identity cites the events of every pattern match
+// contributing to the window, and the verdict reports the window end and
+// contributing-match count instead of a binding.
 package main
 
 import (
@@ -280,11 +283,22 @@ func explainMatch(w io.Writer, key string, fl []obsv.TraceEvent, snap *provenanc
 	case len(emits) > 0:
 		for _, te := range emits {
 			fmt.Fprintf(w, "  %s\n", te)
+			if isAggregate(te.Engine) {
+				// Aggregate emissions cite the events of every contributing
+				// pattern match; TS is the window end and N the match count.
+				fmt.Fprintf(w, "verdict: window aggregate emitted by %s — %d contributing matches over the window ending ts=%d, citing %d events\n",
+					te.Engine, te.N, te.TS, len(seqs))
+				continue
+			}
 			fmt.Fprintf(w, "verdict: emitted by %s — all %d events admitted, stacked, and joined within the window; last event ts=%d\n",
 				te.Engine, len(seqs), te.TS)
 		}
 		for _, te := range retracts {
 			fmt.Fprintf(w, "  %s\n", te)
+			if isAggregate(te.Engine) {
+				fmt.Fprintf(w, "verdict: later RETRACTED by %s at seq=%d — a revision replaced the previewed window value\n", te.Engine, te.Seq)
+				continue
+			}
 			fmt.Fprintf(w, "verdict: later RETRACTED by %s at seq=%d — a late event invalidated the speculative result\n", te.Engine, te.Seq)
 		}
 	case len(retracts) > 0:
@@ -383,6 +397,12 @@ func lifecycleOp(op obsv.Op) bool {
 	}
 	return false
 }
+
+// isAggregate reports whether an emitting engine is the windowed
+// aggregation operator (its name wraps the inner strategy, e.g.
+// "agg(native)"): such emissions are window values whose identity cites
+// the events of every contributing pattern match.
+func isAggregate(engine string) bool { return strings.HasPrefix(engine, "agg(") }
 
 // cites reports whether a "|"-joined match identity contains seq.
 func cites(key string, seq event.Seq) bool {

@@ -9,6 +9,7 @@
 //	go run ./cmd/espfuzz -budget 30s -crash
 //	go run ./cmd/espfuzz -budget 30s -batch
 //	go run ./cmd/espfuzz -budget 30s -adaptive
+//	go run ./cmd/espfuzz -budget 30s -agg
 //
 // With -batch each trial runs the batch≡per-event differential instead:
 // every strategy is driven once per event and again through ProcessBatch
@@ -28,6 +29,13 @@
 // exactly the events they admitted (and a static run at K = max observed),
 // overload shedding must be fully accounted, and the hybrid meta-engine
 // must survive forced strategy switches with the net multiset intact.
+//
+// With -agg each trial runs the windowed-aggregation differential
+// instead: a random AGGREGATE query (COUNT/SUM/AVG/MIN/MAX, sliding
+// windows, GROUP BY, HAVING) runs through every strategy — the
+// speculative engine's preview/revision pairs must net out — plus
+// heartbeats, batching, lineage, a checkpoint round-trip, and partitioned
+// execution on grouped trials, all against a brute-force window oracle.
 //
 // With -crash each trial instead runs the crash-point differential: the
 // supervised fault-tolerant runtime is killed at seed-derived offsets and
@@ -89,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch   = fs.Bool("batch", false, "run the batch≡per-event differential instead of the strategy differential")
 		multi   = fs.Bool("multi", false, "run the multi-query QuerySet differential instead of the strategy differential")
 		adapt   = fs.Bool("adaptive", false, "run the adaptive disorder-control differential (dynamic K, shedding, hybrid switching) instead of the strategy differential")
+		agg     = fs.Bool("agg", false, "run the windowed-aggregation differential (FiBA operator, all strategies, checkpoint, partitioning) instead of the strategy differential")
 		listen  = fs.String("listen", "", "serve live soak progress over HTTP (/varz, /healthz, /debug/pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -143,6 +152,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fail = difftest.RunMulti(difftest.Generate(next))
 		case *adapt:
 			fail = difftest.RunAdaptive(difftest.Generate(next))
+		case *agg:
+			fail = difftest.RunAgg(difftest.GenerateAgg(next))
 		default:
 			fail = difftest.Run(difftest.Generate(next))
 		}
@@ -160,9 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkBatch(fail).Report())
 				case *multi:
 					fmt.Fprintf(stderr, "%s\n", difftest.ShrinkMulti(fail).Report())
-				case *adapt:
-					// Adaptive failures are reported unshrunk: Shrink re-runs
-					// the strategy differential, not the adaptive one.
+				case *adapt, *agg:
+					// Adaptive and aggregation failures are reported unshrunk:
+					// Shrink re-runs the strategy differential, not these.
 					fmt.Fprintf(stderr, "%s\n", fail.Report())
 				default:
 					fmt.Fprintf(stderr, "%s\n", difftest.Shrink(fail).Report())

@@ -112,8 +112,9 @@ type Config struct {
 	// (retractions cannot be order-buffered).
 	OrderedOutput bool
 	// Partition hash-partitions the stream across sub-engines when
-	// Partition.Attr is set; see Partition. Replaces the deprecated
-	// NewPartitionedEngine constructor.
+	// Partition.Attr is set; see Partition. On aggregate queries the
+	// attribute must equal the GROUP BY attribute, so each key group's
+	// windows live wholly on one shard.
 	Partition Partition
 	// Provenance makes every emitted (and retracted) match carry a lineage
 	// record (Match.Prov): the contributing events, key group, window

@@ -78,3 +78,66 @@ func TestConfigValidateAccepts(t *testing.T) {
 		})
 	}
 }
+
+// TestConfigValidateWithQuery pins the query-aware checks NewEngine layers
+// on top of the plain config validation: combinations that are fine for a
+// pattern query but unsound for an AGGREGATE one.
+func TestConfigValidateWithQuery(t *testing.T) {
+	agg := MustCompile(`
+		AGGREGATE COUNT(*) OVER SEQ(A a, B b)
+		WHERE a.id = b.id WITHIN 10`, nil)
+	grouped := MustCompile(`
+		AGGREGATE SUM(b.v) OVER SEQ(A a, B b)
+		WHERE a.id = b.id WITHIN 10
+		GROUP BY a.id`, nil)
+	rejections := []struct {
+		name string
+		q    *Query
+		cfg  Config
+		want string
+	}{
+		{"adaptive aggregate", agg,
+			Config{K: 10, Adaptive: Adaptive{Enabled: true}},
+			"cannot be combined with AGGREGATE"},
+		{"degradation-limits aggregate", agg,
+			Config{K: 10, Adaptive: Adaptive{Limits: Limits{MaxBufferedEvents: 100}}},
+			"cannot be combined with AGGREGATE"},
+		{"best-effort aggregate", agg,
+			Config{K: 10, BestEffortLate: true},
+			"BestEffortLate"},
+		{"partitioned ungrouped aggregate", agg,
+			Config{K: 10, Partition: Partition{Attr: "id", Shards: 2}},
+			"cannot be partitioned"},
+		{"partition attr differs from group attr", grouped,
+			Config{K: 10, Partition: Partition{Attr: "sensor", Shards: 2}},
+			"GROUP BY attribute"},
+	}
+	for _, tc := range rejections {
+		t.Run(tc.name, func(t *testing.T) {
+			en, err := NewEngine(tc.q, tc.cfg)
+			if err == nil {
+				t.Fatalf("engine %s constructed, want rejection containing %q", en.Strategy(), tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+	accepts := []struct {
+		name string
+		q    *Query
+		cfg  Config
+	}{
+		{"plain aggregate", agg, Config{K: 10}},
+		{"speculative aggregate", agg, Config{Strategy: StrategySpeculate, K: 10}},
+		{"partition on the group attribute", grouped,
+			Config{K: 10, Partition: Partition{Attr: "id", Shards: 3}}},
+	}
+	for _, tc := range accepts {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewEngine(tc.q, tc.cfg); err != nil {
+				t.Fatalf("config %+v rejected for %q: %v", tc.cfg, tc.q.Source(), err)
+			}
+		})
+	}
+}

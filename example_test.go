@@ -62,6 +62,37 @@ func ExampleEngine_Advance() {
 	// after heartbeat: 1
 }
 
+// ExampleEngine_ProcessAllResults builds a latency alert: the average
+// response time per tumbling window, emitted only when it crosses the
+// threshold in the HAVING clause.
+func ExampleEngine_ProcessAllResults() {
+	q := oostream.MustCompile(`
+		AGGREGATE AVG(r.ms) OVER SEQ(REQ q, RESP r)
+		WHERE  q.id = r.id
+		WITHIN 100
+		HAVING w.value > 50`, nil)
+	en := oostream.MustNewEngine(q, oostream.Config{K: 20})
+	stream := []oostream.Event{
+		{Type: "REQ", TS: 10, Seq: 1, Attrs: oostream.Attrs{"id": oostream.Int(1)}},
+		{Type: "RESP", TS: 20, Seq: 2, Attrs: oostream.Attrs{"id": oostream.Int(1), "ms": oostream.Int(80)}},
+		{Type: "REQ", TS: 30, Seq: 3, Attrs: oostream.Attrs{"id": oostream.Int(2)}},
+		{Type: "RESP", TS: 40, Seq: 4, Attrs: oostream.Attrs{"id": oostream.Int(2), "ms": oostream.Int(40)}},
+		// Second window: both responses fast, so HAVING suppresses it.
+		{Type: "REQ", TS: 110, Seq: 5, Attrs: oostream.Attrs{"id": oostream.Int(3)}},
+		{Type: "RESP", TS: 120, Seq: 6, Attrs: oostream.Attrs{"id": oostream.Int(3), "ms": oostream.Int(10)}},
+	}
+	results := en.ProcessAllResults(stream)
+	results = append(results, en.FlushResults()...)
+	for _, r := range results {
+		if a, ok := r.Aggregate(); ok {
+			fmt.Printf("alert: avg %s ms over %d responses in (%d,%d]\n",
+				a.Value, a.Count, a.WindowStart, a.WindowEnd)
+		}
+	}
+	// Output:
+	// alert: avg 60 ms over 2 responses in (0,100]
+}
+
 // ExampleConfig shows the strategy trade-off on one disordered stream.
 func ExampleConfig() {
 	q := oostream.MustCompile("PATTERN SEQ(A a, B b) WITHIN 100", nil)

@@ -45,7 +45,8 @@ func run() error {
 		len(truth), single.Metrics().PeakState)
 
 	for _, shards := range []int{1, 2, 4, 8} {
-		part, err := oostream.NewPartitionedEngine(query, oostream.Config{K: k}, "id", shards)
+		part, err := oostream.NewEngine(query, oostream.Config{K: k,
+			Partition: oostream.Partition{Attr: "id", Shards: shards}})
 		if err != nil {
 			return err
 		}
@@ -61,7 +62,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := oostream.NewPartitionedEngine(loose, oostream.Config{K: k}, "id", 4); err != nil {
+	if _, err := oostream.NewEngine(loose, oostream.Config{K: k,
+		Partition: oostream.Partition{Attr: "id", Shards: 4}}); err != nil {
 		fmt.Printf("\nunlinked query correctly rejected: %v\n", err)
 	}
 	return nil

@@ -1,0 +1,436 @@
+package agg
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"oostream/internal/core"
+	"oostream/internal/engine"
+	"oostream/internal/event"
+	"oostream/internal/fiba"
+	"oostream/internal/inorder"
+	"oostream/internal/kslack"
+	"oostream/internal/oracle"
+	"oostream/internal/plan"
+	"oostream/internal/speculate"
+)
+
+func compile(t *testing.T, src string) *plan.Plan {
+	t.Helper()
+	p, err := plan.ParseAndCompile(src, nil)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	if p.Agg == nil {
+		t.Fatalf("plan has no aggregate spec")
+	}
+	return p
+}
+
+func ev(typ string, ts event.Time, seq event.Seq, attrs event.Attrs) event.Event {
+	return event.Event{Type: typ, TS: ts, Seq: seq, Attrs: attrs}
+}
+
+// expected computes the ground-truth aggregate matches: oracle pattern
+// matches, bucketed into grid windows by brute force with the same spec
+// helpers the operator uses.
+func expected(t *testing.T, p *plan.Plan, events []event.Event) []plan.Match {
+	t.Helper()
+	spec := p.Agg
+	type elem struct {
+		ts    event.Time
+		part  fiba.Partial
+		group event.Value
+	}
+	var elems []elem
+	for _, m := range oracle.Matches(p, events) {
+		ts, part, g, ok := spec.ElementOf(m, nil)
+		if !ok {
+			continue
+		}
+		elems = append(elems, elem{ts, part, g})
+	}
+	endSet := map[event.Time]bool{}
+	for _, el := range elems {
+		for end := plan.AlignUp(el.ts, spec.Slide); end-p.Window < el.ts; end += spec.Slide {
+			endSet[end] = true
+		}
+	}
+	var ends []event.Time
+	for end := range endSet {
+		ends = append(ends, end)
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	var out []plan.Match
+	for _, end := range ends {
+		// Group keys in first-contribution order.
+		var keys []event.Value
+		seen := map[event.Value]bool{}
+		parts := map[event.Value]fiba.Partial{}
+		for _, el := range elems {
+			if el.ts <= end-p.Window || el.ts > end {
+				continue
+			}
+			gk := event.Value{}
+			if spec.GroupSlot >= 0 {
+				gk = el.group.MapKey()
+			}
+			if !seen[gk] {
+				seen[gk] = true
+				keys = append(keys, gk)
+			}
+			parts[gk] = parts[gk].Merge(el.part)
+		}
+		for _, gk := range keys {
+			v, n, ok := spec.Result(parts[gk])
+			if !ok {
+				continue
+			}
+			av := &plan.AggValue{
+				Func:        string(spec.Func),
+				WindowStart: end - p.Window,
+				WindowEnd:   end,
+				Group:       gk,
+				HasGroup:    spec.GroupSlot >= 0,
+				Value:       v,
+				Count:       n,
+			}
+			if !spec.EvalHaving(av, nil) {
+				continue
+			}
+			out = append(out, plan.Match{Kind: plan.Insert, Events: []event.Event{plan.WindowEvent(end)}, Agg: av})
+		}
+	}
+	return out
+}
+
+// genStream produces a K-disordered A/B stream with int attrs v and id.
+func genStream(rng *rand.Rand, n int, k event.Time) []event.Event {
+	type keyed struct {
+		e event.Event
+		p event.Time
+	}
+	evs := make([]keyed, n)
+	for i := 0; i < n; i++ {
+		typ := "A"
+		if rng.Intn(2) == 1 {
+			typ = "B"
+		}
+		ts := event.Time(i * 4)
+		e := ev(typ, ts, event.Seq(i+1), event.Attrs{
+			"v":  event.Int(int64(rng.Intn(20))),
+			"id": event.Int(int64(rng.Intn(3))),
+		})
+		p := ts
+		if k > 0 {
+			p += rng.Int63n(k)
+		}
+		evs[i] = keyed{e, p}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].p < evs[j].p })
+	out := make([]event.Event, n)
+	for i := range evs {
+		out[i] = evs[i].e
+	}
+	return out
+}
+
+func TestSealedTumblingCount(t *testing.T) {
+	p := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 100")
+	en := New(p, core.MustNew(p, core.Options{K: 0}), false, 0)
+	var events []event.Event
+	// Two matches in (0,100], one in (100,200].
+	for i, spec := range []struct {
+		typ string
+		ts  event.Time
+	}{{"A", 10}, {"B", 20}, {"B", 30}, {"A", 150}, {"B", 160}, {"C", 500}} {
+		events = append(events, ev(spec.typ, spec.ts, event.Seq(i+1), nil))
+	}
+	got := engine.Drain(en, events)
+	want := expected(t, p, events)
+	if len(want) == 0 {
+		t.Fatalf("expected windows, oracle produced none")
+	}
+	if same, diff := plan.SameResults(got, want); !same {
+		t.Fatalf("sealed tumbling COUNT diverges:\n%s", diff)
+	}
+	for _, m := range got {
+		if m.Agg == nil {
+			t.Fatalf("non-aggregate match emitted: %s", m)
+		}
+		if m.Kind != plan.Insert {
+			t.Fatalf("sealed mode emitted a retraction: %s", m)
+		}
+	}
+}
+
+func TestSealedEmitsBeforeFlushUnderWatermark(t *testing.T) {
+	p := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 100")
+	en := New(p, core.MustNew(p, core.Options{K: 10}), false, 10)
+	var pre []plan.Match
+	pre = append(pre, en.Process(ev("A", 10, 1, nil))...)
+	pre = append(pre, en.Process(ev("B", 20, 2, nil))...)
+	if len(pre) != 0 {
+		t.Fatalf("window emitted before it sealed: %v", pre)
+	}
+	// Clock 111 puts the watermark at 101 > end 100: the window seals.
+	pre = append(pre, en.Process(ev("C", 111, 3, nil))...)
+	if len(pre) != 1 || pre[0].Agg == nil || pre[0].Agg.WindowEnd != 100 {
+		t.Fatalf("want one sealed window (end 100), got %v", pre)
+	}
+	if n := pre[0].Agg.Count; n != 1 {
+		t.Fatalf("want count 1, got %d", n)
+	}
+	if rest := en.Flush(); len(rest) != 0 {
+		t.Fatalf("flush re-emitted sealed state: %v", rest)
+	}
+}
+
+func TestAdvanceSealsDuringSilence(t *testing.T) {
+	p := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 100")
+	en := New(p, core.MustNew(p, core.Options{K: 10}), false, 10)
+	var out []plan.Match
+	out = append(out, en.Process(ev("A", 10, 1, nil))...)
+	out = append(out, en.Process(ev("B", 20, 2, nil))...)
+	out = append(out, en.Advance(200)...)
+	if len(out) != 1 || out[0].Agg == nil || out[0].Agg.WindowEnd != 100 {
+		t.Fatalf("heartbeat did not seal the window: %v", out)
+	}
+}
+
+func TestSpeculativePreviewAndRevision(t *testing.T) {
+	p := compile(t, "AGGREGATE SUM(b.v) OVER SEQ(A a, B b) WITHIN 100")
+	sp, err := speculate.New(p, speculate.Options{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := New(p, sp, true, 50)
+	var out []plan.Match
+	out = append(out, en.Process(ev("A", 10, 1, nil))...)
+	out = append(out, en.Process(ev("B", 20, 2, event.Attrs{"v": event.Int(5)}))...)
+	// Clock passes the window end: preview SUM=5.
+	out = append(out, en.Process(ev("C", 120, 3, nil))...)
+	if len(out) != 1 || out[0].Kind != plan.Insert || out[0].Agg == nil {
+		t.Fatalf("want one preview, got %v", out)
+	}
+	if v, _ := out[0].Agg.Value.AsInt(); v != 5 {
+		t.Fatalf("want SUM 5, got %s", out[0].Agg.Value)
+	}
+	// A late B at 30 (within K of clock 120) adds a new match: the
+	// previewed window must be revised as retract(5) + insert(12).
+	rev := en.Process(ev("B", 30, 4, event.Attrs{"v": event.Int(7)}))
+	var kinds []plan.MatchKind
+	for _, m := range rev {
+		if m.Agg != nil && m.Agg.WindowEnd == 100 {
+			kinds = append(kinds, m.Kind)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != plan.Retract || kinds[1] != plan.Insert {
+		t.Fatalf("want retract+insert revision, got %v", rev)
+	}
+	got := append(out, rev...)
+	got = append(got, en.Flush()...)
+	events := []event.Event{
+		ev("A", 10, 1, nil),
+		ev("B", 20, 2, event.Attrs{"v": event.Int(5)}),
+		ev("C", 120, 3, nil),
+		ev("B", 30, 4, event.Attrs{"v": event.Int(7)}),
+	}
+	if same, diff := plan.SameResults(got, expected(t, p, events)); !same {
+		t.Fatalf("speculative net output diverges:\n%s", diff)
+	}
+	if en.Metrics().AggRevisions == 0 {
+		t.Fatalf("revision not counted")
+	}
+}
+
+func TestGroupedHaving(t *testing.T) {
+	p := compile(t, "AGGREGATE SUM(b.v) OVER SEQ(A a, B b) WITHIN 100 GROUP BY b.id HAVING w.value >= 10")
+	en := New(p, core.MustNew(p, core.Options{K: 0}), false, 0)
+	events := []event.Event{
+		ev("A", 10, 1, nil),
+		ev("B", 20, 2, event.Attrs{"v": event.Int(12), "id": event.Int(1)}),
+		ev("B", 30, 3, event.Attrs{"v": event.Int(3), "id": event.Int(2)}),
+	}
+	got := engine.Drain(en, events)
+	want := expected(t, p, events)
+	if same, diff := plan.SameResults(got, want); !same {
+		t.Fatalf("grouped HAVING diverges:\n%s", diff)
+	}
+	for _, m := range got {
+		if !m.Agg.HasGroup {
+			t.Fatalf("group key missing on %s", m)
+		}
+		if v, _ := m.Agg.Value.AsInt(); v < 10 {
+			t.Fatalf("HAVING passed %s", m)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatalf("no window passed HAVING; want the id=1 group")
+	}
+}
+
+// TestDifferentialVsOracle runs all aggregate-capable strategies over
+// random K-disordered streams and checks each against the brute-force
+// ground truth, for every aggregation function and a slide/group/having
+// mix.
+func TestDifferentialVsOracle(t *testing.T) {
+	queries := []string{
+		"AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 60",
+		"AGGREGATE SUM(b.v) OVER SEQ(A a, B b) WITHIN 80 SLIDE 40",
+		"AGGREGATE AVG(a.v) OVER SEQ(A a, B b) WITHIN 60 SLIDE 20",
+		"AGGREGATE MIN(b.v) OVER SEQ(A a, B b) WITHIN 80 GROUP BY a.id",
+		"AGGREGATE MAX(b.v) OVER SEQ(A a, B b) WITHIN 80 SLIDE 40 HAVING w.count >= 2",
+	}
+	const k = event.Time(24)
+	for qi, src := range queries {
+		p := compile(t, src)
+		for trial := 0; trial < 6; trial++ {
+			rng := rand.New(rand.NewSource(int64(qi*100 + trial)))
+			events := genStream(rng, 120, k)
+			want := expected(t, p, events)
+			engines := map[string]engine.Engine{
+				"native": New(p, core.MustNew(p, core.Options{K: k}), false, k),
+				"kslack": New(p, kslack.NewEngine(k, inorder.New(p)), false, k),
+			}
+			sp, err := speculate.New(p, speculate.Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines["speculate"] = New(p, sp, true, k)
+			for name, en := range engines {
+				got := engine.Drain(en, events)
+				if same, diff := plan.SameResults(got, want); !same {
+					t.Fatalf("%s diverges from oracle on %q trial %d:\n%s", name, src, trial, diff)
+				}
+			}
+			// Batch path must equal the per-event path.
+			bat := New(p, core.MustNew(p, core.Options{K: k}), false, k)
+			got := bat.ProcessBatch(events)
+			got = append(got, bat.Flush()...)
+			if same, diff := plan.SameResults(got, want); !same {
+				t.Fatalf("batch path diverges on %q trial %d:\n%s", src, trial, diff)
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := "AGGREGATE SUM(b.v) OVER SEQ(A a, B b) WITHIN 80 SLIDE 40 GROUP BY a.id"
+	p := compile(t, src)
+	const k = event.Time(24)
+	rng := rand.New(rand.NewSource(7))
+	events := genStream(rng, 160, k)
+	half := len(events) / 2
+
+	ref := New(p, core.MustNew(p, core.Options{K: k}), false, k)
+	var want []plan.Match
+	for _, e := range events {
+		want = append(want, ref.Process(e)...)
+	}
+	want = append(want, ref.Flush()...)
+
+	en := New(p, core.MustNew(p, core.Options{K: k}), false, k)
+	var got []plan.Match
+	for _, e := range events[:half] {
+		got = append(got, en.Process(e)...)
+	}
+	var buf bytes.Buffer
+	if err := en.Checkpoint(&buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	restored, err := Restore(p, &buf, func(r io.Reader) (engine.Engine, error) {
+		return core.Restore(p, r)
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, e := range events[half:] {
+		got = append(got, restored.Process(e)...)
+	}
+	got = append(got, restored.Flush()...)
+	if same, diff := plan.SameResults(got, want); !same {
+		t.Fatalf("restored run diverges from uninterrupted run:\n%s", diff)
+	}
+	if same, diff := plan.SameResults(got, expected(t, p, events)); !same {
+		t.Fatalf("restored run diverges from oracle:\n%s", diff)
+	}
+}
+
+func TestSpeculativeCheckpointRefused(t *testing.T) {
+	p := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 100")
+	sp, err := speculate.New(p, speculate.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := New(p, sp, true, 10)
+	if err := en.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Fatalf("speculative checkpoint must be refused")
+	}
+}
+
+func TestMetricsAndSnapshot(t *testing.T) {
+	p := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 100 GROUP BY a.id")
+	en := New(p, core.MustNew(p, core.Options{K: 10}), false, 10)
+	en.EnableProvenance()
+	var out []plan.Match
+	out = append(out, en.Process(ev("A", 10, 1, event.Attrs{"id": event.Int(1)}))...)
+	out = append(out, en.Process(ev("B", 20, 2, event.Attrs{"id": event.Int(1)}))...)
+	out = append(out, en.Advance(300)...)
+	if len(out) != 1 {
+		t.Fatalf("want one window, got %v", out)
+	}
+	if out[0].Prov == nil {
+		t.Fatalf("provenance enabled but record missing")
+	}
+	if len(out[0].Prov.Events) != 2 {
+		t.Fatalf("want 2 contributing event citations, got %d", len(out[0].Prov.Events))
+	}
+	if out[0].Prov.Key == "" || out[0].Prov.KeyAttr != "id" {
+		t.Fatalf("group key missing from record: %+v", out[0].Prov)
+	}
+	m := en.Metrics()
+	if m.AggWindows != 1 {
+		t.Fatalf("AggWindows = %d, want 1", m.AggWindows)
+	}
+	if m.AggInserts != 1 {
+		t.Fatalf("AggInserts = %d, want 1", m.AggInserts)
+	}
+	s := en.StateSnapshot()
+	if s.Engine != "agg(native)" {
+		t.Fatalf("snapshot engine = %q", s.Engine)
+	}
+	if s.Inner == nil {
+		t.Fatalf("inner snapshot missing")
+	}
+	if s.KeyAttr != "id" {
+		t.Fatalf("snapshot KeyAttr = %q", s.KeyAttr)
+	}
+}
+
+func TestStatePurgesAsWindowsSeal(t *testing.T) {
+	p := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WITHIN 40 SLIDE 20")
+	en := New(p, core.MustNew(p, core.Options{K: 10}), false, 10)
+	var seq event.Seq
+	for i := 0; i < 200; i++ {
+		ts := event.Time(i * 10)
+		seq++
+		en.Process(ev("A", ts, seq, nil))
+		seq++
+		en.Process(ev("B", ts+1, seq, nil))
+	}
+	elems := 0
+	for _, g := range en.groups {
+		elems += g.tree.Size()
+	}
+	if elems > 20 {
+		t.Fatalf("tree not purging: %d live elements after stream", elems)
+	}
+	if en.Metrics().Purged == 0 {
+		t.Fatalf("no purges counted")
+	}
+}

@@ -186,3 +186,9 @@ func BenchmarkE20Adaptive(b *testing.B) {
 		E20Adaptive(Smoke)
 	}
 }
+
+func BenchmarkE21Aggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		E21FibaAggregation(Smoke)
+	}
+}

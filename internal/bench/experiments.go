@@ -366,7 +366,8 @@ func E13Partitioned(s Scale) *Table {
 	}
 	t.AddRow("1 (unsharded)", fmtKevS(single.Throughput()), "-", fmtInt(single.Metrics.PeakState), fmtInt(single.Metrics.PeakState))
 	for _, shards := range []int{2, 4, 8, 16} {
-		en, err := oostream.NewPartitionedEngine(q, oostream.Config{K: defaultK}, "id", shards)
+		en, err := oostream.NewEngine(q, oostream.Config{K: defaultK,
+			Partition: oostream.Partition{Attr: "id", Shards: shards}})
 		if err != nil {
 			panic(err) // query is statically partitionable
 		}

@@ -174,6 +174,7 @@ func All() []Experiment {
 		{"E18", "batched admission throughput", E18Batch},
 		{"E19", "multi-query shared admission", E19MultiQuery},
 		{"E20", "adaptive disorder control under drift", E20Adaptive},
+		{"E21", "windowed aggregation: FiBA vs. rescan", E21FibaAggregation},
 	}
 }
 

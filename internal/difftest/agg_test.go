@@ -1,0 +1,95 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"oostream/internal/event"
+	"oostream/internal/plan"
+)
+
+// TestAggDifferentialTrials soaks the aggregation differential: every
+// strategy (plus heartbeats, batching, provenance, a checkpoint
+// round-trip, and partitioned execution on grouped trials) against the
+// brute-force window truth. The acceptance bar is ≥200 trials.
+func TestAggDifferentialTrials(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%04d", seed), func(t *testing.T) {
+			t.Parallel()
+			if fail := RunAgg(GenerateAgg(seed)); fail != nil {
+				t.Fatalf("%s", fail.Report())
+			}
+		})
+	}
+}
+
+// TestAggGeneratorCoverage asserts the aggregate trial distribution
+// exercises the interesting regions: every function, SLIDE, GROUP BY,
+// HAVING, trailing negation (the widened lateness bound), partitionable
+// grouped trials (the shard check only runs on those), and non-empty
+// window truth.
+func TestAggGeneratorCoverage(t *testing.T) {
+	funcs := map[string]int{}
+	var slide, grouped, having, trailingNeg, shardable, nonEmpty int
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		c := GenerateAgg(seed)
+		p, err := plan.ParseAndCompile(c.Query, Schema())
+		if err != nil {
+			t.Fatalf("seed %d: generated invalid query %q: %v", seed, c.Query, err)
+		}
+		if p.Agg == nil {
+			t.Fatalf("seed %d: query %q has no aggregate spec", seed, c.Query)
+		}
+		funcs[string(p.Agg.Func)]++
+		if p.Agg.Slide != p.Window {
+			slide++
+		}
+		if p.Agg.GroupSlot >= 0 {
+			grouped++
+		}
+		if p.Agg.Having != nil {
+			having++
+		}
+		if p.HasTrailingNegation() {
+			trailingNeg++
+		}
+		if p.Agg.GroupAttr == PartitionAttr && p.PartitionableBy(PartitionAttr) {
+			shardable++
+		}
+		if len(aggTruth(p, sortedCopy(c))) > 0 {
+			nonEmpty++
+		}
+	}
+	for _, fn := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX"} {
+		if funcs[fn] == 0 {
+			t.Errorf("no trial used %s", fn)
+		}
+	}
+	for name, got := range map[string]int{
+		"SLIDE": slide, "GROUP BY": grouped, "HAVING": having,
+		"trailing negation": trailingNeg, "shardable grouped": shardable,
+	} {
+		if got < n/20 {
+			t.Errorf("only %d/%d trials exercise %s", got, n, name)
+		}
+	}
+	if nonEmpty < n/3 {
+		t.Errorf("only %d/%d trials have non-empty window truth", nonEmpty, n)
+	}
+}
+
+func sortedCopy(c Case) []event.Event {
+	s := make([]event.Event, len(c.Arrival))
+	copy(s, c.Arrival)
+	event.SortByTime(s)
+	return s
+}

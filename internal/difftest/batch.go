@@ -251,7 +251,7 @@ func runParallelBatched(q *oostream.Query, cfg oostream.Config, events []event.E
 		if err != nil {
 			return nil, err
 		}
-		return sub.Inner(), nil
+		return sub.Raw().(engine.Engine), nil
 	})
 	if err != nil {
 		return nil, err

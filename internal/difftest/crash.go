@@ -83,9 +83,11 @@ func RunCrash(c Case) *Failure {
 		{name: "crash-speculate", make: superv(oostream.Config{Strategy: oostream.StrategySpeculate, K: c.K}, 0)},
 	}
 	if q.PartitionableBy(PartitionAttr) {
+		sharded := native
+		sharded.Partition = oostream.Partition{Attr: PartitionAttr, Shards: shardCount}
 		cfgs = append(cfgs, crashCfg{name: "crash-shard", truth: true,
 			make: func(dir string) (*oostream.SupervisedEngine, error) {
-				return oostream.NewSupervisedPartitionedEngine(q, native, PartitionAttr, shardCount,
+				return oostream.NewSupervisedEngine(q, sharded,
 					oostream.SupervisorConfig{Dir: dir, CheckpointEvery: 5, DisableFsync: true})
 			}})
 	}

@@ -190,11 +190,13 @@ func Run(c Case) *Failure {
 	// Partitioning soundness (I8), both execution modes, when the query
 	// confines matches to one key.
 	if q.PartitionableBy(PartitionAttr) {
-		sharded, err := oostream.NewPartitionedEngine(q, native, PartitionAttr, shardCount)
+		sharded := native
+		sharded.Partition = oostream.Partition{Attr: PartitionAttr, Shards: shardCount}
+		se, err := oostream.NewEngine(q, sharded)
 		if err != nil {
 			return errf("shard-seq", err)
 		}
-		if f := fail("shard-seq", sharded.ProcessAll(c.Arrival)); f != nil {
+		if f := fail("shard-seq", se.ProcessAll(c.Arrival)); f != nil {
 			return f
 		}
 		pgot, err := runParallel(q, native, c.Arrival)
@@ -205,23 +207,21 @@ func Run(c Case) *Failure {
 			return f
 		}
 
-		// Unified-config partitioning (Config.Partition) must be
-		// byte-identical to the deprecated NewPartitionedEngine path under
-		// ordered output — same routing, same shard topology, same output
-		// sequence, not merely multiset-equal.
-		ocfg := native
+		// Partitioned execution under ordered output must be deterministic:
+		// two engines built from the identical Config.Partition must emit
+		// the identical output sequence — same routing, same shard
+		// topology, same order, not merely multiset-equal.
+		ocfg := sharded
 		ocfg.OrderedOutput = true
-		unified := ocfg
-		unified.Partition = oostream.Partition{Attr: PartitionAttr, Shards: shardCount}
-		ue, err := oostream.NewEngine(q, unified)
+		ea, err := oostream.NewEngine(q, ocfg)
 		if err != nil {
 			return errf("partition-config", err)
 		}
-		de, err := oostream.NewPartitionedEngine(q, ocfg, PartitionAttr, shardCount)
+		eb, err := oostream.NewEngine(q, ocfg)
 		if err != nil {
 			return errf("partition-config", err)
 		}
-		if diff := identicalMatches(ue.ProcessAll(c.Arrival), de.ProcessAll(c.Arrival)); diff != "" {
+		if diff := identicalMatches(ea.ProcessAll(c.Arrival), eb.ProcessAll(c.Arrival)); diff != "" {
 			return &Failure{Case: c, Check: "partition-config", Diff: diff, Truth: len(truth)}
 		}
 	}
@@ -233,12 +233,12 @@ func Run(c Case) *Failure {
 // identical.
 func identicalMatches(a, b []plan.Match) string {
 	if len(a) != len(b) {
-		return fmt.Sprintf("unified Config.Partition emitted %d matches, NewPartitionedEngine %d", len(a), len(b))
+		return fmt.Sprintf("first run emitted %d matches, second %d", len(a), len(b))
 	}
 	for i := range a {
 		sa, sb := fmt.Sprintf("%+v", a[i]), fmt.Sprintf("%+v", b[i])
 		if sa != sb {
-			return fmt.Sprintf("match %d differs:\n  unified:    %s\n  deprecated: %s", i, sa, sb)
+			return fmt.Sprintf("match %d differs:\n  first:  %s\n  second: %s", i, sa, sb)
 		}
 	}
 	return ""
@@ -309,7 +309,7 @@ func runParallel(q *oostream.Query, cfg oostream.Config, events []event.Event) (
 		if err != nil {
 			return nil, err
 		}
-		return sub.Inner(), nil
+		return sub.Raw().(engine.Engine), nil
 	})
 	if err != nil {
 		return nil, err

@@ -121,6 +121,20 @@ type Snapshot struct {
 	MaxK     int64
 	// Degraded reports whether overload degradation is active.
 	Degraded bool
+
+	// AggWindows counts emitted aggregate window values; AggRevisions the
+	// speculative retract+insert pairs that replaced an earlier value.
+	AggWindows   uint64
+	AggRevisions uint64
+	// AggInserts counts elements inserted into the aggregation tree and
+	// AggFingerHits the subset absorbed directly by a finger leaf, so
+	// AggFingerHits/AggInserts is the finger hit rate.
+	AggInserts    uint64
+	AggFingerHits uint64
+	// AggTreeHeight gauges the tallest live aggregation tree across groups;
+	// AggElements the live elements across all trees.
+	AggTreeHeight int
+	AggElements   int
 }
 
 // IncIn counts an ingested event; ooo marks it out of timestamp order and
@@ -248,6 +262,31 @@ func (c *Collector) SetLineageRetained(live, bytes int) {
 	s.LineageBytes.Set(int64(bytes))
 }
 
+// IncAggWindow counts one emitted aggregate window value.
+func (c *Collector) IncAggWindow() { c.Series().AggWindows.Inc() }
+
+// IncAggRevision counts one speculative aggregate revision (a
+// retract+insert pair replacing a previously emitted window value).
+func (c *Collector) IncAggRevision() { c.Series().AggRevisions.Inc() }
+
+// IncAggInsert counts one aggregation-tree element insert; fingerHit marks
+// it as absorbed directly by a finger leaf.
+func (c *Collector) IncAggInsert(fingerHit bool) {
+	s := c.Series()
+	s.AggInserts.Inc()
+	if fingerHit {
+		s.AggFingerHits.Inc()
+	}
+}
+
+// SetAggTree gauges the aggregation-tree shape: the tallest live tree
+// across groups and the total live elements.
+func (c *Collector) SetAggTree(height, elements int) {
+	s := c.Series()
+	s.AggTreeHeight.Set(int64(height))
+	s.AggElements.Set(int64(elements))
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Collector) Snapshot() Snapshot {
 	s := c.Series()
@@ -289,6 +328,13 @@ func (c *Collector) Snapshot() Snapshot {
 		CurrentK:      s.CurrentK.Load(),
 		MaxK:          s.CurrentK.Peak(),
 		Degraded:      s.Degraded.Load() != 0,
+
+		AggWindows:    s.AggWindows.Load(),
+		AggRevisions:  s.AggRevisions.Load(),
+		AggInserts:    s.AggInserts.Load(),
+		AggFingerHits: s.AggFingerHits.Load(),
+		AggTreeHeight: int(s.AggTreeHeight.Load()),
+		AggElements:   int(s.AggElements.Load()),
 	}
 }
 

@@ -162,6 +162,17 @@ type Series struct {
 	SheddedEvents Counter
 	Switches      Counter
 
+	// Windowed-aggregation instruments. AggWindows counts emitted window
+	// values; AggRevisions counts speculative revisions (a retract+insert
+	// pair replacing a previously emitted window value); AggInserts counts
+	// elements inserted into the FiBA tree and AggFingerHits the subset that
+	// landed directly in a finger leaf (the in-order/near-frontier fast
+	// path), so finger_hits/inserts is the live finger hit rate.
+	AggWindows    Counter
+	AggRevisions  Counter
+	AggInserts    Counter
+	AggFingerHits Counter
+
 	LiveState       Gauge
 	KeyGroups       Gauge
 	CheckpointBytes Gauge
@@ -174,6 +185,11 @@ type Series struct {
 	// Degraded is 1 while overload degradation is active.
 	CurrentK Gauge
 	Degraded Gauge
+
+	// AggTreeHeight gauges the tallest live aggregation tree across groups;
+	// AggElements gauges the live elements across all trees.
+	AggTreeHeight Gauge
+	AggElements   Gauge
 
 	LogicalLat   Hist
 	ArrivalLat   Hist
@@ -326,6 +342,12 @@ func (s *Series) varz() map[string]any {
 		"lineage_bytes":         s.LineageBytes.Load(),
 		"shedded_events":        s.SheddedEvents.Load(),
 		"hybrid_switches":       s.Switches.Load(),
+		"agg_windows":           s.AggWindows.Load(),
+		"agg_revisions":         s.AggRevisions.Load(),
+		"agg_inserts":           s.AggInserts.Load(),
+		"agg_finger_hits":       s.AggFingerHits.Load(),
+		"agg_tree_height":       s.AggTreeHeight.Load(),
+		"agg_elements":          s.AggElements.Load(),
 		"current_k":             s.CurrentK.Load(),
 		"max_k":                 s.CurrentK.Peak(),
 		"degraded":              s.Degraded.Load(),
@@ -363,6 +385,10 @@ var promCounters = []struct {
 	{"oostream_lineage_records_total", "Lineage records built by the provenance layer", func(s *Series) uint64 { return s.LineageRecords.Load() }},
 	{"oostream_shedded_events_total", "Events discarded by overload degradation (Limits policy)", func(s *Series) uint64 { return s.SheddedEvents.Load() }},
 	{"oostream_hybrid_switches_total", "Hybrid meta-engine strategy switches", func(s *Series) uint64 { return s.Switches.Load() }},
+	{"oostream_agg_windows_total", "Aggregate window values emitted", func(s *Series) uint64 { return s.AggWindows.Load() }},
+	{"oostream_agg_revisions_total", "Speculative aggregate revisions (retract+insert pairs)", func(s *Series) uint64 { return s.AggRevisions.Load() }},
+	{"oostream_agg_inserts_total", "Elements inserted into the aggregation tree", func(s *Series) uint64 { return s.AggInserts.Load() }},
+	{"oostream_agg_finger_hits_total", "Aggregation-tree inserts that landed in a finger leaf", func(s *Series) uint64 { return s.AggFingerHits.Load() }},
 }
 
 // promGauges maps Prometheus gauge names to series gauges.
@@ -382,6 +408,8 @@ var promGauges = []struct {
 	{"oostream_current_k", "Effective disorder bound being enforced (logical ms)", func(s *Series) int64 { return s.CurrentK.Load() }},
 	{"oostream_max_k", "Largest effective disorder bound ever enforced", func(s *Series) int64 { return s.CurrentK.Peak() }},
 	{"oostream_degraded", "1 while overload degradation is shedding events", func(s *Series) int64 { return s.Degraded.Load() }},
+	{"oostream_agg_tree_height", "Tallest live aggregation tree across groups", func(s *Series) int64 { return s.AggTreeHeight.Load() }},
+	{"oostream_agg_elements", "Live aggregation-tree elements across all groups", func(s *Series) int64 { return s.AggElements.Load() }},
 }
 
 // promHists maps Prometheus histogram names to series histograms.

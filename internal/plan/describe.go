@@ -59,6 +59,24 @@ func (p *Plan) Describe() string {
 			fmt.Fprintf(&b, "  %s := %s\n", col.Name, col.Expr)
 		}
 	}
+	if a := p.Agg; a != nil {
+		arg := "*"
+		if a.ArgSlot >= 0 {
+			arg = fmt.Sprintf("[%d].%s", a.ArgSlot, a.ArgAttr)
+		}
+		fmt.Fprintf(&b, "aggregate: %s(%s) over matches, windows (end−%d, end]", a.Func, arg, p.Window)
+		if a.Slide == p.Window {
+			b.WriteString(" tumbling\n")
+		} else {
+			fmt.Fprintf(&b, " sliding every %d\n", a.Slide)
+		}
+		if a.GroupSlot >= 0 {
+			fmt.Fprintf(&b, "  group by: [%d].%s (one aggregation tree per key)\n", a.GroupSlot, a.GroupAttr)
+		}
+		if a.Having != nil {
+			fmt.Fprintf(&b, "  having: %s\n", a.Having)
+		}
+	}
 	if len(p.EqLinks) > 0 {
 		attrs := map[string]bool{}
 		for _, l := range p.EqLinks {

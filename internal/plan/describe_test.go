@@ -50,6 +50,34 @@ func TestDescribeLeadingTrailingNegation(t *testing.T) {
 	}
 }
 
+func TestDescribeAggregate(t *testing.T) {
+	p := compile(t, `
+		AGGREGATE AVG(e.price) OVER SEQ(SHELF s, EXIT e)
+		WHERE s.id = e.id
+		WITHIN 6s SLIDE 2s
+		GROUP BY s.id
+		HAVING w.value > 10`)
+	out := p.Describe()
+	for _, want := range []string{
+		"aggregate: AVG([1].price)",
+		"sliding every 2000",
+		"group by: [0].id",
+		"having:",
+		"w.value",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, out)
+		}
+	}
+	tumbling := compile(t, "AGGREGATE COUNT(*) OVER SEQ(A a, B b) WHERE a.id = b.id WITHIN 10")
+	if !strings.Contains(tumbling.Describe(), "aggregate: COUNT(*)") {
+		t.Error("COUNT(*) not described")
+	}
+	if !strings.Contains(tumbling.Describe(), "tumbling") {
+		t.Error("default slide not described as tumbling")
+	}
+}
+
 func TestDescribeNotPartitionable(t *testing.T) {
 	p := compile(t, "PATTERN SEQ(A a, B b, C c) WHERE a.id = b.id WITHIN 5")
 	if strings.Contains(p.Describe(), "partitionable by") {

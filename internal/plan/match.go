@@ -55,6 +55,11 @@ type Match struct {
 	// Like Prov it is excluded from Key/SameResults: identity is the event
 	// set, and per-query comparison filters on this field first.
 	Query string
+	// Agg is the window value for aggregate matches, nil for pattern
+	// matches. Aggregate matches carry a single placeholder window event in
+	// Events (type WindowType, TS = window end) so positional accessors and
+	// emission restamping work unchanged.
+	Agg *AggValue
 }
 
 // Key is a canonical identity for the match: the arrival sequence numbers of
@@ -62,6 +67,9 @@ type Match struct {
 // arrival interleaving, so keys implement exactly-once checks and multiset
 // comparison between engines.
 func (m Match) Key() string {
+	if m.Agg != nil {
+		return m.Agg.key()
+	}
 	var b strings.Builder
 	for i, e := range m.Events {
 		if i > 0 {
@@ -86,6 +94,12 @@ func (m Match) String() string {
 	var b strings.Builder
 	if m.Kind == Retract {
 		b.WriteString("-")
+	}
+	if m.Agg != nil {
+		b.WriteString("[")
+		b.WriteString(m.Agg.String())
+		b.WriteString("]")
+		return b.String()
 	}
 	b.WriteString("[")
 	for i, e := range m.Events {

@@ -55,6 +55,10 @@ type Plan struct {
 	// "" when the query is not partitionable by any equality-linked
 	// attribute.
 	PartitionKey string
+	// Agg is the compiled AGGREGATE clause, or nil for a plain pattern
+	// query. When set, engines wrap their match stream in the windowed
+	// aggregation operator and emit aggregate matches (Match.Agg) instead.
+	Agg *AggSpec
 
 	typeIndex    map[string][]int
 	negTypeIndex map[string][]int
@@ -150,6 +154,11 @@ func Compile(a *query.Analyzed) (*Plan, error) {
 	}
 	if err := p.compileReturn(a); err != nil {
 		return nil, err
+	}
+	if a.Query.Agg != nil {
+		if err := p.compileAggregate(a); err != nil {
+			return nil, err
+		}
 	}
 	p.PartitionKey = p.autoPartitionKey()
 	return p, nil

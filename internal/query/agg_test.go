@@ -1,0 +1,152 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"oostream/internal/event"
+)
+
+func aggSchema() *event.Schema {
+	s := event.NewSchema()
+	s.Declare("PAY", map[string]event.Kind{
+		"card":   event.KindInt,
+		"amount": event.KindFloat,
+		"memo":   event.KindString,
+	})
+	s.Declare("LOGIN", map[string]event.Kind{"card": event.KindInt})
+	return s
+}
+
+func TestParseAggregateForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical String() output
+	}{
+		{
+			"aggregate count(*) over PAY p within 10s",
+			"AGGREGATE COUNT(*) OVER SEQ(PAY p) WITHIN 10000ms",
+		},
+		{
+			"AGGREGATE SUM(p.amount) OVER SEQ(LOGIN l, PAY p) WHERE l.card = p.card WITHIN 1m SLIDE 10s",
+			"AGGREGATE SUM(p.amount) OVER SEQ(LOGIN l, PAY p) WHERE (l.card = p.card) WITHIN 60000ms SLIDE 10000ms",
+		},
+		{
+			"AGGREGATE AVG(p.amount) OVER PAY p WITHIN 1m SLIDE 5s GROUP BY p.card HAVING w.value > 500 AND w.count >= 3",
+			"AGGREGATE AVG(p.amount) OVER SEQ(PAY p) WITHIN 60000ms SLIDE 5000ms GROUP BY p.card HAVING ((w.value > 500) AND (w.count >= 3))",
+		},
+		{
+			"AGGREGATE MIN(p.amount) OVER SEQ(PAY p, !(LOGIN l)) WITHIN 500 HAVING w.value < 10",
+			"AGGREGATE MIN(p.amount) OVER SEQ(PAY p, !(LOGIN l)) WITHIN 500ms HAVING (w.value < 10)",
+		},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := q.String(); got != c.want {
+			t.Errorf("Parse(%q).String()\n got %q\nwant %q", c.src, got, c.want)
+		}
+		// Canonical text must round-trip to itself (checkpoint/queryset
+		// admission depends on this).
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Errorf("canonical form not a fixpoint: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"AGGREGATE MEDIAN(p.amount) OVER PAY p WITHIN 1s", "unknown aggregation function"},
+		{"AGGREGATE SUM(amount) OVER PAY p WITHIN 1s", "var.attr"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s SLIDE 0", "SLIDE must be positive"},
+		{"AGGREGATE COUNT(*) PAY p WITHIN 1s", "expected OVER"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s GROUP p.card", "expected BY"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestAnalyzeAggregate(t *testing.T) {
+	schema := aggSchema()
+	ok := []string{
+		"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.count > 2",
+		"AGGREGATE SUM(p.amount) OVER PAY p WITHIN 1s SLIDE 1s",
+		"AGGREGATE MAX(p.card) OVER PAY p WITHIN 1s HAVING w.value = 7",
+		"AGGREGATE AVG(p.amount) OVER SEQ(LOGIN l, PAY p) WHERE l.card = p.card WITHIN 1m GROUP BY l.card HAVING w.key != 0",
+	}
+	for _, src := range ok {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Analyze(q, schema); err != nil {
+			t.Errorf("Analyze(%q): %v", src, err)
+		}
+		// Structural analysis without a schema must pass too.
+		if _, err := Analyze(q, nil); err != nil {
+			t.Errorf("Analyze(%q, nil): %v", src, err)
+		}
+	}
+
+	bad := []struct {
+		src     string
+		wantSub string
+	}{
+		{"AGGREGATE COUNT(p.card) OVER PAY p WITHIN 1s", "COUNT counts matches"},
+		{"AGGREGATE SUM(*) OVER PAY p WITHIN 1s", "needs an attribute argument"},
+		{"AGGREGATE SUM(p.memo) OVER PAY p WITHIN 1s", "needs a numeric attribute"},
+		{"AGGREGATE SUM(x.amount) OVER PAY p WITHIN 1s", "unknown variable"},
+		{"AGGREGATE SUM(l.card) OVER SEQ(PAY p, !(LOGIN l)) WITHIN 1s", "negated variable"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s GROUP BY x.card", "unknown variable"},
+		{"AGGREGATE COUNT(*) OVER SEQ(PAY p, !(LOGIN l)) WITHIN 1s GROUP BY l.card", "negated variable"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s SLIDE 2s", "SLIDE 2000ms exceeds WITHIN 1000ms"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.key > 0", "w.key requires a GROUP BY"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING p.card > 0", "not pattern variables"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.median > 0", "window has no attribute"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.value + 1", "HAVING must be boolean"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.value = 'x'", "cannot compare"},
+		{"AGGREGATE COUNT(*) OVER PAY w WITHIN 1s", "reserved"},
+		{"AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.count > 0 AND p.card = 1", "not pattern variables"},
+	}
+	for _, c := range bad {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if _, err := Analyze(q, schema); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Analyze(%q) error = %v, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+
+	// Reference errors in HAVING surface even without a schema.
+	q, err := Parse("AGGREGATE COUNT(*) OVER PAY p WITHIN 1s HAVING w.nope = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(q, nil); err == nil || !strings.Contains(err.Error(), "window has no attribute") {
+		t.Errorf("nil-schema HAVING ref check: %v", err)
+	}
+}
+
+func TestAggregateKeywordsStayCaseInsensitive(t *testing.T) {
+	q, err := Parse("aggregate Count(*) over seq(PAY p) within 1s slide 1s group by p.card having w.count > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg == nil || q.Agg.Func != AggCount || q.Agg.GroupBy == nil || q.Agg.Having == nil {
+		t.Fatalf("lower-case parse incomplete: %+v", q.Agg)
+	}
+}

@@ -110,7 +110,152 @@ func Analyze(q *Query, schema *event.Schema) (*Analyzed, error) {
 			}
 		}
 	}
+	if q.Agg != nil {
+		if err := checkAggregate(q, a, varTypes, schema); err != nil {
+			return nil, err
+		}
+	}
 	return a, nil
+}
+
+// windowType is the synthetic event type backing HAVING kind checks.
+const windowType = "$window"
+
+// checkAggregate validates the AGGREGATE clause: function arity, argument
+// and GROUP BY references (positive components only, numeric argument under
+// a schema), SLIDE bounds, and the HAVING expression over the reserved
+// window pseudo-variable.
+func checkAggregate(q *Query, a *Analyzed, varTypes map[string]string, schema *event.Schema) error {
+	agg := q.Agg
+	if len(q.Return) > 0 {
+		return semanticErrorf(agg.At, "RETURN cannot be combined with AGGREGATE (aggregates emit window values, not event tuples)")
+	}
+	if _, bound := varTypes[HavingVar]; bound {
+		return semanticErrorf(agg.At, "variable %q is reserved for HAVING window references", HavingVar)
+	}
+	argKind := event.KindInvalid
+	switch agg.Func {
+	case AggCount:
+		if agg.Arg != nil {
+			return semanticErrorf(agg.Arg.At, "COUNT counts matches; write COUNT(*)")
+		}
+	default:
+		if agg.Arg == nil {
+			return semanticErrorf(agg.At, "%s needs an attribute argument, e.g. %s(x.amount)", agg.Func, agg.Func)
+		}
+		if _, ok := a.VarPosition[agg.Arg.Var]; !ok {
+			if _, neg := a.NegVarIndex[agg.Arg.Var]; neg {
+				return semanticErrorf(agg.Arg.At, "cannot aggregate over negated variable %q (it does not occur in a match)", agg.Arg.Var)
+			}
+			return semanticErrorf(agg.Arg.At, "unknown variable %q", agg.Arg.Var)
+		}
+		if schema != nil {
+			kind, err := checkExpr(agg.Arg, varTypes, schema)
+			if err != nil {
+				return err
+			}
+			if kind != event.KindInt && kind != event.KindFloat {
+				return semanticErrorf(agg.Arg.At, "%s needs a numeric attribute, but %s is %s", agg.Func, agg.Arg, kind)
+			}
+			argKind = kind
+		}
+	}
+	if agg.GroupBy != nil {
+		if _, ok := a.VarPosition[agg.GroupBy.Var]; !ok {
+			if _, neg := a.NegVarIndex[agg.GroupBy.Var]; neg {
+				return semanticErrorf(agg.GroupBy.At, "cannot GROUP BY negated variable %q (it does not occur in a match)", agg.GroupBy.Var)
+			}
+			return semanticErrorf(agg.GroupBy.At, "unknown variable %q", agg.GroupBy.Var)
+		}
+		if schema != nil {
+			if _, err := checkExpr(agg.GroupBy, varTypes, schema); err != nil {
+				return err
+			}
+		}
+	}
+	if agg.Slide < 0 {
+		return semanticErrorf(agg.At, "SLIDE must be positive, got %dms", agg.Slide)
+	}
+	if agg.Slide > q.Within {
+		return semanticErrorf(agg.At, "SLIDE %dms exceeds WITHIN %dms (windows would skip events)", agg.Slide, q.Within)
+	}
+	if agg.Having != nil {
+		if err := checkHaving(agg, argKind, varTypes, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkHaving validates the HAVING expression. Reference checks (only
+// w.value/count/start/end/key, key only under GROUP BY) always run; with a
+// schema the expression is additionally kind-checked against the window's
+// synthetic type and must be boolean.
+func checkHaving(agg *AggClause, argKind event.Kind, varTypes map[string]string, schema *event.Schema) error {
+	if err := checkHavingRefs(agg.Having, agg.GroupBy != nil); err != nil {
+		return err
+	}
+	if schema == nil {
+		return nil
+	}
+	var valueKind event.Kind
+	switch agg.Func {
+	case AggCount:
+		valueKind = event.KindInt
+	case AggAvg:
+		valueKind = event.KindFloat
+	default: // SUM/MIN/MAX take the argument's kind
+		valueKind = argKind
+	}
+	fields := map[string]event.Kind{
+		HavingValue: valueKind,
+		HavingCount: event.KindInt,
+		HavingStart: event.KindInt,
+		HavingEnd:   event.KindInt,
+	}
+	if agg.GroupBy != nil {
+		// GroupBy was reference-checked by the caller, so the lookup succeeds.
+		kind, ok := schema.Field(varTypes[agg.GroupBy.Var], agg.GroupBy.Attr)
+		if ok {
+			fields[HavingKey] = kind
+		}
+	}
+	win := event.NewSchema()
+	win.Declare(windowType, fields)
+	kind, err := checkExpr(agg.Having, map[string]string{HavingVar: windowType}, win)
+	if err != nil {
+		return err
+	}
+	if kind != event.KindBool {
+		return semanticErrorf(agg.Having.Pos(), "HAVING must be boolean, got %s", kind)
+	}
+	return nil
+}
+
+func checkHavingRefs(e Expr, grouped bool) error {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		if err := checkHavingRefs(n.Left, grouped); err != nil {
+			return err
+		}
+		return checkHavingRefs(n.Right, grouped)
+	case *UnaryExpr:
+		return checkHavingRefs(n.X, grouped)
+	case *AttrRef:
+		if n.Var != HavingVar {
+			return semanticErrorf(n.At, "HAVING references windows through %q (w.value, w.count, w.start, w.end, w.key), not pattern variables", HavingVar)
+		}
+		switch n.Attr {
+		case HavingValue, HavingCount, HavingStart, HavingEnd:
+		case HavingKey:
+			if !grouped {
+				return semanticErrorf(n.At, "w.key requires a GROUP BY clause")
+			}
+		default:
+			return semanticErrorf(n.At, "window has no attribute %q (want value, count, start, end, or key)", n.Attr)
+		}
+	}
+	return nil
 }
 
 // checkExpr verifies variable references and, when a schema is provided,

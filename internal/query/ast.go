@@ -7,10 +7,12 @@ import (
 	"oostream/internal/event"
 )
 
-// Query is the parsed form of a pattern query.
+// Query is the parsed form of a pattern or aggregation query.
 type Query struct {
 	// Components are the SEQ components in source order, positive and
-	// negative interleaved.
+	// negative interleaved. For an AGGREGATE query these are the OVER
+	// pattern's components (a bare `OVER Type var` desugars to a single
+	// positive component).
 	Components []Component
 	// Where is the predicate expression, or nil if absent.
 	Where Expr
@@ -19,8 +21,69 @@ type Query struct {
 	// time: unbounded sequence queries need unbounded state).
 	Within event.Time
 	// Return lists the projection items; empty means "return the events".
+	// Mutually exclusive with Agg.
 	Return []ReturnItem
+	// Agg is the AGGREGATE clause, or nil for a plain pattern query. When
+	// set, the query emits (window, value) aggregates over the match stream
+	// of Components instead of the matches themselves.
+	Agg *AggClause
 }
+
+// AggFunc enumerates the window aggregation functions.
+type AggFunc string
+
+// Aggregation functions. COUNT takes `*`; the rest take one numeric
+// attribute reference.
+const (
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggAvg   AggFunc = "AVG"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
+// AggFuncs lists the aggregation functions in canonical order.
+func AggFuncs() []AggFunc { return []AggFunc{AggCount, AggSum, AggAvg, AggMin, AggMax} }
+
+// AggClause is the AGGREGATE head of a windowed aggregation query:
+//
+//	AGGREGATE AVG(p.amount) OVER SEQ(PAY p) WHERE p.amount > 0
+//	WITHIN 1m SLIDE 10s GROUP BY p.card HAVING w.value > 500
+//
+// Each emitted value covers the half-open window (end−WITHIN, end] for a
+// window end on the SLIDE grid. HAVING filters windows through the reserved
+// pseudo-variable w with attributes value, count, start, end, and (under
+// GROUP BY) key.
+type AggClause struct {
+	// Func is the aggregation function.
+	Func AggFunc
+	// Arg is the aggregated attribute; nil for COUNT(*).
+	Arg *AttrRef
+	// Slide is the window-end grid pitch in logical milliseconds; 0 means
+	// the SLIDE clause was absent (plan time defaults it to WITHIN,
+	// i.e. tumbling windows).
+	Slide event.Time
+	// GroupBy partitions windows by one attribute of a positive component;
+	// nil aggregates the whole stream.
+	GroupBy *AttrRef
+	// Having filters emitted windows; nil emits every non-empty window.
+	Having Expr
+	// At is the source position of the AGGREGATE keyword.
+	At Pos
+}
+
+// HavingVar is the reserved pseudo-variable HAVING expressions use to
+// reference the candidate window.
+const HavingVar = "w"
+
+// Window pseudo-attributes available on HavingVar.
+const (
+	HavingValue = "value" // the aggregate value
+	HavingCount = "count" // elements in the window
+	HavingStart = "start" // exclusive window start, ms
+	HavingEnd   = "end"   // inclusive window end, ms
+	HavingKey   = "key"   // GROUP BY key (only with GROUP BY)
+)
 
 // Component is one element of the SEQ pattern.
 type Component struct {
@@ -43,9 +106,23 @@ type ReturnItem struct {
 }
 
 // String reconstructs a canonical query text (normalized keywords/spacing).
+// The canonical form round-trips through Parse, which checkpoint source
+// matching and multi-query admission rely on; aggregate queries always
+// render the explicit `OVER SEQ(...)` form.
 func (q *Query) String() string {
 	var b strings.Builder
-	b.WriteString("PATTERN SEQ(")
+	if q.Agg != nil {
+		fmt.Fprintf(&b, "AGGREGATE %s(", q.Agg.Func)
+		if q.Agg.Arg != nil {
+			b.WriteString(q.Agg.Arg.String())
+		} else {
+			b.WriteString("*")
+		}
+		b.WriteString(") OVER ")
+	} else {
+		b.WriteString("PATTERN ")
+	}
+	b.WriteString("SEQ(")
 	for i, c := range q.Components {
 		if i > 0 {
 			b.WriteString(", ")
@@ -63,6 +140,17 @@ func (q *Query) String() string {
 	}
 	if q.Within > 0 {
 		fmt.Fprintf(&b, " WITHIN %dms", q.Within)
+	}
+	if q.Agg != nil {
+		if q.Agg.Slide > 0 {
+			fmt.Fprintf(&b, " SLIDE %dms", q.Agg.Slide)
+		}
+		if q.Agg.GroupBy != nil {
+			fmt.Fprintf(&b, " GROUP BY %s", q.Agg.GroupBy)
+		}
+		if q.Agg.Having != nil {
+			fmt.Fprintf(&b, " HAVING %s", q.Agg.Having)
+		}
 	}
 	if len(q.Return) > 0 {
 		b.WriteString(" RETURN ")

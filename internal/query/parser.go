@@ -69,7 +69,13 @@ func (p *parser) expect(kind TokenKind) (Token, error) {
 }
 
 // parseQuery := PATTERN SEQ(...) [WHERE expr] [WITHIN dur] [RETURN items]
+//
+//	| AGGREGATE fn(arg) OVER (SEQ(...) | Type var) [WHERE expr]
+//	  WITHIN dur [SLIDE dur] [GROUP BY var.attr] [HAVING expr]
 func (p *parser) parseQuery() (*Query, error) {
+	if head, ok := p.accept(TokenAggregate); ok {
+		return p.parseAggregateQuery(head)
+	}
 	if _, err := p.expect(TokenPattern); err != nil {
 		return nil, err
 	}
@@ -104,6 +110,111 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, err
 	}
 	return q, nil
+}
+
+// parseAggregateQuery parses the AGGREGATE form after its head keyword. The
+// OVER pattern is either a full SEQ(...) or the single-component sugar
+// `Type var`; clause order is WHERE, WITHIN, SLIDE, GROUP BY, HAVING.
+func (p *parser) parseAggregateQuery(head Token) (*Query, error) {
+	agg := &AggClause{At: head.Pos}
+	fn, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch f := AggFunc(strings.ToUpper(fn.Text)); f {
+	case AggCount, AggSum, AggAvg, AggMin, AggMax:
+		agg.Func = f
+	default:
+		return nil, syntaxErrorf(fn.Pos, "unknown aggregation function %q (want COUNT, SUM, AVG, MIN, or MAX)", fn.Text)
+	}
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(TokenStar); !ok {
+		agg.Arg, err = p.parseAttrRef()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenOver); err != nil {
+		return nil, err
+	}
+	q := &Query{Agg: agg}
+	if _, ok := p.accept(TokenSeq); ok {
+		q.Components, err = p.parseComponents()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		typ, err := p.expect(TokenIdent)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokenIdent)
+		if err != nil {
+			return nil, err
+		}
+		q.Components = []Component{{Type: typ.Text, Var: v.Text, Pos: typ.Pos}}
+	}
+	if _, ok := p.accept(TokenWhere); ok {
+		q.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := p.accept(TokenWithin); ok {
+		q.Within, err = p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := p.accept(TokenSlide); ok {
+		agg.Slide, err = p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		if agg.Slide <= 0 {
+			return nil, syntaxErrorf(head.Pos, "SLIDE must be positive")
+		}
+	}
+	if _, ok := p.accept(TokenGroup); ok {
+		if _, err := p.expect(TokenBy); err != nil {
+			return nil, err
+		}
+		agg.GroupBy, err = p.parseAttrRef()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := p.accept(TokenHaving); ok {
+		agg.Having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenEOF); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parseAttrRef parses a mandatory var.attr reference.
+func (p *parser) parseAttrRef() (*AttrRef, error) {
+	id, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenDot); err != nil {
+		return nil, syntaxErrorf(id.Pos, "bare identifier %q; attribute references are written var.attr", id.Text)
+	}
+	attr, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	return &AttrRef{Var: id.Text, Attr: attr.Text, At: id.Pos}, nil
 }
 
 func (p *parser) parseComponents() ([]Component, error) {

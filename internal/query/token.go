@@ -53,43 +53,55 @@ const (
 	TokenNot
 	TokenTrue
 	TokenFalse
+	TokenAggregate
+	TokenOver
+	TokenSlide
+	TokenGroup
+	TokenBy
+	TokenHaving
 )
 
 var tokenNames = map[TokenKind]string{
-	TokenInvalid: "invalid",
-	TokenEOF:     "end of input",
-	TokenIdent:   "identifier",
-	TokenInt:     "integer",
-	TokenFloat:   "float",
-	TokenString:  "string",
-	TokenDur:     "duration",
-	TokenLParen:  "'('",
-	TokenRParen:  "')'",
-	TokenComma:   "','",
-	TokenDot:     "'.'",
-	TokenBang:    "'!'",
-	TokenEq:      "'='",
-	TokenNeq:     "'!='",
-	TokenLt:      "'<'",
-	TokenLte:     "'<='",
-	TokenGt:      "'>'",
-	TokenGte:     "'>='",
-	TokenPlus:    "'+'",
-	TokenMinus:   "'-'",
-	TokenStar:    "'*'",
-	TokenSlash:   "'/'",
-	TokenPercent: "'%'",
-	TokenPattern: "PATTERN",
-	TokenSeq:     "SEQ",
-	TokenWhere:   "WHERE",
-	TokenWithin:  "WITHIN",
-	TokenReturn:  "RETURN",
-	TokenAs:      "AS",
-	TokenAnd:     "AND",
-	TokenOr:      "OR",
-	TokenNot:     "NOT",
-	TokenTrue:    "TRUE",
-	TokenFalse:   "FALSE",
+	TokenInvalid:   "invalid",
+	TokenEOF:       "end of input",
+	TokenIdent:     "identifier",
+	TokenInt:       "integer",
+	TokenFloat:     "float",
+	TokenString:    "string",
+	TokenDur:       "duration",
+	TokenLParen:    "'('",
+	TokenRParen:    "')'",
+	TokenComma:     "','",
+	TokenDot:       "'.'",
+	TokenBang:      "'!'",
+	TokenEq:        "'='",
+	TokenNeq:       "'!='",
+	TokenLt:        "'<'",
+	TokenLte:       "'<='",
+	TokenGt:        "'>'",
+	TokenGte:       "'>='",
+	TokenPlus:      "'+'",
+	TokenMinus:     "'-'",
+	TokenStar:      "'*'",
+	TokenSlash:     "'/'",
+	TokenPercent:   "'%'",
+	TokenPattern:   "PATTERN",
+	TokenSeq:       "SEQ",
+	TokenWhere:     "WHERE",
+	TokenWithin:    "WITHIN",
+	TokenReturn:    "RETURN",
+	TokenAs:        "AS",
+	TokenAnd:       "AND",
+	TokenOr:        "OR",
+	TokenNot:       "NOT",
+	TokenTrue:      "TRUE",
+	TokenFalse:     "FALSE",
+	TokenAggregate: "AGGREGATE",
+	TokenOver:      "OVER",
+	TokenSlide:     "SLIDE",
+	TokenGroup:     "GROUP",
+	TokenBy:        "BY",
+	TokenHaving:    "HAVING",
 }
 
 // String returns a human-readable token kind name.
@@ -120,17 +132,23 @@ type Token struct {
 
 // keywords maps upper-cased identifier text to keyword kinds.
 var keywords = map[string]TokenKind{
-	"PATTERN": TokenPattern,
-	"SEQ":     TokenSeq,
-	"WHERE":   TokenWhere,
-	"WITHIN":  TokenWithin,
-	"RETURN":  TokenReturn,
-	"AS":      TokenAs,
-	"AND":     TokenAnd,
-	"OR":      TokenOr,
-	"NOT":     TokenNot,
-	"TRUE":    TokenTrue,
-	"FALSE":   TokenFalse,
+	"PATTERN":   TokenPattern,
+	"SEQ":       TokenSeq,
+	"WHERE":     TokenWhere,
+	"WITHIN":    TokenWithin,
+	"RETURN":    TokenReturn,
+	"AS":        TokenAs,
+	"AND":       TokenAnd,
+	"OR":        TokenOr,
+	"NOT":       TokenNot,
+	"TRUE":      TokenTrue,
+	"FALSE":     TokenFalse,
+	"AGGREGATE": TokenAggregate,
+	"OVER":      TokenOver,
+	"SLIDE":     TokenSlide,
+	"GROUP":     TokenGroup,
+	"BY":        TokenBy,
+	"HAVING":    TokenHaving,
 }
 
 // SyntaxError describes a lexical or parse failure with its position.

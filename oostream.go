@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"oostream/internal/adaptive"
+	"oostream/internal/agg"
 	"oostream/internal/core"
 	"oostream/internal/engine"
 	"oostream/internal/event"
@@ -149,8 +150,13 @@ func (q *Query) HasNegation() bool { return q.plan.HasNegation() }
 func (q *Query) Explain() string { return q.plan.Describe() }
 
 // PartitionableBy reports whether hash-partitioning the stream on attr
-// preserves the result set (see NewPartitionedEngine).
+// preserves the result set (see Config.Partition).
 func (q *Query) PartitionableBy(attr string) bool { return q.plan.PartitionableBy(attr) }
+
+// HasAggregate reports whether the query carries an AGGREGATE clause:
+// its engines then emit windowed aggregate values instead of raw pattern
+// matches (see Result).
+func (q *Query) HasAggregate() bool { return q.plan.Agg != nil }
 
 // AutoPartitionKey returns the equivalence attribute the planner selected
 // for key-partitioned stacks (the partitionable attribute appearing in the
@@ -178,10 +184,13 @@ type Engine struct {
 // NewEngine builds an engine for the query. See Config for the strategy,
 // disorder-bound, partitioning, and observability knobs. When
 // Config.Partition.Attr is set the engine hash-partitions the stream across
-// sub-engines (the role of the deprecated NewPartitionedEngine).
+// sub-engines.
 func NewEngine(q *Query, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := validateQueryConfig(q, cfg); err != nil {
 		return nil, err
 	}
 	inner, err := newInner(q, cfg)
@@ -331,7 +340,56 @@ func newSingle(q *Query, cfg Config) (engine.Engine, error) {
 		}
 		inner = wrapped
 	}
+	if q.plan.Agg != nil {
+		// The aggregation operator consumes the strategy's matches and emits
+		// windowed aggregate values. It wraps outside the ordered-output
+		// buffer (which releases within K, so the lateness bound still
+		// dominates the matches it sees). The speculative strategy previews
+		// windows eagerly and revises them as retract+insert pairs; every
+		// other strategy seals windows on watermark advance.
+		inner = agg.New(q.plan, inner, cfg.Strategy == StrategySpeculate, aggLateness(q, cfg))
+	}
 	return inner, nil
+}
+
+// aggLateness is the disorder bound the aggregation operator must absorb
+// on top of the wrapped strategy: the strategy can surface a match whose
+// last timestamp trails the stream clock by up to K (0 for the in-order
+// baseline, which buffers nothing), plus one window length when a trailing
+// negation defers emission until the gap seals.
+func aggLateness(q *Query, cfg Config) Time {
+	l := cfg.K
+	if cfg.Strategy == StrategyInOrder {
+		l = 0
+	}
+	if q.plan.HasTrailingNegation() {
+		l += q.plan.Window
+	}
+	return l
+}
+
+// validateQueryConfig checks the constraints that need both the compiled
+// query and the config — today, all about aggregation.
+func validateQueryConfig(q *Query, cfg Config) error {
+	p := q.plan
+	if p.Agg == nil {
+		return nil
+	}
+	if cfg.adaptiveActive() {
+		return fmt.Errorf("aggregate queries need a fixed lateness bound; Adaptive disorder control cannot be combined with AGGREGATE")
+	}
+	if cfg.BestEffortLate {
+		return fmt.Errorf("aggregate queries cannot run BestEffortLate: bound violators would mutate already-sealed windows")
+	}
+	if cfg.Partition.Attr != "" {
+		if p.Agg.GroupSlot < 0 {
+			return fmt.Errorf("an ungrouped aggregate cannot be partitioned: every shard would emit its own totals for the same window")
+		}
+		if p.Agg.GroupAttr != cfg.Partition.Attr {
+			return fmt.Errorf("partitioned aggregation requires Partition.Attr to equal the GROUP BY attribute: %q != %q", cfg.Partition.Attr, p.Agg.GroupAttr)
+		}
+	}
+	return nil
 }
 
 // MustNewEngine is NewEngine for known-good configuration.
@@ -368,12 +426,6 @@ type RawEngine interface {
 // or the other, not both. Unlike the facade, Raw().Process does not
 // auto-assign Seq and does not guard against Process-after-Flush.
 func (e *Engine) Raw() RawEngine { return e.inner }
-
-// Inner exposes the raw engine behind the facade.
-//
-// Deprecated: use Raw. Inner remains for internal harnesses that need the
-// unexported engine interface directly.
-func (e *Engine) Inner() engine.Engine { return e.inner }
 
 // Process ingests one event and returns the matches it emits. Events with
 // Seq zero are assigned the next arrival sequence number automatically;
@@ -503,14 +555,27 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	return cp.Checkpoint(w)
 }
 
+// restoreSingle rebuilds one checkpointed strategy engine for a plan: a
+// native engine, wrapped in the sealed-mode aggregation operator when the
+// query aggregates (the operator's envelope leads the byte stream, its
+// lateness bound rides in the payload).
+func restoreSingle(p *plan.Plan, r io.Reader) (engine.Engine, error) {
+	if p.Agg != nil {
+		return agg.Restore(p, r, func(ir io.Reader) (engine.Engine, error) {
+			return core.Restore(p, ir)
+		})
+	}
+	return core.Restore(p, r)
+}
+
 // RestoreEngine rebuilds a native engine from a Checkpoint. The query must
 // be compiled from the same text the checkpointed engine ran.
 func RestoreEngine(q *Query, r io.Reader) (*Engine, error) {
-	ce, err := core.Restore(q.plan, r)
+	inner, err := restoreSingle(q.plan, r)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: ce}, nil
+	return &Engine{inner: inner}, nil
 }
 
 // RestorePartitionedEngine rebuilds a partitioned engine (over native
@@ -522,28 +587,12 @@ func RestorePartitionedEngine(q *Query, byAttr string, shards int, r io.Reader) 
 		return nil, err
 	}
 	inner, err := shard.Restore(router, func(_ int, pr io.Reader) (engine.Engine, error) {
-		return core.Restore(q.plan, pr)
+		return restoreSingle(q.plan, pr)
 	}, r)
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{inner: inner}, nil
-}
-
-// NewPartitionedEngine builds an engine that hash-partitions the stream on
-// the given attribute across shard sub-engines (each configured by cfg) —
-// the scale-out deployment for queries whose components are all linked by
-// equality on one attribute, e.g. `s.id = e.id AND s.id = c.id` partitions
-// by "id".
-//
-// Deprecated: set Config.Partition{Attr: byAttr, Shards: shards} and call
-// NewEngine instead; this wrapper delegates to it.
-func NewPartitionedEngine(q *Query, cfg Config, byAttr string, shards int) (*Engine, error) {
-	if shards <= 0 {
-		return nil, fmt.Errorf("shard count must be positive, got %d", shards)
-	}
-	cfg.Partition = Partition{Attr: byAttr, Shards: shards}
-	return NewEngine(q, cfg)
 }
 
 // Run consumes events from in until it closes or ctx is cancelled,

@@ -18,7 +18,8 @@ func TestPartitionedEngineEquivalence(t *testing.T) {
 	single := MustNewEngine(q, Config{K: 2000}).ProcessAll(shuffled)
 
 	for _, strat := range []Strategy{StrategyNative, StrategySpeculate, StrategyKSlack} {
-		part, err := NewPartitionedEngine(q, Config{Strategy: strat, K: 2000}, "id", 4)
+		part, err := NewEngine(q, Config{Strategy: strat, K: 2000,
+			Partition: Partition{Attr: "id", Shards: 4}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,22 +35,22 @@ func TestPartitionedEngineEquivalence(t *testing.T) {
 
 func TestPartitionedEngineRejectsUnpartitionable(t *testing.T) {
 	q := MustCompile("PATTERN SEQ(A a, B b) WITHIN 10", nil)
-	if _, err := NewPartitionedEngine(q, Config{K: 5}, "id", 2); err == nil ||
+	if _, err := NewEngine(q, Config{K: 5, Partition: Partition{Attr: "id", Shards: 2}}); err == nil ||
 		!strings.Contains(err.Error(), "not partitionable") {
 		t.Fatalf("err = %v", err)
 	}
 	q2 := MustCompile("PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 10", nil)
-	if _, err := NewPartitionedEngine(q2, Config{K: 5}, "id", 0); err == nil {
-		t.Fatal("zero shards accepted")
+	if _, err := NewEngine(q2, Config{K: 5, Partition: Partition{Attr: "id", Shards: -1}}); err == nil {
+		t.Fatal("negative shard count accepted")
 	}
-	if _, err := NewPartitionedEngine(q2, Config{K: -1}, "id", 2); err == nil {
+	if _, err := NewEngine(q2, Config{K: -1, Partition: Partition{Attr: "id", Shards: 2}}); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
 
 func TestPartitionedEngineMetrics(t *testing.T) {
 	q := MustCompile("PATTERN SEQ(A a, B b) WHERE a.id = b.id WITHIN 100", nil)
-	en, err := NewPartitionedEngine(q, Config{K: 50}, "id", 3)
+	en, err := NewEngine(q, Config{K: 50, Partition: Partition{Attr: "id", Shards: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

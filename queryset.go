@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"oostream/internal/core"
 	"oostream/internal/engine"
 	"oostream/internal/obsv"
 	"oostream/internal/plan"
@@ -99,7 +98,7 @@ func (cfg QuerySetConfig) restoreFactory() func(id string, p *plan.Plan, r io.Re
 	}
 	obsCfg := Config{Observer: cfg.Observer, Trace: cfg.Trace}
 	return func(id string, p *plan.Plan, r io.Reader) (engine.Engine, error) {
-		en, err := core.Restore(p, r)
+		en, err := restoreSingle(p, r)
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"oostream/internal/core"
 	"oostream/internal/engine"
 	"oostream/internal/obsv"
 	"oostream/internal/recovery"
@@ -118,6 +117,9 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if err := validateQueryConfig(q, cfg); err != nil {
+		return nil, err
+	}
 	engineCfg := cfg
 	if cfg.Partition.Attr == "" {
 		// The supervisor forwards its own series binding to the inner
@@ -140,7 +142,7 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 	if cfg.Strategy == StrategyNative && !cfg.OrderedOutput {
 		if cfg.Partition.Attr == "" {
 			restoreFn = func(r io.Reader) (engine.Engine, error) {
-				return core.Restore(q.plan, r)
+				return restoreSingle(q.plan, r)
 			}
 		} else {
 			restoreFn = func(r io.Reader) (engine.Engine, error) {
@@ -149,7 +151,7 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 					return nil, err
 				}
 				return shard.Restore(router, func(_ int, pr io.Reader) (engine.Engine, error) {
-					return core.Restore(q.plan, pr)
+					return restoreSingle(q.plan, pr)
 				}, r)
 			}
 		}
@@ -171,21 +173,6 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 		}
 	}
 	return newSupervised(cfg, sc, newFn, restoreFn)
-}
-
-// NewSupervisedPartitionedEngine is NewSupervisedEngine over a
-// hash-partitioned engine: one durable store supervises the whole
-// partitioned topology, and checkpoints capture every shard (native parts
-// only; other strategies run WAL-only).
-//
-// Deprecated: set Config.Partition{Attr: byAttr, Shards: shards} and call
-// NewSupervisedEngine instead; this wrapper delegates to it.
-func NewSupervisedPartitionedEngine(q *Query, cfg Config, byAttr string, shards int, sc SupervisorConfig) (*SupervisedEngine, error) {
-	if shards <= 0 {
-		return nil, fmt.Errorf("shard count must be positive, got %d", shards)
-	}
-	cfg.Partition = Partition{Attr: byAttr, Shards: shards}
-	return NewSupervisedEngine(q, cfg, sc)
 }
 
 func newSupervised(cfg Config, sc SupervisorConfig, newFn func() (engine.Engine, error), restoreFn func(io.Reader) (engine.Engine, error)) (*SupervisedEngine, error) {
