@@ -32,7 +32,7 @@ func TestAggregateHandComputed(t *testing.T) {
 	en := MustNewEngine(q, Config{K: 2})
 	events := []Event{
 		aggEvent("A", 1, 1, 1, 0),
-		aggEvent("B", 3, 2, 1, 5),  // match (A@1,B@3) -> window (0,10]
+		aggEvent("B", 3, 2, 1, 5), // match (A@1,B@3) -> window (0,10]
 		aggEvent("A", 12, 3, 2, 0),
 		aggEvent("B", 15, 4, 2, 7), // match (A@12,B@15) -> window (10,20]
 		aggEvent("B", 16, 5, 9, 1), // no A with id 9: contributes nothing

@@ -22,7 +22,7 @@
 //
 // The committed BENCH_native.json baseline is regenerated with:
 //
-//	go run ./cmd/espbench -exp E2,E10,E14,E18,E19,E20,E21 -json > BENCH_native.json
+//	go run ./cmd/espbench -exp E2,E10,E14,E18,E19,E20,E21,E22 -json > BENCH_native.json
 package main
 
 import (
@@ -69,7 +69,7 @@ func run(args []string, stdout io.Writer) error {
 	if *listen != "" {
 		reg := oostream.NewObserver()
 		bench.Observer = reg
-		srv, err := httpx.Listen(*listen, reg, nil, nil)
+		srv, err := httpx.Listen(*listen, reg, nil, nil, nil)
 		if err != nil {
 			return err
 		}

@@ -1,8 +1,9 @@
 // Command espfuzz runs long differential soak sessions: it draws trial
 // seeds sequentially, runs each through the full differential harness
-// (every strategy, both shard modes, a checkpoint round-trip — all against
-// the brute-force oracle), shrinks any divergence, and prints a JSON
-// summary. Exit status is non-zero when any trial diverged.
+// (every strategy, both shard modes, a checkpoint round-trip, and a
+// latency-sampler on/off differential — all against the brute-force
+// oracle), shrinks any divergence, and prints a JSON summary. Exit status
+// is non-zero when any trial diverged.
 //
 //	go run ./cmd/espfuzz -budget 30s
 //	go run ./cmd/espfuzz -budget 10m -seed 1000000 -maxfail 5
@@ -116,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				"last_seed": liveSeed.Load(),
 			}
 		})
-		srv, err := httpx.Listen(*listen, reg, nil, nil)
+		srv, err := httpx.Listen(*listen, reg, nil, nil, nil)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2

@@ -76,9 +76,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		resume    = fs.Bool("resume", false, "resume a previous run from -checkpoint-dir")
 		partAttr  = fs.String("partition", "", "hash-partition the stream on this attribute")
 		shards    = fs.Int("shards", 0, "shard count with -partition (default 1)")
-		listen    = fs.String("listen", "", "serve live observability HTTP on this address (/metrics, /varz, /healthz, /debug/flight, /debug/pprof), e.g. :9090")
+		listen    = fs.String("listen", "", "serve live observability HTTP on this address (/metrics, /varz, /healthz, /debug/flight, /debug/state, /debug/latency, /debug/pprof), e.g. :9090")
 		linger    = fs.Duration("linger", 0, "with -listen: keep the HTTP endpoint up this long after the trace completes")
 		batchSize = fs.Int("batch", 0, "ingest in batches of this many events (0/1 = per event; output is identical)")
+		latSample = fs.Int("latency-sample", 0, "sample 1 in N events for wall-clock latency attribution (0 = off; rounded up to a power of two)")
+		latSLO    = fs.Duration("latency-slo", 0, "wall-clock latency objective per event, e.g. 5ms (requires -latency-sample); enables SLO burn-rate tracking")
+		latTarget = fs.Float64("latency-slo-target", 0.99, "fraction of sampled events that must meet -latency-slo")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +135,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Partition:  oostream.Partition{Attr: *partAttr, Shards: *shards},
 		Provenance: *explain,
 		Batch:      oostream.Batch{Size: *batchSize},
+		Latency: oostream.Latency{
+			SampleEvery: *latSample,
+			SLO:         oostream.LatencySLO{Objective: *latSLO, Target: *latTarget},
+		},
 	}
 	var ac oostream.Adaptive
 	if *adaptJSON != "" {
@@ -159,10 +166,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
-	// The /debug/state document, republished from the processing loop.
-	// StateSnapshot is not synchronized with Process, so the HTTP handler
-	// never touches the engine: it reads the last snapshot the loop stored.
+	// The /debug/state and /debug/latency documents, republished from the
+	// processing loop. Neither snapshot call is synchronized with Process,
+	// so the HTTP handlers never touch the engine: they read the last
+	// document the loop stored.
 	var stateDoc atomic.Pointer[oostream.StateSnapshot]
+	var latDoc atomic.Pointer[oostream.LatencyReport]
 	if *listen != "" {
 		reg := oostream.NewObserver()
 		flight := oostream.NewFlightRecorder(512)
@@ -174,7 +183,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			return nil
 		}
-		srv, err := httpx.Listen(*listen, reg, flight, state)
+		latency := func() any {
+			if r := latDoc.Load(); r != nil {
+				return r
+			}
+			return nil
+		}
+		srv, err := httpx.Listen(*listen, reg, flight, state, latency)
 		if err != nil {
 			return err
 		}
@@ -233,6 +248,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var name string
 	var stats func() oostream.Metrics
 	var snapshot func() *oostream.StateSnapshot
+	var latReport func() *oostream.LatencyReport
 	if *ckptDir != "" && !*resume {
 		if entries, err := os.ReadDir(*ckptDir); err == nil && len(entries) > 0 {
 			return fmt.Errorf("%s already holds state; pass -resume to continue it (or point at an empty directory)", *ckptDir)
@@ -243,6 +259,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		qcfg := oostream.QuerySetConfig{
 			Strategy: cfg.Strategy, K: cfg.K,
 			Provenance: cfg.Provenance, Observer: cfg.Observer, Trace: cfg.Trace,
+			Latency: cfg.Latency,
 		}
 		s, err := oostream.NewSupervisedQuerySet(qcfg, oostream.SupervisorConfig{
 			Dir:             *ckptDir,
@@ -263,11 +280,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		emit(recovered)
 		process, processBatch, flush, stats = s.Process, s.ProcessBatch, s.Flush, s.Metrics
+		latReport = s.LatencyReport
 		name = fmt.Sprintf("queryset(%s)×%d", cfg.Strategy, len(registry))
 	case registry != nil:
 		qcfg := oostream.QuerySetConfig{
 			Strategy: cfg.Strategy, K: cfg.K,
 			Provenance: cfg.Provenance, Observer: cfg.Observer, Trace: cfg.Trace,
+			Latency: cfg.Latency,
 		}
 		set, err := oostream.NewQuerySet(qcfg)
 		if err != nil {
@@ -282,6 +301,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		processBatch = func(evs []oostream.Event) ([]oostream.Match, error) { return set.ProcessBatch(evs), nil }
 		flush = func() ([]oostream.Match, error) { return set.Flush(), nil }
 		stats = set.Metrics
+		latReport = set.LatencyReport
 		name = fmt.Sprintf("queryset(%s)×%d", cfg.Strategy, len(registry))
 	case *ckptDir != "":
 		sen, err := oostream.NewSupervisedEngine(q, cfg, oostream.SupervisorConfig{
@@ -299,6 +319,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		emit(recovered)
 		process, processBatch, flush, name, stats = sen.Process, sen.ProcessBatch, sen.Flush, sen.Strategy(), sen.Metrics
 		snapshot = sen.StateSnapshot
+		latReport = sen.LatencyReport
 	default:
 		en, err := oostream.NewEngine(q, cfg)
 		if err != nil {
@@ -309,13 +330,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		flush = func() ([]oostream.Match, error) { return en.Flush(), nil }
 		name, stats = en.Strategy(), en.Metrics
 		snapshot = en.StateSnapshot
+		latReport = en.LatencyReport
 	}
 	publish := func() {
-		if *listen == "" || snapshot == nil {
+		if *listen == "" {
 			return
 		}
-		if s := snapshot(); s != nil {
-			stateDoc.Store(s)
+		if snapshot != nil {
+			if s := snapshot(); s != nil {
+				stateDoc.Store(s)
+			}
+		}
+		if latReport != nil {
+			if r := latReport(); r != nil {
+				latDoc.Store(r)
+			}
 		}
 	}
 
@@ -385,6 +414,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "… %d more matches (raise -max-print)\n", total-printed)
 	}
 	fmt.Fprintf(stdout, "strategy=%s matches=%d %s\n", name, total, stats())
+	if *latSample > 0 && latReport != nil {
+		if r := latReport(); r != nil {
+			printLatency(stdout, r)
+		}
+	}
 	if (adaptiveSet || cfg.Strategy == oostream.StrategyHybrid) && snapshot != nil {
 		if s := snapshot(); s != nil && s.Adaptive != nil {
 			a := s.Adaptive
@@ -397,6 +431,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printLatency renders the end-of-run wall-clock attribution summary: the
+// sample accounting, wall quantiles, the per-stage decomposition in
+// pipeline order, and the SLO windows when tracked.
+func printLatency(w io.Writer, r *oostream.LatencyReport) {
+	fmt.Fprintf(w, "latency: 1/%d sampled=%d abandoned=%d dropped=%d wall{p50=%dµs p95=%dµs p99=%dµs max=%dµs}\n",
+		r.SampleEvery, r.SpansSampled, r.SpansAbandoned, r.SpansDropped,
+		r.Wall.P50Us, r.Wall.P95Us, r.Wall.P99Us, r.Wall.MaxUs)
+	for _, stage := range []string{"queue", "buffer", "wal", "construct", "emit"} {
+		s, ok := r.Stages[stage]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  stage %-9s n=%d p50=%dµs p95=%dµs max=%dµs sum=%dµs\n",
+			stage, s.Count, s.P50Us, s.P95Us, s.MaxUs, s.SumUs)
+	}
+	if r.SLO != nil {
+		for _, win := range r.SLO.Windows {
+			fmt.Fprintf(w, "  slo %s: good=%d bad=%d ratio=%.4f burn=%.2f (objective %gms, target %g)\n",
+				win.Window, win.Good, win.Bad, win.GoodRatio, win.BurnRate, r.SLO.ObjectiveMs, r.SLO.Target)
+		}
+	}
 }
 
 // namedQuery is one entry of a -queries file.

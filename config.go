@@ -84,6 +84,68 @@ type Batch struct {
 	Linger time.Duration
 }
 
+// LatencySLO attaches a multi-window burn-rate tracker to the latency
+// sampler: every sampled event whose end-to-end wall-clock latency is at
+// or below Objective counts good, and the tracker reports the error-budget
+// burn rate over rolling windows (short windows catch fast burns, long
+// windows slow ones). Requires Latency.SampleEvery > 0 — the tracker is
+// fed by sampled spans.
+type LatencySLO struct {
+	// Objective is the per-event wall-clock latency objective. Zero
+	// disables SLO tracking.
+	Objective time.Duration
+	// Target is the fraction of events that must meet the objective
+	// (e.g. 0.99). 0 means 0.99; must be below 1 (a 100% target leaves no
+	// error budget to burn).
+	Target float64
+	// Windows are the rolling burn-rate windows; nil means 1m, 5m, 30m.
+	Windows []time.Duration
+}
+
+// Latency configures sampled wall-clock latency attribution: a
+// deterministic 1-in-N sample of events (by sequence number, rounded up to
+// a power of two) is span-tracked through the pipeline, decomposing each
+// sampled event's real elapsed time into stage durations — queue wait,
+// reorder-buffer residency, WAL+commit, match construction, emit — whose
+// sum equals the end-to-end wall time by construction. This complements
+// the logical instruments (result latency, watermark lag), which measure
+// stream time and cannot see scheduling, batching linger, or backpressure.
+//
+// The sample decision never perturbs engine behavior (match output is
+// byte-identical with sampling on or off — enforced by the differential
+// harness), and a zero SampleEvery leaves every call site as a single
+// predictable nil-check branch with no allocation.
+type Latency struct {
+	// SampleEvery samples one in N events; rounded up to a power of two.
+	// 0 disables the sampler entirely.
+	SampleEvery int
+	// SLO optionally tracks an error-budget burn rate over the sampled
+	// wall latencies; see LatencySLO.
+	SLO LatencySLO
+}
+
+// validate is shared by Config and QuerySetConfig.
+func (l Latency) validate() error {
+	if l.SampleEvery < 0 {
+		return fmt.Errorf("Latency.SampleEvery must be >= 0, got %d", l.SampleEvery)
+	}
+	if l.SLO.Objective < 0 {
+		return fmt.Errorf("Latency.SLO.Objective must be >= 0, got %s", l.SLO.Objective)
+	}
+	if l.SLO.Target < 0 || l.SLO.Target >= 1 {
+		return fmt.Errorf("Latency.SLO.Target must be in [0, 1), got %g", l.SLO.Target)
+	}
+	if l.SLO.Objective > 0 && l.SampleEvery == 0 {
+		return fmt.Errorf("Latency.SLO requires Latency.SampleEvery > 0: the tracker is fed by sampled spans")
+	}
+	for _, w := range l.SLO.Windows {
+		if w < time.Second {
+			return fmt.Errorf("Latency.SLO.Windows entries must be >= 1s, got %s", w)
+		}
+	}
+	return nil
+}
+
 // Config configures an Engine.
 type Config struct {
 	// Strategy selects the engine; default StrategyNative.
@@ -141,6 +203,13 @@ type Config struct {
 	// Batch configures batched ingestion for Engine.Run; the zero value
 	// keeps the per-event path. Direct ProcessBatch calls work regardless.
 	Batch Batch
+	// Latency configures sampled wall-clock latency attribution: per-stage
+	// span timing on a deterministic 1-in-N event sample, an end-to-end
+	// wall histogram, and an optional SLO burn-rate tracker. Read it back
+	// via Engine.LatencyReport, StateSnapshot.Latency, or — with Observer
+	// set — the /metrics, /varz, and /debug/latency HTTP surfaces. The
+	// zero value disables sampling at zero cost.
+	Latency Latency
 	// Adaptive configures dynamic disorder control: Enabled re-derives K
 	// online as a lag quantile (Config.K then only seeds the controller,
 	// via InitialK when set, else K); Limits adds overload degradation
@@ -193,6 +262,9 @@ func (c Config) validate() error {
 	}
 	if c.Batch.Linger > 0 && c.Batch.Size <= 1 {
 		return fmt.Errorf("Batch.Linger requires Batch.Size > 1")
+	}
+	if err := c.Latency.validate(); err != nil {
+		return err
 	}
 	if _, err := c.adaptiveConfig().Normalized(); err != nil {
 		return fmt.Errorf("Adaptive: %w", err)

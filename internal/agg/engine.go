@@ -154,6 +154,12 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 // contributing to its window, capped at maxProvRefs.
 func (en *Engine) EnableProvenance() { en.prov = true }
 
+// SetLatencySampler implements engine.LatencySampled by delegating to the
+// inner strategy engine, which owns the construction stage boundary.
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) {
+	engine.SetLatencySampler(en.inner, ls)
+}
+
 // StateSize implements engine.Engine: live tree elements plus inner state.
 func (en *Engine) StateSize() int {
 	return len(en.byMatch) + en.inner.StateSize()

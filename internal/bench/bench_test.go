@@ -192,3 +192,27 @@ func BenchmarkE21Aggregation(b *testing.B) {
 		E21FibaAggregation(Smoke)
 	}
 }
+
+func BenchmarkE22LatencyAttribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		E22LatencyAttribution(Smoke)
+	}
+}
+
+// TestE22Shape checks the latency-attribution experiment's invariants:
+// sampled rows carry span counts and stay exact, and the deeper sampling
+// rate opens proportionally more spans.
+func TestE22Shape(t *testing.T) {
+	tbl := E22LatencyAttribution(Smoke)
+	at := func(mode, col string) string {
+		return cell(t, tbl, func(r []string) bool { return r[0] == mode }, col)
+	}
+	if at("1/256", "exact") != "true" || at("1/16", "exact") != "true" {
+		t.Error("sampling must not change match output")
+	}
+	coarse := parseF(t, at("1/256", "spans"))
+	dense := parseF(t, at("1/16", "spans"))
+	if coarse <= 0 || dense < 8*coarse {
+		t.Errorf("span counts: 1/256=%v 1/16=%v, want ~16x more at 1/16", coarse, dense)
+	}
+}

@@ -184,6 +184,10 @@ type Engine struct {
 	trace     obsv.TraceHook
 	traceName string
 
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// event spans; nil costs one predictable branch per event.
+	lat *obsv.LatencySampler
+
 	// prov enables lineage-record construction on emitted matches. Like the
 	// trace hook, every site checks the flag first, so the disabled hot
 	// path pays one predictable branch and builds nothing. restored marks
@@ -364,10 +368,16 @@ const minTime = event.Time(-1 << 62)
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
 	out := en.processOne(e, nil)
+	en.lat.StageEnd(e.Seq, obsv.StageConstruct)
 	en.maybePurge()
 	en.publishGauges()
 	return out
 }
+
+// SetLatencySampler implements engine.LatencySampled: sampled events get
+// their admission-to-construction time attributed at the end of
+// processOne.
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) { en.lat = ls }
 
 // ProcessBatch implements engine.BatchProcessor: the per-event admission,
 // insertion, and pending-drain pipeline runs unchanged for every event,
@@ -384,11 +394,13 @@ func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
 	if en.opts.LatePolicy == BestEffort {
 		for i := range batch {
 			out = en.processOne(batch[i], out)
+			en.lat.StageEnd(batch[i].Seq, obsv.StageConstruct)
 			en.maybePurge()
 		}
 	} else {
 		for i := range batch {
 			out = en.processOne(batch[i], out)
+			en.lat.StageEnd(batch[i].Seq, obsv.StageConstruct)
 		}
 		en.maybePurge()
 	}

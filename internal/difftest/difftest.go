@@ -30,13 +30,18 @@
 //   - checkpoint transparency: native state serialized and restored
 //     mid-stream continues to the identical result set (through keyed
 //     stacks whenever the query is partitionable, since keying is the
-//     default).
+//     default);
+//   - latency-sampler transparency: a densely sampled wall-clock
+//     attribution run (Config.Latency, 1-in-4 with an SLO tracker) emits
+//     the identical output sequence as the uninstrumented run, on both the
+//     native fast path and the kslack held-span path.
 package difftest
 
 import (
 	"bytes"
 	"context"
 	"fmt"
+	"time"
 
 	"oostream"
 	"oostream/internal/engine"
@@ -170,6 +175,28 @@ func Run(c Case) *Failure {
 	// Ordered-output wrapper must reorder, never drop or duplicate.
 	if f := fail("native-ordered", run(q, oostream.Config{Strategy: oostream.StrategyNative, K: c.K, OrderedOutput: true}, c.Arrival)); f != nil {
 		return f
+	}
+
+	// Latency-sampling transparency: the wall-clock attribution sampler is
+	// observation only, so a densely sampled run (1-in-4, SLO tracker on,
+	// exercising the span fast path, the kslack Hold/FinishHeld protocol,
+	// and the burn-rate buckets) must emit the identical output sequence as
+	// the uninstrumented run — element for element, not merely the same
+	// multiset.
+	samplerOn := oostream.Latency{SampleEvery: 4,
+		SLO: oostream.LatencySLO{Objective: time.Millisecond, Target: 0.99}}
+	for _, lc := range []struct {
+		check string
+		cfg   oostream.Config
+	}{
+		{"native-latency", native},
+		{"kslack-latency", oostream.Config{Strategy: oostream.StrategyKSlack, K: c.K}},
+	} {
+		sampled := lc.cfg
+		sampled.Latency = samplerOn
+		if diff := identicalMatches(run(q, lc.cfg, c.Arrival), run(q, sampled, c.Arrival)); diff != "" {
+			return &Failure{Case: c, Check: lc.check, Diff: diff, Truth: len(truth)}
+		}
 	}
 
 	// Heartbeat-insertion invariance (I9): interleave the strongest safe

@@ -48,6 +48,23 @@ type Observable interface {
 	Observe(series *obsv.Series, hook obsv.TraceHook)
 }
 
+// LatencySampled is implemented by engines that stamp wall-clock stage
+// boundaries on sampled event spans. SetLatencySampler must be called
+// before the first Process call; a nil sampler (the default) keeps every
+// stamp site a one-branch no-op. Wrapper engines forward to the layers
+// that own a stage boundary.
+type LatencySampled interface {
+	SetLatencySampler(ls *obsv.LatencySampler)
+}
+
+// SetLatencySampler installs the sampler on en when it participates in
+// latency attribution; engines without stage boundaries are skipped.
+func SetLatencySampler(en Engine, ls *obsv.LatencySampler) {
+	if l, ok := en.(LatencySampled); ok {
+		l.SetLatencySampler(ls)
+	}
+}
+
 // Provenancer is implemented by engines that can attach lineage records
 // to the matches they emit. EnableProvenance must be called before the
 // first Process call; once on, every emitted match carries a non-nil

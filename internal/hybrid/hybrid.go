@@ -123,6 +123,11 @@ type Engine struct {
 	trace     obsv.TraceHook
 	traceName string
 	prov      bool
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// spans. The meta-engine stamps StageConstruct itself (covering the
+	// sub-engine feed); the sampler is not forwarded to sub-engines, so
+	// switch-time tail replays cannot double-stamp live spans.
+	lat *obsv.LatencySampler
 }
 
 var (
@@ -203,6 +208,9 @@ func (en *Engine) Name() string { return "hybrid" }
 
 // Mode returns the strategy currently running inside the meta-engine.
 func (en *Engine) Mode() string { return en.mode }
+
+// SetLatencySampler implements engine.LatencySampled (see the lat field).
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) { en.lat = ls }
 
 // Switches returns how many strategy switches have happened.
 func (en *Engine) Switches() uint64 { return en.switches }
@@ -295,12 +303,14 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 		if en.ctrl.Degraded() && e.TS >= en.clock-en.ctrl.NominalK() {
 			en.shedded++
 			en.met.IncShedded()
+			en.lat.Abandon(e.Seq)
 			if en.trace != nil {
 				en.trace.Trace(obsv.TraceEvent{Op: obsv.OpShed, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 			}
 			return out
 		}
 		en.met.IncLate()
+		en.lat.Abandon(e.Seq)
 		if en.trace != nil {
 			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 		}
@@ -313,6 +323,7 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	}
 	en.tailInsert(e)
 	out = en.relay(en.subEngine().Process(e), out)
+	en.lat.StageEnd(e.Seq, obsv.StageConstruct)
 	en.tailTrim()
 	// Degradation watches the meta-engine's total state (replay tail plus
 	// sub-engine); when the limit trips, the clamped effective K pulls the

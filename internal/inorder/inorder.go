@@ -81,6 +81,9 @@ type Engine struct {
 	// trace observes lifecycle steps when non-nil (nil-checked per site).
 	trace     obsv.TraceHook
 	traceName string
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// event spans.
+	lat *obsv.LatencySampler
 	// pending holds full bindings waiting for their negation gaps to close
 	// (only trailing negation ever has to wait under the in-order
 	// assumption; the queue is keyed by seal timestamp).
@@ -203,12 +206,16 @@ func (en *Engine) StateSize() int {
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
 	out := en.processOne(e, nil)
+	en.lat.StageEnd(e.Seq, obsv.StageConstruct)
 	en.met.SetLiveState(en.StateSize())
 	if en.prov {
 		en.met.SetLineageRetained(en.lineageLive, en.lineageBytes)
 	}
 	return out
 }
+
+// SetLatencySampler implements engine.LatencySampled.
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) { en.lat = ls }
 
 // ProcessBatch implements engine.BatchProcessor. The classic engine's
 // clock is the latest arrival's timestamp — it can move backwards — so its
@@ -220,6 +227,7 @@ func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
 	var out []plan.Match
 	for i := range batch {
 		out = en.processOne(batch[i], out)
+		en.lat.StageEnd(batch[i].Seq, obsv.StageConstruct)
 	}
 	en.met.SetLiveState(en.StateSize())
 	if en.prov {

@@ -39,6 +39,14 @@ type Engine struct {
 	adapt     *adaptive.Controller
 	adaptFeed bool
 	shedded   uint64
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// spans. The levee owns the buffer-residency stage: admitted events
+	// are Held (so the facade's unconditional Finish cannot close a span
+	// still sitting in the reorder buffer) and FinishHeld at release,
+	// after the inner engine has processed them. The sampler is NOT
+	// forwarded to the inner engine — the levee stamps StageConstruct
+	// around the inner batch itself, keeping one stamp per stage.
+	lat *obsv.LatencySampler
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -59,6 +67,9 @@ func NewAdaptiveEngine(ctrl *adaptive.Controller, feed bool, inner engine.Engine
 
 // Name implements engine.Engine.
 func (en *Engine) Name() string { return "kslack" }
+
+// SetLatencySampler implements engine.LatencySampled (see the lat field).
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) { en.lat = ls }
 
 // Observe implements engine.Observable. The series and hook bind to the
 // levee itself: the inner engine's ingestion view is delayed by K, so the
@@ -181,10 +192,12 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 	if e.TS > en.clock {
 		en.clock = e.TS
 	}
+	en.lat.Hold(e.Seq)
 	before := en.buf.Dropped()
 	released := en.buf.Push(e)
 	if en.buf.Dropped() > before {
 		en.met.IncLate()
+		en.lat.Abandon(e.Seq)
 		if en.trace != nil {
 			en.trace.Trace(obsv.TraceEvent{Op: obsv.OpDrop, Engine: en.traceName, Type: e.Type, TS: e.TS, Seq: e.Seq})
 		}
@@ -201,6 +214,7 @@ func (en *Engine) processOne(e event.Event, out []plan.Match) []plan.Match {
 			for _, shed := range en.buf.ShedOldest(limit) {
 				en.shedded++
 				en.met.IncShedded()
+				en.lat.Abandon(shed.Seq)
 				if en.trace != nil {
 					en.trace.Trace(obsv.TraceEvent{Op: obsv.OpShed, Engine: en.traceName, Type: shed.Type, TS: shed.TS, Seq: shed.Seq})
 				}
@@ -253,7 +267,22 @@ func (en *Engine) feedInto(released []event.Event, out []plan.Match) []plan.Matc
 	if len(released) == 0 {
 		return out
 	}
-	return append(out, en.restamp(engine.ProcessBatch(en.inner, released))...)
+	// Stage accounting for the released run: close each span's buffer
+	// residency at release, attribute the inner batch to construction,
+	// and close the (held) spans once their matches are restamped. Every
+	// call is a one-branch no-op for unsampled seqs or a nil sampler.
+	for i := range released {
+		en.lat.StageEnd(released[i].Seq, obsv.StageBuffer)
+	}
+	ms := engine.ProcessBatch(en.inner, released)
+	for i := range released {
+		en.lat.StageEnd(released[i].Seq, obsv.StageConstruct)
+	}
+	out = append(out, en.restamp(ms)...)
+	for i := range released {
+		en.lat.FinishHeld(released[i].Seq)
+	}
+	return out
 }
 
 // restamp rewrites emission metadata to the outer clock so latency reflects

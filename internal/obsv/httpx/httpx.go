@@ -2,9 +2,10 @@
 // Prometheus text exposition of a Registry on /metrics, a JSON state
 // document on /varz, a liveness probe on /healthz, the flight recorder's
 // recent trace on /debug/flight (text, or JSON Lines with ?format=json),
-// a live engine-state snapshot on /debug/state, and the standard pprof
-// profiles under /debug/pprof/. The CLIs mount it behind their -listen
-// flag; it has no dependencies beyond the standard library.
+// a live engine-state snapshot on /debug/state, the wall-clock latency
+// attribution digest on /debug/latency, and the standard pprof profiles
+// under /debug/pprof/. The CLIs mount it behind their -listen flag; it has
+// no dependencies beyond the standard library.
 package httpx
 
 import (
@@ -13,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"reflect"
 	"time"
 
 	"oostream/internal/obsv"
@@ -22,9 +24,10 @@ import (
 // disables /debug/flight with a 404 explanation instead of a handler.
 // state, when non-nil, is polled by /debug/state for a JSON-encodable
 // live-state document (typically a *provenance.StateSnapshot published by
-// the processing loop); a nil state func — or a state func returning a
-// nil document — leaves /debug/state answering 404.
-func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder, state func() any) *http.ServeMux {
+// the processing loop); latency, when non-nil, is polled the same way by
+// /debug/latency (typically a *obsv.LatencyReport). A nil func — or a
+// func returning a nil document — leaves its endpoint answering 404.
+func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder, state, latency func() any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -56,21 +59,27 @@ func NewMux(reg *obsv.Registry, flight *obsv.FlightRecorder, state func() any) *
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = flight.WriteTo(w)
 	})
-	mux.HandleFunc("/debug/state", func(w http.ResponseWriter, r *http.Request) {
-		if state == nil {
-			http.Error(w, "state snapshots not enabled", http.StatusNotFound)
-			return
-		}
-		doc := state()
-		if doc == nil {
-			http.Error(w, "no state snapshot published yet", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(doc)
-	})
+	serveDoc := func(pattern, missing string, poll func() any) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if poll == nil {
+				http.Error(w, missing+" not enabled", http.StatusNotFound)
+				return
+			}
+			doc := poll()
+			// A typed-nil pointer inside the any is still "no document":
+			// encode it and a bare "null" would read as an empty report.
+			if doc == nil || reflect.ValueOf(doc).Kind() == reflect.Pointer && reflect.ValueOf(doc).IsNil() {
+				http.Error(w, "no "+missing+" published yet", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(doc)
+		})
+	}
+	serveDoc("/debug/state", "state snapshot", state)
+	serveDoc("/debug/latency", "latency report", latency)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -88,14 +97,14 @@ type Server struct {
 // Listen binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
 // observability mux on it in a background goroutine. The returned Server
 // reports the bound address (useful with port 0) and is closed with Close.
-// flight and state are forwarded to NewMux; both may be nil.
-func Listen(addr string, reg *obsv.Registry, flight *obsv.FlightRecorder, state func() any) (*Server, error) {
+// flight, state, and latency are forwarded to NewMux; all may be nil.
+func Listen(addr string, reg *obsv.Registry, flight *obsv.FlightRecorder, state, latency func() any) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("observability listener: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           NewMux(reg, flight, state),
+		Handler:           NewMux(reg, flight, state, latency),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

@@ -32,7 +32,7 @@ func TestServerEndpoints(t *testing.T) {
 	flight := obsv.NewFlightRecorder(8)
 	flight.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: "native", TS: 42})
 
-	srv, err := Listen("127.0.0.1:0", reg, flight, nil)
+	srv, err := Listen("127.0.0.1:0", reg, flight, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestServerEndpoints(t *testing.T) {
 }
 
 func TestFlightDisabled(t *testing.T) {
-	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, nil)
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,12 +81,15 @@ func TestFlightDisabled(t *testing.T) {
 	if code, _ := get(t, base+"/debug/state"); code != http.StatusNotFound {
 		t.Fatalf("state should 404 when disabled, got %d", code)
 	}
+	if code, _ := get(t, base+"/debug/latency"); code != http.StatusNotFound {
+		t.Fatalf("latency should 404 when disabled, got %d", code)
+	}
 }
 
 func TestFlightJSONFormat(t *testing.T) {
 	flight := obsv.NewFlightRecorder(8)
 	flight.Trace(obsv.TraceEvent{Op: obsv.OpEmit, Engine: "native", TS: 42, N: 3, Match: "1|2|3"})
-	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), flight, nil)
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), flight, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +110,7 @@ func TestFlightJSONFormat(t *testing.T) {
 func TestStateEndpoint(t *testing.T) {
 	var doc any
 	state := func() any { return doc }
-	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, state)
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, state, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,5 +132,40 @@ func TestStateEndpoint(t *testing.T) {
 	}
 	if got["engine"] != "native" {
 		t.Fatalf("state round-trip mismatch: %v", got)
+	}
+}
+
+func TestLatencyEndpoint(t *testing.T) {
+	// The poll func returns a typed-nil *LatencyReport inside the any until
+	// the first publication — the handler must treat that as 404, not
+	// serve "null".
+	var report *obsv.LatencyReport
+	latency := func() any { return report }
+	srv, err := Listen("127.0.0.1:0", obsv.NewRegistry(), nil, nil, latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, _ := get(t, base+"/debug/latency"); code != http.StatusNotFound {
+		t.Fatalf("latency should 404 before first publication, got %d", code)
+	}
+	report = &obsv.LatencyReport{
+		SampleEvery:  256,
+		SpansSampled: 12,
+		Wall:         obsv.HistSummary{Count: 12, P95Us: 340},
+		Stages:       map[string]obsv.HistSummary{"construct": {Count: 12, P95Us: 200}},
+	}
+	code, body := get(t, base+"/debug/latency")
+	if code != 200 {
+		t.Fatalf("latency status %d: %s", code, body)
+	}
+	var got obsv.LatencyReport
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("latency not JSON: %v\n%s", err, body)
+	}
+	if got.SampleEvery != 256 || got.Wall.P95Us != 340 || got.Stages["construct"].Count != 12 {
+		t.Fatalf("latency round-trip mismatch: %+v", got)
 	}
 }

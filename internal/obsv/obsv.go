@@ -194,6 +194,24 @@ type Series struct {
 	LogicalLat   Hist
 	ArrivalLat   Hist
 	WatermarkLag Hist
+
+	// Wall-clock latency attribution (latency.go). WallLat is end-to-end
+	// wall latency (µs) of sampled spans; StageLat decomposes it by
+	// pipeline stage. SpansSampled/SpansAbandoned/SpansDropped account the
+	// sampler's span lifecycle.
+	WallLat        Hist
+	StageLat       [NumStages]Hist
+	SpansSampled   Counter
+	SpansAbandoned Counter
+	SpansDropped   Counter
+
+	// Backpressure instruments (useful with sampling off): QueueDepth
+	// gauges live ring/feed occupancy; BlockedPushes counts producer
+	// pushes that had to park on a full ring; FullRejects counts TryPush
+	// rejections.
+	QueueDepth    Gauge
+	BlockedPushes Counter
+	FullRejects   Counter
 }
 
 // NewSeries creates an unregistered series (engines own one by default;
@@ -210,6 +228,7 @@ type Registry struct {
 	named map[string]*Series
 	order []string
 	varz  map[string]func() any
+	prom  []func(io.Writer) error
 }
 
 // NewRegistry creates an empty registry.
@@ -284,6 +303,15 @@ func (r *Registry) RegisterVarz(name string, fn func() any) {
 	r.varz[name] = fn
 }
 
+// RegisterPrometheus appends an extra exposition block to WritePrometheus
+// output — metric families that are not per-series instruments (the SLO
+// burn-rate windows, for example).
+func (r *Registry) RegisterPrometheus(fn func(io.Writer) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prom = append(r.prom, fn)
+}
+
 // Varz returns the JSON-ready snapshot document: one entry per series
 // (counter map) plus every registered provider's value.
 func (r *Registry) Varz() map[string]any {
@@ -313,6 +341,7 @@ func (r *Registry) Varz() map[string]any {
 func (s *Series) varz() map[string]any {
 	lag := s.WatermarkLag.View()
 	lat := s.LogicalLat.View()
+	wall := s.WallLat.View()
 	return map[string]any{
 		"events_in":             s.EventsIn.Load(),
 		"events_ooo":            s.EventsOOO.Load(),
@@ -355,6 +384,17 @@ func (s *Series) varz() map[string]any {
 		"watermark_lag_max_ms":  lag.Max,
 		"latency_mean_ms":       lat.Mean(),
 		"latency_max_ms":        lat.Max,
+		"spans_sampled":         s.SpansSampled.Load(),
+		"spans_abandoned":       s.SpansAbandoned.Load(),
+		"spans_dropped":         s.SpansDropped.Load(),
+		"wall_latency_count":    wall.Count,
+		"wall_latency_mean_us":  wall.Mean(),
+		"wall_latency_p95_us":   wall.Quantile(0.95),
+		"wall_latency_max_us":   wall.Max,
+		"queue_depth":           s.QueueDepth.Load(),
+		"queue_depth_peak":      s.QueueDepth.Peak(),
+		"blocked_pushes":        s.BlockedPushes.Load(),
+		"full_rejects":          s.FullRejects.Load(),
 	}
 }
 
@@ -389,6 +429,11 @@ var promCounters = []struct {
 	{"oostream_agg_revisions_total", "Speculative aggregate revisions (retract+insert pairs)", func(s *Series) uint64 { return s.AggRevisions.Load() }},
 	{"oostream_agg_inserts_total", "Elements inserted into the aggregation tree", func(s *Series) uint64 { return s.AggInserts.Load() }},
 	{"oostream_agg_finger_hits_total", "Aggregation-tree inserts that landed in a finger leaf", func(s *Series) uint64 { return s.AggFingerHits.Load() }},
+	{"oostream_spans_sampled_total", "Wall-latency spans opened by the sampler", func(s *Series) uint64 { return s.SpansSampled.Load() }},
+	{"oostream_spans_abandoned_total", "Wall-latency spans abandoned (dropped/shed events)", func(s *Series) uint64 { return s.SpansAbandoned.Load() }},
+	{"oostream_spans_dropped_total", "Wall-latency spans dropped at open (slot table full)", func(s *Series) uint64 { return s.SpansDropped.Load() }},
+	{"oostream_ring_blocked_pushes_total", "Producer pushes that parked on a full ring", func(s *Series) uint64 { return s.BlockedPushes.Load() }},
+	{"oostream_ring_full_rejects_total", "Non-blocking ring pushes rejected because the ring was full", func(s *Series) uint64 { return s.FullRejects.Load() }},
 }
 
 // promGauges maps Prometheus gauge names to series gauges.
@@ -410,6 +455,8 @@ var promGauges = []struct {
 	{"oostream_degraded", "1 while overload degradation is shedding events", func(s *Series) int64 { return s.Degraded.Load() }},
 	{"oostream_agg_tree_height", "Tallest live aggregation tree across groups", func(s *Series) int64 { return s.AggTreeHeight.Load() }},
 	{"oostream_agg_elements", "Live aggregation-tree elements across all groups", func(s *Series) int64 { return s.AggElements.Load() }},
+	{"oostream_queue_depth", "Live ring/feed occupancy (events waiting for a consumer)", func(s *Series) int64 { return s.QueueDepth.Load() }},
+	{"oostream_queue_depth_peak", "Peak of oostream_queue_depth", func(s *Series) int64 { return s.QueueDepth.Peak() }},
 }
 
 // promHists maps Prometheus histogram names to series histograms.
@@ -455,7 +502,63 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range snaps {
-			if err := writePromHist(w, h.metric, s.Name(), h.view(s)); err != nil {
+			if err := writePromHist(w, h.metric, s.Name(), "", h.view(s)); err != nil {
+				return err
+			}
+		}
+	}
+	// Wall-clock latency families render only for series the sampler
+	// populated: with sampling off they would be all-zero noise on every
+	// engine.
+	if err := writeWallHists(w, snaps); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	extras := append([]func(io.Writer) error(nil), r.prom...)
+	r.mu.RUnlock()
+	for _, fn := range extras {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeWallHists renders the sampled wall/stage histograms, skipping
+// series with no observations.
+func writeWallHists(w io.Writer, snaps []*Series) error {
+	const wallMetric = "oostream_wall_latency_us"
+	wroteHelp := false
+	for _, s := range snaps {
+		v := s.WallLat.View()
+		if v.Count == 0 {
+			continue
+		}
+		if !wroteHelp {
+			if _, err := fmt.Fprintf(w, "# HELP %s End-to-end wall-clock latency of sampled events\n# TYPE %s histogram\n", wallMetric, wallMetric); err != nil {
+				return err
+			}
+			wroteHelp = true
+		}
+		if err := writePromHist(w, wallMetric, s.Name(), "", v); err != nil {
+			return err
+		}
+	}
+	const stageMetric = "oostream_stage_latency_us"
+	wroteHelp = false
+	for _, s := range snaps {
+		for st := Stage(0); st < NumStages; st++ {
+			v := s.StageLat[st].View()
+			if v.Count == 0 {
+				continue
+			}
+			if !wroteHelp {
+				if _, err := fmt.Fprintf(w, "# HELP %s Per-stage wall-clock latency of sampled events\n# TYPE %s histogram\n", stageMetric, stageMetric); err != nil {
+					return err
+				}
+				wroteHelp = true
+			}
+			if err := writePromHist(w, stageMetric, s.Name(), st.String(), v); err != nil {
 				return err
 			}
 		}
@@ -465,23 +568,43 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // writePromHist renders one histogram in cumulative le-bucket form. The
 // power-of-two layout maps bucket i to le = 2^i − 1; empty high buckets
-// past the max observation collapse into +Inf.
-func writePromHist(w io.Writer, metric, engine string, v HistView) error {
+// past the max observation collapse into +Inf. stage, when non-empty,
+// adds a stage label (the per-stage wall-latency family).
+//
+// Edge cases this guards deliberately (see obsv_test.go):
+//   - an empty histogram renders one le="0" bucket and zero counts —
+//     still a well-formed family, never skipped mid-series;
+//   - the max bucket (bit length 64) relies on Go shift semantics:
+//     1<<64 on uint64 is 0, so le = 0−1 = MaxUint64 — exactly bucket
+//     64's true inclusive upper bound, not an accident to "fix";
+//   - the +Inf cumulative count must agree with _count, but a scrape
+//     racing the writer can observe a bucket increment before the count
+//     increment; render the max of the two so cumulative buckets are
+//     monotone as Prometheus requires.
+func writePromHist(w io.Writer, metric, engine, stage string, v HistView) error {
+	labels := fmt.Sprintf("engine=%q", engine)
+	if stage != "" {
+		labels = fmt.Sprintf("engine=%q,stage=%q", engine, stage)
+	}
 	top := bits.Len64(v.Max)
 	var cum uint64
 	for i := 0; i <= top; i++ {
 		cum += v.Buckets[i]
 		le := uint64(1)<<uint(i) - 1
-		if _, err := fmt.Fprintf(w, "%s_bucket{engine=%q,le=\"%d\"} %d\n", metric, engine, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", metric, labels, le, cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{engine=%q,le=\"+Inf\"} %d\n", metric, engine, v.Count); err != nil {
+	inf := v.Count
+	if cum > inf {
+		inf = cum
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", metric, labels, inf); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum{engine=%q} %d\n", metric, engine, v.Sum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n", metric, labels, v.Sum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count{engine=%q} %d\n", metric, engine, v.Count)
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", metric, labels, inf)
 	return err
 }

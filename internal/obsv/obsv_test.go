@@ -126,6 +126,100 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePromHistEdgeCases pins the histogram-rendering corners the
+// writePromHist doc comment names: an empty series stays a well-formed
+// family, the bit-length-64 bucket's upper bound survives the deliberate
+// shift wraparound, and the +Inf cumulative count agrees with _count even
+// when a scrape races the writer mid-observation.
+func TestWritePromHistEdgeCases(t *testing.T) {
+	maxBucket := HistView{Count: 1, Sum: 18446744073709551615, Max: 18446744073709551615}
+	maxBucket.Buckets[64] = 1
+	racing := HistView{Count: 1, Max: 3} // bucket landed, count increment not yet visible
+	racing.Buckets[2] = 2
+
+	cases := []struct {
+		name string
+		view HistView
+		want []string
+	}{
+		{"empty", HistView{}, []string{
+			`m_bucket{engine="e",le="0"} 0`,
+			`m_bucket{engine="e",le="+Inf"} 0`,
+			`m_sum{engine="e"} 0`,
+			`m_count{engine="e"} 0`,
+		}},
+		{"max-bucket", maxBucket, []string{
+			`m_bucket{engine="e",le="18446744073709551615"} 1`,
+			`m_bucket{engine="e",le="+Inf"} 1`,
+			`m_count{engine="e"} 1`,
+		}},
+		{"racing-scrape", racing, []string{
+			// Buckets sum to 2 but Count reads 1: +Inf and _count must
+			// render the max of the two so cumulative buckets stay monotone.
+			`m_bucket{engine="e",le="3"} 2`,
+			`m_bucket{engine="e",le="+Inf"} 2`,
+			`m_count{engine="e"} 2`,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := writePromHist(&b, "m", "e", "", tc.view); err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("missing %q\n%s", want, out)
+				}
+			}
+		})
+	}
+
+	// Stage-labelled form: both labels render.
+	var b strings.Builder
+	v := HistView{Count: 1, Sum: 4, Max: 4}
+	v.Buckets[3] = 1
+	if err := writePromHist(&b, "oostream_stage_latency_us", "latency", "construct", v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `oostream_stage_latency_us_bucket{engine="latency",stage="construct",le="7"} 1`) {
+		t.Errorf("stage label missing\n%s", b.String())
+	}
+}
+
+// TestWritePrometheusSkipsEmptyWallFamilies checks the wall/stage families
+// render only for series the sampler populated — an unsampled engine adds
+// no all-zero noise — and appear once populated.
+func TestWritePrometheusSkipsEmptyWallFamilies(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("native")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "oostream_wall_latency_us") ||
+		strings.Contains(b.String(), "oostream_stage_latency_us") {
+		t.Fatalf("wall families rendered with no observations\n%s", b.String())
+	}
+
+	s.WallLat.Observe(12)
+	s.StageLat[StageConstruct].Observe(12)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE oostream_wall_latency_us histogram",
+		`oostream_wall_latency_us_count{engine="native"} 1`,
+		`oostream_stage_latency_us_bucket{engine="native",stage="construct",le="15"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q\n%s", want, b.String())
+		}
+	}
+}
+
 func TestVarz(t *testing.T) {
 	r := NewRegistry()
 	s := r.Series("native")

@@ -1,0 +1,206 @@
+// SLO burn-rate tracking over the sampled wall-clock latency: every
+// completed span is classified good (wall ≤ objective) or bad, counted
+// into a ring of per-second buckets, and read back as good/bad ratios
+// over multiple rolling windows — the multi-window burn-rate alerting
+// shape (a short window catches fast burns, a long window slow ones).
+//
+// The tracker is single-allocation and lock-free: writers touch one
+// bucket with atomic adds; an expired bucket is recycled by an epoch CAS
+// whose winner clears the counts. A scrape racing a recycle can misread
+// one second's worth of counts — tolerated, like every other instrument
+// in this package.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Default SLO windows: the classic fast/mid/slow burn triple.
+var defaultSLOWindows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+
+// SLOConfig configures a tracker.
+type SLOConfig struct {
+	// Objective is the per-event wall-latency objective: a sampled event
+	// finishing within it is good.
+	Objective time.Duration
+	// Target is the fraction of events that must be good (e.g. 0.99).
+	// Burn rate normalizes against the error budget 1 − Target: burn 1.0
+	// consumes the budget exactly at the sustainable rate.
+	Target float64
+	// Windows are the rolling windows to report; nil selects 1m/5m/30m.
+	Windows []time.Duration
+}
+
+// sloBucket is one second of good/bad counts. epoch is the absolute
+// second the counts belong to; a writer landing in a bucket with a stale
+// epoch recycles it (CAS winner clears).
+type sloBucket struct {
+	epoch atomic.Int64
+	good  atomic.Uint64
+	bad   atomic.Uint64
+}
+
+// SLOTracker classifies wall-latency observations against an objective
+// and serves rolling good/bad windows.
+type SLOTracker struct {
+	objectiveNs int64
+	target      float64
+	windows     []time.Duration
+	buckets     []sloBucket
+	// now returns nanoseconds on the span clock; a variable so tests can
+	// march time deterministically.
+	now func() int64
+}
+
+// NewSLOTracker builds a tracker. Objective must be positive; Target is
+// clamped into [0, 1).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	if cfg.Objective <= 0 {
+		return nil
+	}
+	if cfg.Target < 0 {
+		cfg.Target = 0
+	}
+	if cfg.Target >= 1 {
+		cfg.Target = 0.999
+	}
+	windows := cfg.Windows
+	if len(windows) == 0 {
+		windows = defaultSLOWindows
+	}
+	maxSec := int64(1)
+	for _, w := range windows {
+		if s := int64(w / time.Second); s > maxSec {
+			maxSec = s
+		}
+	}
+	return &SLOTracker{
+		objectiveNs: int64(cfg.Objective),
+		target:      cfg.Target,
+		windows:     windows,
+		// One spare bucket so the oldest in-window second is never the one
+		// being recycled by the current second's writer.
+		buckets: make([]sloBucket, maxSec+1),
+		now:     func() int64 { return nowNanos() },
+	}
+}
+
+// Objective returns the configured latency objective.
+func (t *SLOTracker) Objective() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.objectiveNs)
+}
+
+// Observe classifies one completed span's wall time. Nil-safe.
+func (t *SLOTracker) Observe(wallNs int64) {
+	if t == nil {
+		return
+	}
+	sec := t.now() / int64(time.Second)
+	b := &t.buckets[sec%int64(len(t.buckets))]
+	if e := b.epoch.Load(); e != sec {
+		if b.epoch.CompareAndSwap(e, sec) {
+			b.good.Store(0)
+			b.bad.Store(0)
+		}
+	}
+	if wallNs <= t.objectiveNs {
+		b.good.Add(1)
+	} else {
+		b.bad.Add(1)
+	}
+}
+
+// SLOWindow is one rolling window's state.
+type SLOWindow struct {
+	// Window is the window length, rendered ("1m0s" → formatted short).
+	Window string `json:"window"`
+	// Good/Bad count sampled events inside the window.
+	Good uint64 `json:"good"`
+	Bad  uint64 `json:"bad"`
+	// GoodRatio is Good/(Good+Bad); 1 with no observations.
+	GoodRatio float64 `json:"goodRatio"`
+	// BurnRate is (1 − GoodRatio)/(1 − Target): the rate the error budget
+	// is being consumed, 1.0 = exactly sustainable.
+	BurnRate float64 `json:"burnRate"`
+}
+
+// SLOSnapshot is the JSON-ready tracker state.
+type SLOSnapshot struct {
+	ObjectiveMs float64     `json:"objectiveMs"`
+	Target      float64     `json:"target"`
+	Windows     []SLOWindow `json:"windows"`
+}
+
+// fmtWindow renders a window compactly ("1m", "5m", "30m", "90s").
+func fmtWindow(d time.Duration) string {
+	if d%time.Minute == 0 {
+		return fmt.Sprintf("%dm", int64(d/time.Minute))
+	}
+	return fmt.Sprintf("%ds", int64(d/time.Second))
+}
+
+// Snapshot reads every configured window. Nil-safe.
+func (t *SLOTracker) Snapshot() *SLOSnapshot {
+	if t == nil {
+		return nil
+	}
+	nowSec := t.now() / int64(time.Second)
+	snap := &SLOSnapshot{
+		ObjectiveMs: float64(t.objectiveNs) / 1e6,
+		Target:      t.target,
+	}
+	for _, w := range t.windows {
+		winSec := int64(w / time.Second)
+		if winSec < 1 {
+			winSec = 1
+		}
+		var good, bad uint64
+		for i := range t.buckets {
+			b := &t.buckets[i]
+			e := b.epoch.Load()
+			if e > nowSec-winSec && e <= nowSec {
+				good += b.good.Load()
+				bad += b.bad.Load()
+			}
+		}
+		sw := SLOWindow{Window: fmtWindow(w), Good: good, Bad: bad, GoodRatio: 1}
+		if total := good + bad; total > 0 {
+			sw.GoodRatio = float64(good) / float64(total)
+		}
+		sw.BurnRate = (1 - sw.GoodRatio) / (1 - t.target)
+		snap.Windows = append(snap.Windows, sw)
+	}
+	return snap
+}
+
+// WritePrometheus renders the tracker's windows as gauges under the given
+// engine label, for Registry.RegisterPrometheus.
+func (t *SLOTracker) WritePrometheus(w io.Writer, engine string) error {
+	if t == nil {
+		return nil
+	}
+	snap := t.Snapshot()
+	if _, err := fmt.Fprintf(w, "# HELP oostream_slo_burn_rate Error-budget burn rate over a rolling window (1.0 = sustainable)\n# TYPE oostream_slo_burn_rate gauge\n"); err != nil {
+		return err
+	}
+	for _, win := range snap.Windows {
+		if _, err := fmt.Fprintf(w, "oostream_slo_burn_rate{engine=%q,window=%q} %g\n", engine, win.Window, win.BurnRate); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP oostream_slo_good_ratio Fraction of sampled events meeting the latency objective\n# TYPE oostream_slo_good_ratio gauge\n"); err != nil {
+		return err
+	}
+	for _, win := range snap.Windows {
+		if _, err := fmt.Fprintf(w, "oostream_slo_good_ratio{engine=%q,window=%q} %g\n", engine, win.Window, win.GoodRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}

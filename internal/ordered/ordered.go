@@ -67,6 +67,13 @@ func (en *Engine) Observe(s *obsv.Series, hook obsv.TraceHook) {
 	}
 }
 
+// SetLatencySampler implements engine.LatencySampled by delegating to the
+// inner engine (the wrapper adds no stage boundary of its own; the time a
+// match waits in the order buffer is match latency, not event latency).
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) {
+	engine.SetLatencySampler(en.inner, ls)
+}
+
 // EnableProvenance implements engine.Provenancer by delegating to the
 // inner engine; released matches carry the records it attached.
 func (en *Engine) EnableProvenance() {

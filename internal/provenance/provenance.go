@@ -5,11 +5,11 @@
 // engine state snapshots (per-position stack depths, heaviest key groups,
 // negation-store sizes, buffer occupancy, clocks, purge frontier).
 //
-// The package sits below every engine: it imports only internal/event, so
-// plan.Match can carry a *Record and internal/engine can expose snapshot
-// interfaces without import cycles. Engines build records only when
-// provenance is enabled (Config.Provenance); the disabled path constructs
-// nothing.
+// The package sits below every engine: it imports only internal/event and
+// internal/obsv (both leaf packages), so plan.Match can carry a *Record
+// and internal/engine can expose snapshot interfaces without import
+// cycles. Engines build records only when provenance is enabled
+// (Config.Provenance); the disabled path constructs nothing.
 package provenance
 
 import (
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"oostream/internal/event"
+	"oostream/internal/obsv"
 )
 
 // Record kinds, mirroring plan.MatchKind as strings so the record is
@@ -242,6 +243,9 @@ type StateSnapshot struct {
 	// Adaptive reports the disorder controller's state when the engine runs
 	// with dynamic K, SLO-driven switching, or overload degradation.
 	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
+	// Latency is the sampled wall-clock latency attribution digest, set by
+	// the facade when Config.Latency is enabled.
+	Latency *obsv.LatencyReport `json:"latency,omitempty"`
 	// Inner is the wrapped engine's snapshot (kslack's in-order engine).
 	Inner *StateSnapshot `json:"inner,omitempty"`
 	// Shards holds per-shard snapshots for partitioned engines; the parent

@@ -69,6 +69,10 @@ type Options struct {
 	// RestoreEngine rebuilds an inner engine from its checkpoint blob.
 	// Only required by Restore.
 	RestoreEngine func(id string, p *plan.Plan, r io.Reader) (engine.Engine, error)
+	// QuerySeries resolves a registered query's observability series, used
+	// to attribute per-query construct time when a latency sampler is
+	// installed. Optional; nil keeps attribution on the shared series only.
+	QuerySeries func(id string) *obsv.Series
 }
 
 // Set is the multi-query runtime. It implements the internal engine
@@ -91,6 +95,11 @@ type Set struct {
 	sealed       bool
 	prov         bool
 	met          metrics.Collector
+	// lat, when non-nil, stamps shared-buffer residency and per-query
+	// construct segments on sampled spans. Inner engines never see the
+	// sampler: they run at K=0 on the sorted stream, so the Set's own
+	// boundaries are the only meaningful ones.
+	lat *obsv.LatencySampler
 }
 
 // dispatch is one (event type → query) index entry.
@@ -109,6 +118,9 @@ type queryState struct {
 	reg uint64 // registration sequence, monotone per Set
 	p   *plan.Plan
 	en  engine.Engine
+	// series receives this query's construct-stage attribution (resolved
+	// via Options.QuerySeries; nil when unconfigured).
+	series *obsv.Series
 
 	// Prefix gate: the last timestamp the first positive component type
 	// was seen, per key group (keyAttr != "") or globally. An event opens
@@ -175,6 +187,9 @@ func (s *Set) attach(q *queryState) {
 	s.nextReg++
 	q.reg = s.nextReg
 	q.keyAttr = q.p.PartitionKey
+	if s.opts.QuerySeries != nil {
+		q.series = s.opts.QuerySeries(q.id)
+	}
 	if q.keyAttr != "" {
 		q.gateByKey = make(map[event.Value]event.Time)
 	}
@@ -334,9 +349,11 @@ func (s *Set) process(e event.Event, out *[]plan.Match) {
 		lag = maxSeen - e.TS
 	}
 	s.met.IncIn(ooo, lag)
+	s.lat.Hold(e.Seq)
 	released := s.buf.Push(e)
 	if d := s.buf.Dropped(); d != s.lastDropped {
 		s.lastDropped = d
+		s.lat.Abandon(e.Seq)
 		s.met.IncLate()
 		s.met.IncDropped()
 		return
@@ -358,6 +375,11 @@ func (s *Set) process(e event.Event, out *[]plan.Match) {
 // index. Inner engines run at K=0 and never see disorder, so no per-query
 // clock synchronization is needed before Process.
 func (s *Set) dispatch(e event.Event, out *[]plan.Match) {
+	// Release closes the buffer stage; each query's Process closes a
+	// construct segment mirrored into that query's own series; FinishHeld
+	// seals the span here at dispatch end (the residual send time after the
+	// Set returns is not observable from inside it).
+	s.lat.StageEnd(e.Seq, obsv.StageBuffer)
 	ds := s.index[e.Type]
 	if len(ds) == 0 {
 		s.met.IncIrrelevant()
@@ -373,8 +395,10 @@ func (s *Set) dispatch(e event.Event, out *[]plan.Match) {
 		}
 		q.dispatched++
 		s.tag(q, q.en.Process(e), out)
+		s.lat.StageInto(q.series, e.Seq, obsv.StageConstruct)
 	}
 	s.sinceAdvance++
+	s.lat.FinishHeld(e.Seq)
 }
 
 // openGate records a first-component occurrence for the event's key group.
@@ -501,6 +525,13 @@ func (s *Set) StateSize() int {
 func (s *Set) Observe(series *obsv.Series, _ obsv.TraceHook) {
 	s.met.Bind(series)
 }
+
+// SetLatencySampler implements engine.LatencySampled. The sampler is not
+// forwarded to inner engines: the Set owns the buffer and construct
+// boundaries (inner engines run at K=0 on the sorted stream and add no
+// further buffering), and per-query construct segments are mirrored into
+// the series resolved by Options.QuerySeries.
+func (s *Set) SetLatencySampler(ls *obsv.LatencySampler) { s.lat = ls }
 
 // EnableProvenance implements engine.Provenancer: lineage construction is
 // turned on for every registered engine and every future registration.

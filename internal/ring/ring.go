@@ -43,6 +43,44 @@ type Queue[T any] struct {
 	// so a dropped token (channel already full) is never a lost update.
 	notEmpty chan struct{}
 	notFull  chan struct{}
+
+	// Backpressure accounting. full counts TryPush rejections on a full
+	// ring; blocked counts Push calls that had to park at least once
+	// before enqueueing (one per call, not per wakeup, so the counter
+	// reads as "producer stalls").
+	full    atomic.Uint64
+	blocked atomic.Uint64
+}
+
+// Stats is a point-in-time view of the queue's backpressure counters and
+// occupancy.
+type Stats struct {
+	// Len/Cap are instantaneous occupancy and capacity.
+	Len, Cap int
+	// Pushes/Pops are cumulative successful enqueues and dequeues.
+	Pushes, Pops uint64
+	// FullRejects counts TryPush calls rejected on a full ring.
+	FullRejects uint64
+	// BlockedPushes counts Push calls that parked before enqueueing.
+	BlockedPushes uint64
+}
+
+// Stats reads the queue's counters. Loads are individually atomic, not
+// mutually consistent — a monitoring view, like Len.
+func (q *Queue[T]) Stats() Stats {
+	enq, deq := q.enqPos.Load(), q.deqPos.Load()
+	n := int64(enq) - int64(deq)
+	if n < 0 {
+		n = 0
+	}
+	return Stats{
+		Len:           int(n),
+		Cap:           len(q.cells),
+		Pushes:        enq,
+		Pops:          deq,
+		FullRejects:   q.full.Load(),
+		BlockedPushes: q.blocked.Load(),
+	}
 }
 
 // New builds a queue with at least the requested capacity (rounded up to a
@@ -104,6 +142,7 @@ func (q *Queue[T]) TryPush(v T) bool {
 			}
 		case dif < 0:
 			// The consumer has not yet freed this cell: full.
+			q.full.Add(1)
 			return false
 		default:
 			// Another producer claimed pos between our loads; retry.
@@ -114,12 +153,17 @@ func (q *Queue[T]) TryPush(v T) bool {
 // Push blocks until v is enqueued, the queue is closed, or done is closed
 // (nil done never fires). Returns false when the value was NOT enqueued.
 func (q *Queue[T]) Push(v T, done <-chan struct{}) bool {
+	parked := false
 	for {
 		if q.closed.Load() {
 			return false
 		}
 		if q.TryPush(v) {
 			return true
+		}
+		if !parked {
+			parked = true
+			q.blocked.Add(1)
 		}
 		select {
 		case <-q.notFull:

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -174,5 +175,54 @@ func TestPushAbort(t *testing.T) {
 	close(done)
 	if q.Push(3, done) {
 		t.Fatal("Push into full queue with closed done succeeded")
+	}
+}
+
+// TestStatsBackpressureCounters drives the queue through occupancy, a
+// full-ring TryPush rejection, and a parked Push, and checks Stats
+// accounts each: Len/Cap track occupancy, FullRejects counts rejected
+// non-blocking pushes, BlockedPushes counts producer stalls (one per
+// parked call, not per wakeup).
+func TestStatsBackpressureCounters(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d rejected on a non-full ring", i)
+		}
+	}
+	st := q.Stats()
+	if st.Len != 4 || st.Cap != 4 || st.Pushes != 4 || st.Pops != 0 {
+		t.Fatalf("stats after fill = %+v", st)
+	}
+	if q.TryPush(99) {
+		t.Fatal("TryPush succeeded on a full ring")
+	}
+	if got := q.Stats().FullRejects; got != 1 {
+		t.Fatalf("FullRejects = %d, want 1", got)
+	}
+
+	// A blocking Push on the full ring must park, be counted once, and
+	// complete when the consumer frees a slot.
+	pushed := make(chan struct{})
+	go func() {
+		defer close(pushed)
+		if !q.Push(42, nil) {
+			t.Error("parked Push failed")
+		}
+	}()
+	for q.Stats().BlockedPushes == 0 {
+		// Yield until the producer has parked (counted before waiting).
+		runtime.Gosched()
+	}
+	if _, ok := q.TryPop(); !ok {
+		t.Fatal("pop failed on a full ring")
+	}
+	<-pushed
+	st = q.Stats()
+	if st.BlockedPushes != 1 {
+		t.Fatalf("BlockedPushes = %d, want 1", st.BlockedPushes)
+	}
+	if st.Pushes != 5 || st.Pops != 1 || st.Len != 4 {
+		t.Fatalf("stats after unblock = %+v", st)
 	}
 }

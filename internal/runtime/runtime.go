@@ -14,17 +14,29 @@ import (
 
 	"oostream/internal/engine"
 	"oostream/internal/event"
+	"oostream/internal/obsv"
 	"oostream/internal/plan"
 )
 
 // Pipeline drives one engine from an event channel to a match channel.
 type Pipeline struct {
 	engine engine.Engine
+	// lat, when non-nil, opens spans at channel receive and closes them
+	// after the event's matches are sent downstream, so the emit stage
+	// covers output-channel backpressure.
+	lat *obsv.LatencySampler
 }
 
 // NewPipeline wraps an engine.
 func NewPipeline(en engine.Engine) *Pipeline {
 	return &Pipeline{engine: en}
+}
+
+// WithLatency installs a sampler on the pipeline and returns it (chained
+// at construction by the facade's Run entry).
+func (p *Pipeline) WithLatency(ls *obsv.LatencySampler) *Pipeline {
+	p.lat = ls
+	return p
 }
 
 // Run consumes events from in until it is closed or ctx is cancelled,
@@ -41,9 +53,11 @@ func (p *Pipeline) Run(ctx context.Context, in <-chan event.Event, out chan<- pl
 			if !ok {
 				return emitAll(ctx, p.engine.Flush(), out)
 			}
+			p.lat.Begin(e.Seq)
 			if err := emitAll(ctx, p.engine.Process(e), out); err != nil {
 				return err
 			}
+			p.lat.Finish(e.Seq)
 		}
 	}
 }
@@ -65,7 +79,15 @@ func (p *Pipeline) RunBatched(ctx context.Context, in <-chan event.Event, out ch
 		if len(batch) == 0 {
 			return nil
 		}
+		for i := range batch {
+			// Time from channel receive to dispatch is batching linger:
+			// the event sat in the batch waiting for stragglers.
+			p.lat.StageEnd(batch[i].Seq, obsv.StageQueue)
+		}
 		err := emitAll(ctx, engine.ProcessBatch(p.engine, batch), out)
+		for i := range batch {
+			p.lat.Finish(batch[i].Seq)
+		}
 		batch = batch[:0]
 		return err
 	}
@@ -84,6 +106,7 @@ func (p *Pipeline) RunBatched(ctx context.Context, in <-chan event.Event, out ch
 			if !ok {
 				return finish()
 			}
+			p.lat.Begin(e.Seq)
 			batch = append(batch, e)
 		}
 		var deadline <-chan time.Time
@@ -105,6 +128,7 @@ func (p *Pipeline) RunBatched(ctx context.Context, in <-chan event.Event, out ch
 					if !ok {
 						return finish()
 					}
+					p.lat.Begin(e.Seq)
 					batch = append(batch, e)
 				case <-deadline:
 					deadline = nil // fired and drained; don't re-stop below
@@ -116,6 +140,7 @@ func (p *Pipeline) RunBatched(ctx context.Context, in <-chan event.Event, out ch
 					if !ok {
 						return finish()
 					}
+					p.lat.Begin(e.Seq)
 					batch = append(batch, e)
 				default:
 					break fill

@@ -140,6 +140,10 @@ type Supervisor struct {
 	obsSeries *obsv.Series
 	obsHook   obsv.TraceHook
 	traceName string
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// spans (StageWAL around the append and commit barriers). Remembered
+	// like the observability bindings so rebuilds re-forward it.
+	lat *obsv.LatencySampler
 }
 
 // NewSupervisor wraps store and opts. Call Start before processing: it
@@ -231,11 +235,27 @@ func (s *Supervisor) Observe(series *obsv.Series, hook obsv.TraceHook) {
 
 // applyObserve forwards the remembered bindings to the current engine.
 func (s *Supervisor) applyObserve() {
-	if s.en == nil || (s.obsSeries == nil && s.obsHook == nil) {
+	if s.en == nil {
+		return
+	}
+	if s.lat != nil {
+		engine.SetLatencySampler(s.en, s.lat)
+	}
+	if s.obsSeries == nil && s.obsHook == nil {
 		return
 	}
 	if obs, ok := s.en.(engine.Observable); ok {
 		obs.Observe(s.obsSeries, s.obsHook)
+	}
+}
+
+// SetLatencySampler implements engine.LatencySampled: the supervisor owns
+// the WAL stage (append + commit) and forwards the sampler to the inner
+// engine, re-applying it after every restart rebuild.
+func (s *Supervisor) SetLatencySampler(ls *obsv.LatencySampler) {
+	s.lat = ls
+	if s.en != nil {
+		engine.SetLatencySampler(s.en, ls)
 	}
 }
 
@@ -265,7 +285,12 @@ func (s *Supervisor) ProcessE(e event.Event) ([]plan.Match, error) {
 	if err := s.store.Append(e); err != nil {
 		return nil, s.fail(err)
 	}
+	s.lat.StageEnd(e.Seq, obsv.StageWAL)
 	out, panicked, err := s.offer(e, false)
+	// Second WAL stamp: the commit barrier inside offer/emit. The two
+	// stamps sum into one StageWAL total per span; the inner engine's
+	// construction stamp between them keeps the segments disjoint.
+	s.lat.StageEnd(e.Seq, obsv.StageWAL)
 	if err != nil {
 		return nil, s.fail(err)
 	}
@@ -470,6 +495,11 @@ func (s *Supervisor) Close() error {
 // returning the surviving (committed) matches.
 func (s *Supervisor) offer(e event.Event, replaying bool) ([]plan.Match, bool, error) {
 	if !s.admit(e, replaying) {
+		if !replaying {
+			// Admission-rejected (duplicate/late) events leave the pipeline
+			// here; their spans must not skew the wall histogram.
+			s.lat.Abandon(e.Seq)
+		}
 		return nil, false, nil
 	}
 	ms, panicked := s.guardedProcess(e)

@@ -40,6 +40,15 @@ type Parallel struct {
 	// matches' lineage records with its shard index before sending them to
 	// the merge channel (single-goroutine ownership, so no race).
 	prov bool
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// spans: Begin at ring push (router side), StageQueue at consumer
+	// pop, Finish after the batch's matches reach the merge channel. The
+	// slot table is atomic, so the router→consumer handoff is race-free.
+	lat *obsv.LatencySampler
+	// shardSeries, when set, receives per-shard backpressure gauges:
+	// feed-ring occupancy and blocked/full counter deltas, published by
+	// each consumer at batch boundaries.
+	shardSeries []*obsv.Series
 }
 
 // NewParallel wraps per-shard engines for concurrent execution.
@@ -72,6 +81,26 @@ func (p *Parallel) Observe(_ *obsv.Series, hook obsv.TraceHook) {
 		if obs, ok := part.(engine.Observable); ok {
 			obs.Observe(nil, hook)
 		}
+	}
+}
+
+// SetLatencySampler implements engine.LatencySampled: the parallel
+// wrapper owns the queue stage (ring wait) and the span open/close; the
+// per-shard engines stamp their own construction stage.
+func (p *Parallel) SetLatencySampler(ls *obsv.LatencySampler) {
+	p.lat = ls
+	for _, part := range p.parts {
+		engine.SetLatencySampler(part, ls)
+	}
+}
+
+// ObserveShards binds per-shard backpressure series: seriesFor returns the
+// series shard i publishes its feed-ring occupancy (QueueDepth) and
+// blocked-push/full-reject counters into. Must be called before Run.
+func (p *Parallel) ObserveShards(seriesFor func(shard int) *obsv.Series) {
+	p.shardSeries = make([]*obsv.Series, len(p.parts))
+	for i := range p.parts {
+		p.shardSeries[i] = seriesFor(i)
 	}
 }
 
@@ -243,7 +272,15 @@ func (p *Parallel) runLoop(ctx context.Context, out chan<- plan.Match, feeder fu
 	}()
 
 	push := func(shard int, msg shardMsg) bool {
-		return feeds[shard].Push(msg, ctx.Done())
+		// The span opens before the ring push so StageQueue (stamped at
+		// the consumer's pop) covers the full ring wait, backpressure
+		// parking included.
+		p.lat.Begin(msg.ev.Seq)
+		if feeds[shard].Push(msg, ctx.Done()) {
+			return true
+		}
+		p.lat.Abandon(msg.ev.Seq)
+		return false
 	}
 	broadcast := func(msg shardMsg) bool {
 		for _, feed := range feeds {
@@ -310,13 +347,35 @@ func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, fe
 		}
 		return nil
 	}
+	var series *obsv.Series
+	if p.shardSeries != nil {
+		series = p.shardSeries[shard]
+	}
+	var lastStats ring.Stats
+	publishRing := func() {
+		if series == nil {
+			return
+		}
+		st := feed.Stats()
+		series.QueueDepth.Set(int64(st.Len))
+		series.BlockedPushes.Add(st.BlockedPushes - lastStats.BlockedPushes)
+		series.FullRejects.Add(st.FullRejects - lastStats.FullRejects)
+		lastStats = st
+	}
 	batch := make([]event.Event, 0, shardMaxBatch)
 	flushBatch := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
 		err := send(guard(func() []plan.Match { return engine.ProcessBatch(en, batch) }))
+		// Spans close only after the batch's matches reached the merge
+		// channel: the emit stage covers merge-send backpressure. A
+		// buffering part (kslack) holds its spans, making these no-ops.
+		for i := range batch {
+			p.lat.Finish(batch[i].Seq)
+		}
 		batch = batch[:0]
+		publishRing()
 		return err
 	}
 	for {
@@ -329,6 +388,7 @@ func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, fe
 			if err := flushBatch(); err != nil {
 				return err
 			}
+			publishRing()
 			return send(guard(en.Flush))
 		}
 		for {
@@ -342,6 +402,8 @@ func (p *Parallel) runShard(ctx context.Context, shard int, en engine.Engine, fe
 					}
 				}
 			} else {
+				// The pop ends the event's ring wait.
+				p.lat.StageEnd(msg.ev.Seq, obsv.StageQueue)
 				batch = append(batch, msg.ev)
 				if len(batch) >= shardMaxBatch {
 					if err := flushBatch(); err != nil {

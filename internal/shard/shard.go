@@ -236,6 +236,15 @@ func (en *Engine) EnableProvenance() {
 	}
 }
 
+// SetLatencySampler implements engine.LatencySampled by forwarding to
+// every shard: sequential routing adds no queue stage, so the parts'
+// construction stamps are the only boundaries.
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) {
+	for _, p := range en.parts {
+		engine.SetLatencySampler(p, ls)
+	}
+}
+
 // StateSnapshot implements engine.Introspectable: per-shard snapshots
 // aggregated under the routing engine's name.
 func (en *Engine) StateSnapshot() *provenance.StateSnapshot {

@@ -71,6 +71,9 @@ type Engine struct {
 	// trace observes lifecycle steps when non-nil (nil-checked per site).
 	trace     obsv.TraceHook
 	traceName string
+	// lat, when non-nil, stamps wall-clock stage boundaries on sampled
+	// event spans.
+	lat *obsv.LatencySampler
 
 	// prov enables lineage records (flag-checked per site, like trace).
 	// trig*/visited carry the current trigger through construction.
@@ -223,11 +226,15 @@ func (en *Engine) advanceFrontier() {
 // Process implements engine.Engine.
 func (en *Engine) Process(e event.Event) []plan.Match {
 	out := en.processOne(e, nil)
+	en.lat.StageEnd(e.Seq, obsv.StageConstruct)
 	en.maybePurge()
 	en.met.SetLiveState(en.StateSize())
 	en.publishAdaptive()
 	return out
 }
+
+// SetLatencySampler implements engine.LatencySampled.
+func (en *Engine) SetLatencySampler(ls *obsv.LatencySampler) { en.lat = ls }
 
 // publishAdaptive refreshes the controller-derived gauges.
 func (en *Engine) publishAdaptive() {
@@ -246,6 +253,7 @@ func (en *Engine) ProcessBatch(batch []event.Event) []plan.Match {
 	var out []plan.Match
 	for i := range batch {
 		out = en.processOne(batch[i], out)
+		en.lat.StageEnd(batch[i].Seq, obsv.StageConstruct)
 	}
 	en.maybePurge()
 	en.met.SetLiveState(en.StateSize())

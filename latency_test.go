@@ -1,0 +1,93 @@
+package oostream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"oostream/internal/gen"
+)
+
+func latencyStream(n int, seed int64) []Event {
+	events := gen.RFID(gen.DefaultRFID(n, seed))
+	return gen.Shuffle(events, gen.Disorder{Ratio: 0.25, MaxDelay: 2000, Seed: seed})
+}
+
+// TestLatencySamplerTransparent is the on/off differential at the facade:
+// for every strategy, a densely sampled run (1-in-1 — every event carries
+// a span — plus an SLO tracker) must produce output identical to the
+// uninstrumented run, element for element. Sampling is observation only.
+func TestLatencySamplerTransparent(t *testing.T) {
+	q := MustCompile("PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN 6s", nil)
+	events := latencyStream(600, 31)
+	for _, strat := range Strategies() {
+		t.Run(string(strat), func(t *testing.T) {
+			plain := MustNewEngine(q, Config{Strategy: strat, K: 2000}).ProcessAll(events)
+			cfg := Config{Strategy: strat, K: 2000, Latency: Latency{
+				SampleEvery: 1,
+				SLO:         LatencySLO{Objective: 5 * time.Millisecond, Target: 0.99},
+			}}
+			sampled := MustNewEngine(q, cfg).ProcessAll(events)
+			if len(plain) != len(sampled) {
+				t.Fatalf("sampler changed match count: %d vs %d", len(plain), len(sampled))
+			}
+			for i := range plain {
+				if fmt.Sprintf("%+v", plain[i]) != fmt.Sprintf("%+v", sampled[i]) {
+					t.Fatalf("match %d differs:\n  plain:   %+v\n  sampled: %+v", i, plain[i], sampled[i])
+				}
+			}
+		})
+	}
+}
+
+// TestLatencyReportSurfaces checks the attribution digest reaches both
+// public surfaces — LatencyReport and StateSnapshot — with a balanced span
+// ledger and the SLO window state, on the buffering strategy (kslack holds
+// spans through reorder residency, the protocol's hardest path).
+func TestLatencyReportSurfaces(t *testing.T) {
+	q := MustCompile("PATTERN SEQ(SHELF s, EXIT e) WHERE s.id = e.id WITHIN 6s", nil)
+	events := latencyStream(600, 37)
+	en := MustNewEngine(q, Config{Strategy: StrategyKSlack, K: 2000, Latency: Latency{
+		SampleEvery: 1,
+		SLO:         LatencySLO{Objective: 5 * time.Millisecond, Target: 0.99},
+	}})
+	en.ProcessAll(events)
+
+	r := en.LatencyReport()
+	if r == nil {
+		t.Fatal("LatencyReport() = nil with sampling on")
+	}
+	if r.SampleEvery != 1 || r.SpansSampled == 0 {
+		t.Fatalf("report accounting: %+v", r)
+	}
+	if got := r.Wall.Count + r.SpansAbandoned; got != r.SpansSampled {
+		t.Fatalf("span ledger: %d completed + %d abandoned != %d sampled",
+			r.Wall.Count, r.SpansAbandoned, r.SpansSampled)
+	}
+	for _, stage := range []string{"buffer", "construct", "emit"} {
+		if r.Stages[stage].Count == 0 {
+			t.Errorf("stage %q unattributed on kslack: %v", stage, r.Stages)
+		}
+	}
+	if r.SLO == nil || len(r.SLO.Windows) == 0 {
+		t.Fatalf("SLO windows missing: %+v", r.SLO)
+	}
+
+	snap := en.StateSnapshot()
+	if snap == nil || snap.Latency == nil {
+		t.Fatal("StateSnapshot did not carry the latency report")
+	}
+	if snap.Latency.SpansSampled != r.SpansSampled {
+		t.Fatalf("snapshot report diverged: %d vs %d", snap.Latency.SpansSampled, r.SpansSampled)
+	}
+
+	// Off configuration: the report is absent, not zero-valued.
+	off := MustNewEngine(q, Config{Strategy: StrategyNative, K: 2000})
+	off.ProcessAll(events)
+	if off.LatencyReport() != nil {
+		t.Fatal("LatencyReport() must be nil with sampling off")
+	}
+	if snap := off.StateSnapshot(); snap != nil && snap.Latency != nil {
+		t.Fatal("StateSnapshot must omit latency with sampling off")
+	}
+}

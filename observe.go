@@ -36,6 +36,26 @@ type (
 	MultiHook = obsv.MultiHook
 )
 
+// Wall-clock latency attribution re-exports (see Config.Latency): a
+// deterministic 1-in-N sample of events is span-tracked through the
+// pipeline, decomposing real elapsed time into stage durations (queue,
+// buffer, wal, construct, emit) whose sum equals the end-to-end wall time,
+// with optional multi-window SLO burn-rate tracking on top. Read via
+// Engine.LatencyReport / SupervisedEngine.LatencyReport,
+// StateSnapshot.Latency, or the /debug/latency HTTP endpoint.
+type (
+	// LatencyReport is the JSON-ready attribution digest: span accounting,
+	// the wall histogram, per-stage summaries, and SLO windows.
+	LatencyReport = obsv.LatencyReport
+	// LatencyHistSummary digests one latency histogram (count, mean, p50,
+	// p95, p99, max, sum — all in microseconds).
+	LatencyHistSummary = obsv.HistSummary
+	// SLOSnapshot is the burn-rate tracker's window state.
+	SLOSnapshot = obsv.SLOSnapshot
+	// SLOWindow is one rolling window's good/bad counts and burn rate.
+	SLOWindow = obsv.SLOWindow
+)
+
 // Provenance re-exports. With Config.Provenance set, every emitted (and
 // retracted) match carries a Lineage record in Match.Prov, and engines
 // answer StateSnapshot with a live read-only view of their internal state

@@ -179,6 +179,11 @@ type Engine struct {
 	nextSeq event.Seq
 	sealed  bool
 	batch   Batch
+	// lat is the wall-clock span sampler (nil unless Config.Latency is
+	// set): the facade opens spans at ingest and closes them after the
+	// inner engine returns, with the layers in between stamping stage
+	// boundaries. All sampler methods are nil-safe.
+	lat *obsv.LatencySampler
 }
 
 // NewEngine builds an engine for the query. See Config for the strategy,
@@ -197,7 +202,38 @@ func NewEngine(q *Query, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: inner, batch: cfg.Batch}, nil
+	lat := newLatencySampler(cfg)
+	if lat != nil {
+		engine.SetLatencySampler(inner, lat)
+	}
+	return &Engine{inner: inner, batch: cfg.Batch, lat: lat}, nil
+}
+
+// newLatencySampler builds the span sampler from cfg.Latency, or nil when
+// disabled. With an Observer configured it publishes into the registry's
+// "latency" series, so the wall/stage histograms, span counters, and SLO
+// windows ride the same /metrics and /varz surfaces as every other series;
+// otherwise it records into a private series read via LatencyReport.
+func newLatencySampler(cfg Config) *obsv.LatencySampler {
+	if cfg.Latency.SampleEvery <= 0 {
+		return nil
+	}
+	var series *obsv.Series
+	if cfg.Observer != nil {
+		series = cfg.Observer.Series("latency")
+	}
+	slo := obsv.NewSLOTracker(obsv.SLOConfig{
+		Objective: cfg.Latency.SLO.Objective,
+		Target:    cfg.Latency.SLO.Target,
+		Windows:   cfg.Latency.SLO.Windows,
+	})
+	ls := obsv.NewLatencySampler(cfg.Latency.SampleEvery, series, slo)
+	if cfg.Observer != nil && slo != nil {
+		cfg.Observer.RegisterPrometheus(func(w io.Writer) error {
+			return slo.WritePrometheus(w, "latency")
+		})
+	}
+	return ls
 }
 
 // newInner builds the engine behind the facade: a single strategy engine,
@@ -445,7 +481,10 @@ func (e *Engine) Process(ev Event) []Match {
 	} else if ev.Seq > e.nextSeq {
 		e.nextSeq = ev.Seq
 	}
-	return e.inner.Process(ev)
+	e.lat.Begin(ev.Seq)
+	ms := e.inner.Process(ev)
+	e.lat.Finish(ev.Seq)
+	return ms
 }
 
 // ProcessBatch ingests a slice of events through the engine's batch path
@@ -472,8 +511,13 @@ func (e *Engine) ProcessBatch(events []Event) []Match {
 		} else if events[i].Seq > e.nextSeq {
 			e.nextSeq = events[i].Seq
 		}
+		e.lat.Begin(events[i].Seq)
 	}
-	return engine.ProcessBatch(e.inner, events)
+	ms := engine.ProcessBatch(e.inner, events)
+	for i := range events {
+		e.lat.Finish(events[i].Seq)
+	}
+	return ms
 }
 
 // ProcessAll ingests a finite slice and returns all matches, including the
@@ -523,10 +567,21 @@ func (e *Engine) StateSize() int { return e.inner.StateSize() }
 // Returns nil when the strategy composition exposes no introspection.
 func (e *Engine) StateSnapshot() *StateSnapshot {
 	if intr, ok := e.inner.(engine.Introspectable); ok {
-		return intr.StateSnapshot()
+		snap := intr.StateSnapshot()
+		if snap != nil && e.lat != nil {
+			snap.Latency = e.lat.Report()
+		}
+		return snap
 	}
 	return nil
 }
+
+// LatencyReport returns the sampled wall-clock latency attribution digest:
+// span accounting, the end-to-end wall histogram, the per-stage
+// decomposition (whose sum equals the wall total by construction), and the
+// SLO burn-rate windows when configured. Returns nil when Config.Latency
+// is disabled.
+func (e *Engine) LatencyReport() *LatencyReport { return e.lat.Report() }
 
 // EnableProvenance turns on lineage-record construction, as
 // Config.Provenance does at construction time. It exists for engines that
@@ -604,8 +659,9 @@ func RestorePartitionedEngine(q *Query, byAttr string, shards int, r io.Reader) 
 // are accumulated (up to Size, waiting at most Linger for a partial batch)
 // and handed to ProcessBatch in one call. Output is identical either way.
 func (e *Engine) Run(ctx context.Context, in <-chan Event, out chan<- Match) error {
+	p := runtime.NewPipeline(e.inner).WithLatency(e.lat)
 	if e.batch.Size > 1 {
-		return runtime.NewPipeline(e.inner).RunBatched(ctx, in, out, e.batch.Size, e.batch.Linger)
+		return p.RunBatched(ctx, in, out, e.batch.Size, e.batch.Linger)
 	}
-	return runtime.NewPipeline(e.inner).Run(ctx, in, out)
+	return p.Run(ctx, in, out)
 }

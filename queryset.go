@@ -47,6 +47,13 @@ type QuerySetConfig struct {
 	// Trace, when non-nil, receives per-query lifecycle trace events,
 	// tagged with the "qs/<id>" engine identity.
 	Trace TraceHook
+	// Latency configures sampled wall-clock latency attribution, exactly
+	// as Config.Latency does for a single engine. The Set stamps
+	// shared-buffer residency and construction on sampled spans, and —
+	// with Observer set — mirrors each query's construct segment into its
+	// "qs/<id>" series, so per-query attribution rides the same series the
+	// query's counters already publish to.
+	Latency Latency
 }
 
 func (cfg QuerySetConfig) withDefaults() QuerySetConfig {
@@ -72,7 +79,7 @@ func (cfg QuerySetConfig) validate() error {
 	if cfg.AdvanceEvery < 0 {
 		return fmt.Errorf("AdvanceEvery must be >= 0, got %d", cfg.AdvanceEvery)
 	}
-	return nil
+	return cfg.Latency.validate()
 }
 
 // innerFactory builds per-query inner engines: the configured strategy at
@@ -108,7 +115,7 @@ func (cfg QuerySetConfig) restoreFactory() func(id string, p *plan.Plan, r io.Re
 }
 
 func (cfg QuerySetConfig) setOptions() queryset.Options {
-	return queryset.Options{
+	opts := queryset.Options{
 		K:            cfg.K,
 		AdvanceEvery: cfg.AdvanceEvery,
 		NewEngine:    cfg.innerFactory(),
@@ -119,6 +126,20 @@ func (cfg QuerySetConfig) setOptions() queryset.Options {
 		},
 		RestoreEngine: cfg.restoreFactory(),
 	}
+	if cfg.Observer != nil {
+		// Per-query construct attribution lands in the same "qs/<id>"
+		// series innerFactory binds the query's counters to.
+		obs := cfg.Observer
+		opts.QuerySeries = func(id string) *obsv.Series { return obs.Series("qs/" + id) }
+	}
+	return opts
+}
+
+// newSetSampler builds the Set's span sampler from cfg, or nil when
+// disabled, reusing the single-engine builder (the sampler publishes into
+// the Observer's "latency" series when one is configured).
+func (cfg QuerySetConfig) newSetSampler() *obsv.LatencySampler {
+	return newLatencySampler(Config{Latency: cfg.Latency, Observer: cfg.Observer})
 }
 
 // finishSet applies the config's provenance and observability bindings to
@@ -148,6 +169,8 @@ type QuerySet struct {
 	set     *queryset.Set
 	nextSeq Seq
 	sealed  bool
+	// lat is the wall-clock span sampler (nil unless Latency is set).
+	lat *obsv.LatencySampler
 }
 
 // NewQuerySet builds an empty QuerySet; add queries with Register.
@@ -161,7 +184,11 @@ func NewQuerySet(cfg QuerySetConfig) (*QuerySet, error) {
 		return nil, err
 	}
 	cfg.finishSet(set)
-	return &QuerySet{set: set}, nil
+	lat := cfg.newSetSampler()
+	if lat != nil {
+		set.SetLatencySampler(lat)
+	}
+	return &QuerySet{set: set, lat: lat}, nil
 }
 
 // MustNewQuerySet is NewQuerySet for known-good configuration.
@@ -189,7 +216,11 @@ func RestoreQuerySet(cfg QuerySetConfig, r io.Reader) (*QuerySet, error) {
 		return nil, err
 	}
 	cfg.finishSet(set)
-	return &QuerySet{set: set}, nil
+	lat := cfg.newSetSampler()
+	if lat != nil {
+		set.SetLatencySampler(lat)
+	}
+	return &QuerySet{set: set, lat: lat}, nil
 }
 
 // Register adds a compiled query under id. The query observes events the
@@ -218,7 +249,10 @@ func (qs *QuerySet) Process(ev Event) []Match {
 		panic("oostream: Process called after Flush; the stream is sealed")
 	}
 	qs.assignSeq(&ev)
-	return qs.set.Process(ev)
+	qs.lat.Begin(ev.Seq)
+	ms := qs.set.Process(ev)
+	qs.lat.Finish(ev.Seq)
+	return ms
 }
 
 // ProcessBatch ingests a slice of events through the batch path. A nil or
@@ -231,8 +265,13 @@ func (qs *QuerySet) ProcessBatch(events []Event) []Match {
 	}
 	for i := range events {
 		qs.assignSeq(&events[i])
+		qs.lat.Begin(events[i].Seq)
 	}
-	return qs.set.ProcessBatch(events)
+	ms := qs.set.ProcessBatch(events)
+	for i := range events {
+		qs.lat.Finish(events[i].Seq)
+	}
+	return ms
 }
 
 // ProcessAll ingests a finite slice and returns all matches, including
@@ -289,6 +328,12 @@ func (qs *QuerySet) Stats() []QueryStats { return qs.set.Stats() }
 // StateSize returns buffered events plus the state of every engine.
 func (qs *QuerySet) StateSize() int { return qs.set.StateSize() }
 
+// LatencyReport returns the sampled wall-clock latency attribution digest
+// (see Engine.LatencyReport), or nil when Latency is disabled. Per-query
+// construct segments additionally land in each query's "qs/<id>" series
+// when an Observer is configured.
+func (qs *QuerySet) LatencyReport() *LatencyReport { return qs.lat.Report() }
+
 // Checkpoint serializes the QuerySet in checkpoint format v2: the shared
 // reorder buffer plus one namespaced state blob per registered query, so
 // a restore rebuilds the full registry (see RestoreQuerySet). Every inner
@@ -318,6 +363,9 @@ type SupervisedQuerySet struct {
 	sup     *runtime.Supervisor
 	initial []namedQuery
 	started bool
+	// lat is the wall-clock span sampler (nil unless Latency is set); the
+	// supervisor re-forwards it to the Set across crash restarts.
+	lat *obsv.LatencySampler
 }
 
 type namedQuery struct {
@@ -386,6 +434,10 @@ func NewSupervisedQuerySet(cfg QuerySetConfig, sc SupervisorConfig) (*Supervised
 			series = cfg.Observer.Series("supervised(queryset)")
 		}
 		sup.Observe(series, cfg.Trace)
+	}
+	s.lat = cfg.newSetSampler()
+	if s.lat != nil {
+		sup.SetLatencySampler(s.lat)
 	}
 	s.sup = sup
 	return s, nil
@@ -491,6 +543,10 @@ func (s *SupervisedQuerySet) QueryMetrics(id string) (Metrics, bool) {
 
 // MatchSeq returns the cumulative committed match-emission count.
 func (s *SupervisedQuerySet) MatchSeq() uint64 { return s.sup.MatchSeq() }
+
+// LatencyReport returns the sampled wall-clock latency attribution digest
+// (see Engine.LatencyReport), or nil when Latency is disabled.
+func (s *SupervisedQuerySet) LatencyReport() *LatencyReport { return s.lat.Report() }
 
 // Err returns the sticky failure, if any.
 func (s *SupervisedQuerySet) Err() error { return s.sup.Err() }

@@ -98,6 +98,10 @@ func (sc SupervisorConfig) storeOptions() recovery.Options {
 type SupervisedEngine struct {
 	sup   *runtime.Supervisor
 	store *recovery.Store
+	// lat is the wall-clock span sampler (nil unless Config.Latency is
+	// set); the supervisor opens spans at offer, stamps WAL and commit
+	// segments, and re-forwards the sampler across crash restarts.
+	lat *obsv.LatencySampler
 }
 
 // NewSupervisedEngine builds a supervised engine over the strategy,
@@ -121,6 +125,10 @@ func NewSupervisedEngine(q *Query, cfg Config, sc SupervisorConfig) (*Supervised
 		return nil, err
 	}
 	engineCfg := cfg
+	// The supervisor owns the span sampler (built in newSupervised from the
+	// original cfg) and forwards it to whatever engine it builds or
+	// restores; the inner facade must not construct a competing one.
+	engineCfg.Latency = Latency{}
 	if cfg.Partition.Attr == "" {
 		// The supervisor forwards its own series binding to the inner
 		// engine (shared series); binding the engine a second time through
@@ -203,7 +211,11 @@ func newSupervised(cfg Config, sc SupervisorConfig, newFn func() (engine.Engine,
 		}
 		sup.Observe(s, cfg.Trace)
 	}
-	return &SupervisedEngine{sup: sup, store: store}, nil
+	lat := newLatencySampler(cfg)
+	if lat != nil {
+		sup.SetLatencySampler(lat)
+	}
+	return &SupervisedEngine{sup: sup, store: store, lat: lat}, nil
 }
 
 // Start recovers durable state and readies the engine. On a fresh
@@ -276,7 +288,18 @@ func (s *SupervisedEngine) MatchSeq() uint64 { return s.sup.MatchSeq() }
 // commit horizons. Like every StateSnapshot it is not synchronized with
 // Process; call it between events or while the engine is idle. Returns
 // nil when the composition exposes no introspection.
-func (s *SupervisedEngine) StateSnapshot() *StateSnapshot { return s.sup.StateSnapshot() }
+func (s *SupervisedEngine) StateSnapshot() *StateSnapshot {
+	snap := s.sup.StateSnapshot()
+	if snap != nil && s.lat != nil {
+		snap.Latency = s.lat.Report()
+	}
+	return snap
+}
+
+// LatencyReport returns the sampled wall-clock latency attribution digest
+// (stage decomposition, end-to-end wall histogram, SLO windows), or nil
+// when Config.Latency is disabled.
+func (s *SupervisedEngine) LatencyReport() *LatencyReport { return s.lat.Report() }
 
 // Err returns the sticky failure, if any (set by a crash, an exhausted
 // restart budget, or a store error).
